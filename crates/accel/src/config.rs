@@ -1,0 +1,189 @@
+//! Accelerator parameterization.
+
+use vfpga_fabric::MemoryKind;
+use vfpga_isa::{BfpFormat, IsaConfig};
+
+/// Parameters of one BrainWave-like accelerator instance.
+///
+/// The paper generates accelerator instances with different numbers of tile
+/// engines "to account for the varying performance/cost demands" and a
+/// parameterized memory module bound to BRAM or URAM when mapped onto a
+/// specific device type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Instance name, used as the RTL top-level prefix and database key.
+    pub name: String,
+    /// Number of MVM tile engines (the SIMD units).
+    pub tiles: usize,
+    /// Native vector dimension: vectors and matrix tiles are processed in
+    /// chunks of this many elements.
+    pub native_dim: usize,
+    /// Rows each tile engine retires per cycle (its dot-product unit count).
+    pub rows_per_cycle: usize,
+    /// Block floating point format used by the tile engines.
+    pub bfp: BfpFormat,
+    /// Memory kind backing the matrix (weight) memory; fixed when mapping
+    /// onto a device type.
+    pub memory_kind: MemoryKind,
+    /// Weight memory capacity in kilobits.
+    pub weight_memory_kb: u64,
+    /// Whether the instruction buffer is present (Section 3; avoids DRAM
+    /// contention when the FPGA is shared).
+    pub instruction_buffer: bool,
+    /// Architectural limits exposed to programs.
+    pub isa: IsaConfig,
+}
+
+impl AcceleratorConfig {
+    /// Creates a configuration with `tiles` tile engines and defaults
+    /// matching the paper's case study: native dimension 128, 16 rows per
+    /// cycle per tile, ms-fp9 BFP, BRAM weight memory sized at 45 Mb, and
+    /// the instruction buffer enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is zero.
+    pub fn new(name: impl Into<String>, tiles: usize) -> Self {
+        assert!(tiles > 0, "accelerator needs at least one tile engine");
+        AcceleratorConfig {
+            name: name.into(),
+            tiles,
+            native_dim: 128,
+            rows_per_cycle: 16,
+            bfp: BfpFormat::MS_FP9,
+            memory_kind: MemoryKind::Bram,
+            weight_memory_kb: 45 * 1024,
+            instruction_buffer: true,
+            isa: IsaConfig::default(),
+        }
+    }
+
+    /// Sets the weight memory capacity (kilobits); returns `self` for
+    /// chaining.
+    pub fn with_weight_memory_kb(mut self, kb: u64) -> Self {
+        self.weight_memory_kb = kb;
+        self
+    }
+
+    /// Sets the memory kind; returns `self` for chaining.
+    pub fn with_memory_kind(mut self, kind: MemoryKind) -> Self {
+        self.memory_kind = kind;
+        self
+    }
+
+    /// Disables the instruction buffer (ablation of Section 3's buffer);
+    /// returns `self` for chaining.
+    pub fn without_instruction_buffer(mut self) -> Self {
+        self.instruction_buffer = false;
+        self
+    }
+
+    /// Sets the block floating point format (compute and weight storage);
+    /// returns `self` for chaining.
+    pub fn with_bfp(mut self, bfp: BfpFormat) -> Self {
+        self.bfp = bfp;
+        self
+    }
+
+    /// Multiply-accumulate operations each tile engine performs per cycle.
+    pub fn macs_per_tile_per_cycle(&self) -> u64 {
+        (self.native_dim * self.rows_per_cycle) as u64
+    }
+
+    /// Floating-point operations per cycle across all tile engines
+    /// (2 FLOPs per MAC).
+    pub fn flops_per_cycle(&self) -> u64 {
+        2 * self.macs_per_tile_per_cycle() * self.tiles as u64
+    }
+
+    /// Peak TFLOPS at the given clock frequency.
+    pub fn peak_tflops(&self, freq_mhz: f64) -> f64 {
+        self.flops_per_cycle() as f64 * freq_mhz * 1e6 / 1e12
+    }
+
+    /// Storage cost in kilobits of a `rows x cols` BFP matrix in this
+    /// configuration's format: mantissa bits per element plus one shared
+    /// 8-bit exponent per block.
+    pub fn matrix_storage_kb(&self, rows: usize, cols: usize) -> u64 {
+        let blocks_per_row = cols.div_ceil(self.bfp.block_size) as u64;
+        let bits = rows as u64
+            * (cols as u64 * u64::from(self.bfp.mantissa_bits) + blocks_per_row * 8);
+        bits.div_ceil(1024)
+    }
+
+    /// Whether a set of matrices (given as `(rows, cols)` shapes) fits in
+    /// the configured weight memory.
+    pub fn matrices_fit(&self, shapes: &[(usize, usize)]) -> bool {
+        let total: u64 = shapes
+            .iter()
+            .map(|&(r, c)| self.matrix_storage_kb(r, c))
+            .sum();
+        total <= self.weight_memory_kb
+    }
+
+    /// Derives the configuration of a *scaled-down* accelerator with
+    /// `1/parts` of the tile engines (at least one), used by the scale-out
+    /// optimization: the control path is unmodified, only the number of
+    /// data processing units shrinks (paper Fig. 8a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    pub fn scaled_down(&self, parts: usize) -> AcceleratorConfig {
+        assert!(parts > 0, "cannot scale down into zero parts");
+        let mut cfg = self.clone();
+        cfg.name = format!("{}_1of{}", self.name, parts);
+        cfg.tiles = (self.tiles / parts).max(1);
+        cfg.weight_memory_kb = (self.weight_memory_kb / parts as u64).max(1024);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_give_paper_scale_throughput() {
+        // 21 tiles at 400 MHz should land near Table 2's 36 TFLOPS.
+        let cfg = AcceleratorConfig::new("bw-v37", 21);
+        let tflops = cfg.peak_tflops(400.0);
+        assert!((30.0..40.0).contains(&tflops), "got {tflops}");
+        // 13 tiles at 300 MHz near 16.7 TFLOPS.
+        let small = AcceleratorConfig::new("bw-k115", 13);
+        let tflops = small.peak_tflops(300.0);
+        assert!((14.0..19.0).contains(&tflops), "got {tflops}");
+    }
+
+    #[test]
+    fn matrix_storage_accounting() {
+        let cfg = AcceleratorConfig::new("a", 1);
+        // 1024x1024 at 9 bits/elem + 8 bits per 16-wide block per row:
+        // 1024*(1024*9 + 64*8) bits = 1024*9728 bits ~ 9728 Kb.
+        assert_eq!(cfg.matrix_storage_kb(1024, 1024), 9728);
+    }
+
+    #[test]
+    fn capacity_gates_large_models() {
+        // 45 Mb weight memory: LSTM h=1536 needs 8 matrices of 1536x1536
+        // (~166 Mb) and must NOT fit — Table 4 shows it cannot fit KU115.
+        let cfg = AcceleratorConfig::new("a", 13);
+        let lstm1536 = vec![(1536, 1536); 8];
+        assert!(!cfg.matrices_fit(&lstm1536));
+        // A small LSTM fits easily.
+        let lstm256 = vec![(256, 256); 8];
+        assert!(cfg.matrices_fit(&lstm256));
+    }
+
+    #[test]
+    fn scaled_down_preserves_control_path() {
+        let cfg = AcceleratorConfig::new("bw", 20);
+        let half = cfg.scaled_down(2);
+        assert_eq!(half.tiles, 10);
+        assert_eq!(half.isa, cfg.isa); // ISA (control path) unchanged
+        assert_eq!(half.native_dim, cfg.native_dim);
+        // Scaling below one tile clamps.
+        let tiny = cfg.scaled_down(100);
+        assert_eq!(tiny.tiles, 1);
+    }
+}

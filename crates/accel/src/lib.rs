@@ -1,0 +1,58 @@
+//! # vfpga-accel — the parameterized BrainWave-like accelerator
+//!
+//! The paper's case study (Section 3) builds a parameterized accelerator for
+//! an AS ISA "similar to the one proposed in the Microsoft BrainWave
+//! project", since BrainWave itself is not public. This crate is that
+//! accelerator, built from scratch:
+//!
+//! * [`AcceleratorConfig`] — the parameterization: number of MVM tile
+//!   engines (the SIMD units), native vector dimension, memory kind
+//!   (BRAM/URAM, fixed when mapping to a device type), BFP format,
+//!   instruction buffer presence;
+//! * [`generate_rtl`] — emits the accelerator's structural RTL (Fig. 9's
+//!   organization: control path, FP16↔BFP converters, tile engines,
+//!   multi-function units, vector register file), the input to the
+//!   decomposing tool;
+//! * [`estimate_resources`]/[`Implementation`] — the analytical stand-in
+//!   for Vivado synthesis/place/route: resource usage, achievable frequency
+//!   and peak TFLOPS per device (regenerates Table 2);
+//! * [`FuncSim`] — a bit-accurate functional simulator executing AS ISA
+//!   programs (BFP matrix-vector multiply, f16 MFU ops), with the scale-out
+//!   synchronization template module's combine semantics;
+//! * [`TimingModel`]/[`CycleSim`] — a cycle-approximate in-order timing
+//!   simulator, resumable so the runtime can co-simulate several
+//!   communicating accelerators (Fig. 11).
+//!
+//! ```
+//! use vfpga_accel::{AcceleratorConfig, FuncSim};
+//! use vfpga_isa::{assemble, F16};
+//!
+//! let config = AcceleratorConfig::new("demo", 2);
+//! let mut sim = FuncSim::new(&config);
+//! // y = W * x with W = 2x2 identity.
+//! sim.load_matrix(vfpga_isa::MReg(0), 2, 2, &[1.0, 0.0, 0.0, 1.0]);
+//! sim.write_dram(0, &[F16::from_f32(3.0), F16::from_f32(-4.0)]);
+//! let p = assemble("vload v0, 0\nmvmul v1, m0, v0\nvstore v1, 1\nhalt\n")?;
+//! sim.run(&p)?;
+//! let y = sim.read_dram(1).unwrap();
+//! assert_eq!(y[0].to_f32(), 3.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod config;
+mod estimate;
+mod funcsim;
+mod matrix;
+mod rtlgen;
+mod timing;
+
+pub use config::AcceleratorConfig;
+pub use estimate::{
+    estimate_resources, fit_tiles, leaf_resource_estimator, peak_tflops, Implementation,
+};
+pub use funcsim::{ExecStats, FuncSim, RemoteAccess, RemoteWindow, SimError, StepOutcome};
+pub use matrix::{MatrixMemory, QuantizedMatrix};
+pub use rtlgen::{
+    generate_rtl, CONTROL_PATH_MODULE, DATA_PATH_MODULE, MOVED_TO_CONTROL, TOP_MODULE,
+};
+pub use timing::{CycleSim, Poll, SendEvent, TimingModel};

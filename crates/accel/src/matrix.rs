@@ -1,0 +1,194 @@
+//! The matrix (weight) memory and BFP-quantized matrices.
+
+use std::collections::BTreeMap;
+
+use vfpga_isa::{BfpFormat, BfpVector, F16, MReg};
+
+/// A matrix quantized row-by-row into BFP blocks, as the tile engines
+/// consume it. Weights are quantized once at load time, mirroring the
+/// offline weight preparation of the real system.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    format: BfpFormat,
+    row_vectors: Vec<BfpVector>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a row-major `rows x cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn quantize(format: BfpFormat, rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        let row_vectors = data
+            .chunks(cols)
+            .map(|row| BfpVector::from_f32(format, row))
+            .collect();
+        QuantizedMatrix {
+            rows,
+            cols,
+            format,
+            row_vectors,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The BFP format the matrix was quantized with.
+    pub fn format(&self) -> BfpFormat {
+        self.format
+    }
+
+    /// Matrix-vector product `y = A * x` computed exactly as the tile
+    /// engines do: the input is quantized once (the FP16-to-BFP converter),
+    /// then each output element is an exact integer block dot product,
+    /// rounded to f16 on writeback (the BFP-to-FP16 converter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mvmul(&self, x: &[F16]) -> Vec<F16> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        let qx = BfpVector::from_f16(self.format, x);
+        self.row_vectors
+            .iter()
+            .map(|row| F16::from_f32(row.dot(&qx) as f32))
+            .collect()
+    }
+
+    /// Storage footprint in kilobits: mantissa bits per element plus one
+    /// 8-bit shared exponent per block.
+    pub fn storage_kb(&self) -> u64 {
+        let blocks_per_row = self.cols.div_ceil(self.format.block_size) as u64;
+        let bits = self.rows as u64
+            * (self.cols as u64 * u64::from(self.format.mantissa_bits) + blocks_per_row * 8);
+        bits.div_ceil(1024)
+    }
+}
+
+/// The on-chip matrix memory: matrix registers mapped to quantized weight
+/// tiles, with capacity accounting against the accelerator's weight memory.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixMemory {
+    matrices: BTreeMap<u16, QuantizedMatrix>,
+}
+
+impl MatrixMemory {
+    /// Creates an empty matrix memory.
+    pub fn new() -> Self {
+        MatrixMemory::default()
+    }
+
+    /// Loads (or replaces) the matrix at `reg`.
+    pub fn load(&mut self, reg: MReg, matrix: QuantizedMatrix) {
+        self.matrices.insert(reg.0, matrix);
+    }
+
+    /// The matrix at `reg`, if loaded.
+    pub fn get(&self, reg: MReg) -> Option<&QuantizedMatrix> {
+        self.matrices.get(&reg.0)
+    }
+
+    /// Total storage used by all loaded matrices, in kilobits.
+    pub fn used_kb(&self) -> u64 {
+        self.matrices.values().map(QuantizedMatrix::storage_kb).sum()
+    }
+
+    /// Number of loaded matrices.
+    pub fn len(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Whether no matrices are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.matrices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f16v(xs: &[f32]) -> Vec<F16> {
+        xs.iter().map(|&x| F16::from_f32(x)).collect()
+    }
+
+    #[test]
+    fn identity_mvmul_is_exact_for_small_values() {
+        let n = 8;
+        let mut data = vec![0.0f32; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        let m = QuantizedMatrix::quantize(BfpFormat::new(9, 4), n, n, &data);
+        let x = f16v(&[0.5, -1.0, 0.25, 2.0, 0.0, 1.0, -0.5, 4.0]);
+        let y = m.mvmul(&x);
+        for (yi, xi) in y.iter().zip(&x) {
+            assert_eq!(yi.to_f32(), xi.to_f32());
+        }
+    }
+
+    #[test]
+    fn mvmul_close_to_f32_reference() {
+        let (rows, cols) = (16, 32);
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 31 % 97) as f32 / 97.0) - 0.5)
+            .collect();
+        let x: Vec<f32> = (0..cols).map(|i| ((i * 17 % 13) as f32 / 13.0) - 0.5).collect();
+        let m = QuantizedMatrix::quantize(BfpFormat::MS_FP9, rows, cols, &data);
+        let y = m.mvmul(&f16v(&x));
+        for r in 0..rows {
+            let reference: f32 = (0..cols).map(|c| data[r * cols + c] * x[c]).sum();
+            assert!(
+                (y[r].to_f32() - reference).abs() < 0.05,
+                "row {r}: {} vs {reference}",
+                y[r]
+            );
+        }
+    }
+
+    #[test]
+    fn storage_matches_config_formula() {
+        let m = QuantizedMatrix::quantize(
+            BfpFormat::MS_FP9,
+            64,
+            64,
+            &vec![0.1; 64 * 64],
+        );
+        // 64 rows * (64*9 + 4 blocks * 8) bits = 64*608 = 38912 bits = 38 Kb.
+        assert_eq!(m.storage_kb(), 38912u64.div_ceil(1024));
+    }
+
+    #[test]
+    fn memory_tracks_usage() {
+        let mut mem = MatrixMemory::new();
+        assert!(mem.is_empty());
+        let m = QuantizedMatrix::quantize(BfpFormat::MS_FP9, 64, 64, &vec![0.1; 64 * 64]);
+        let kb = m.storage_kb();
+        mem.load(MReg(0), m.clone());
+        mem.load(MReg(1), m);
+        assert_eq!(mem.len(), 2);
+        assert_eq!(mem.used_kb(), 2 * kb);
+        assert!(mem.get(MReg(0)).is_some());
+        assert!(mem.get(MReg(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn mvmul_checks_shape() {
+        let m = QuantizedMatrix::quantize(BfpFormat::new(9, 4), 4, 4, &[0.0; 16]);
+        m.mvmul(&f16v(&[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,286 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|all]
+//! ```
+
+use vfpga_bench::{ablations, catalog::Catalog, density, fig11, fig12, isolation, overhead, tables};
+use vfpga_sim::SimTime;
+use vfpga_workload::fig11_tasks;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "table2" {
+        print_table2();
+    }
+    if all || which == "table3" {
+        print_table3();
+    }
+    if all || which == "table4" {
+        print_table4();
+    }
+    if all || which == "fig11" {
+        print_fig11();
+    }
+    if all || which == "fig12" {
+        print_fig12();
+    }
+    if all || which == "overhead" {
+        print_overhead();
+    }
+    if all || which == "ablations" {
+        print_ablations();
+    }
+    if all || which == "density" {
+        print_density();
+    }
+    if all || which == "isolation" {
+        print_isolation();
+    }
+    if !all
+        && !["table2", "table3", "table4", "fig11", "fig12", "overhead", "ablations", "density", "isolation"]
+            .contains(&which.as_str())
+    {
+        eprintln!("unknown experiment `{which}`");
+        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|all]");
+        std::process::exit(2);
+    }
+}
+
+fn print_ablations() {
+    println!("== Ablations (DESIGN.md D1/D3/D4) ==");
+    let catalog = Catalog::build();
+    let d1 = ablations::partitioner(&catalog);
+    println!(
+        "D1 partitioner: pattern-aware overhead {} vs pattern-oblivious {}",
+        pct(d1.aware_overhead),
+        pct(d1.oblivious_overhead)
+    );
+    let d3 = ablations::reordering();
+    println!(
+        "D3 reordering (2 FPGAs, +800ns link): {:.3} ms optimized vs {:.3} ms plain",
+        d3.optimized.as_ms(),
+        d3.plain.as_ms()
+    );
+    let d4 = ablations::instruction_buffer();
+    println!(
+        "D4 instruction buffer: {:.3} ms with vs {:.3} ms fetching from DRAM",
+        d4.with_buffer.as_ms(),
+        d4.without_buffer.as_ms()
+    );
+    println!();
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+fn print_table2() {
+    println!("== Table 2: baseline accelerator implementations ==");
+    println!(
+        "{:<8} {:<9} {:>6} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7} {:>7}",
+        "name", "device", "tiles", "LUTs", "DFFs", "BRAM", "URAM", "DSPs", "MHz", "TFLOPS"
+    );
+    for r in tables::table2() {
+        let (ul, uf, ub, uu, ud) = r.utilization;
+        println!(
+            "{:<8} {:<9} {:>6} {:>5}k ({:>5}) {:>5}k ({:>5}) {:>5.1}Mb ({:>5}) {:>5.1}Mb ({:>5}) {:>4} ({:>5}) {:>7.0} {:>7.1}",
+            r.name,
+            r.device.name(),
+            r.tiles,
+            r.resources.luts / 1000,
+            pct(ul),
+            r.resources.ffs / 1000,
+            pct(uf),
+            r.resources.bram_mb(),
+            pct(ub),
+            r.resources.uram_mb(),
+            pct(uu),
+            r.resources.dsps,
+            pct(ud),
+            r.freq_mhz,
+            r.peak_tflops
+        );
+    }
+    println!();
+}
+
+fn print_table3() {
+    println!("== Table 3: one virtual block of the decomposed accelerator ==");
+    println!(
+        "{:<9} {:>8} {:>14} {:>14} {:>14} {:>12} {:>7} {:>7}",
+        "device", "blocks", "LUTs", "DFFs", "BRAM", "DSPs", "MHz", "TFLOPS"
+    );
+    for r in tables::table3() {
+        let (ul, uf, ub, _uu, ud) = r.utilization;
+        println!(
+            "{:<9} {:>8} {:>6.1}k ({:>5}) {:>6.1}k ({:>5}) {:>5.1}Mb ({:>5}) {:>4} ({:>5}) {:>7.0} {:>7.2}",
+            r.device.name(),
+            r.blocks,
+            r.per_block.luts as f64 / 1000.0,
+            pct(ul),
+            r.per_block.ffs as f64 / 1000.0,
+            pct(uf),
+            r.per_block.bram_mb(),
+            pct(ub),
+            r.per_block.dsps,
+            pct(ud),
+            r.freq_mhz,
+            r.peak_tflops
+        );
+    }
+    println!();
+}
+
+fn print_table4() {
+    println!("== Table 4: LSTM/GRU inference latency (batch 1) ==");
+    let catalog = Catalog::build();
+    println!(
+        "{:<22} {:<9} {:>14} {:>14} {:>9}",
+        "benchmark", "device", "baseline (ms)", "this work (ms)", "overhead"
+    );
+    for r in tables::table4(&catalog) {
+        match (r.baseline, r.this_work, r.overhead) {
+            (Some(b), Some(v), Some(o)) => println!(
+                "{:<22} {:<9} {:>14.4} {:>14.4} {:>9}",
+                r.task.to_string(),
+                r.device,
+                b.as_ms(),
+                v.as_ms(),
+                pct(o)
+            ),
+            _ => println!(
+                "{:<22} {:<9} {:>14} {:>14} {:>9}",
+                r.task.to_string(),
+                r.device,
+                "-",
+                "-",
+                "-"
+            ),
+        }
+    }
+    println!();
+}
+
+fn print_fig11() {
+    println!("== Fig 11: impact of inter-FPGA communication latency (2 FPGAs) ==");
+    let added = fig11::default_sweep_points();
+    for task in fig11_tasks() {
+        for optimized in [true, false] {
+            let series = fig11::sweep(task, 2, &added, optimized);
+            let label = if optimized { "overlap" } else { "no-overlap" };
+            print!("{task:<20} [{label:>10}] latency(ms):");
+            for p in &series.points {
+                print!(" {:.4}", p.latency.as_ms());
+            }
+            println!();
+            if optimized {
+                let hidden = series
+                    .hidden_up_to(0.02)
+                    .map(|t| format!("{:.1} ns", t.as_ns()))
+                    .unwrap_or_else(|| "none".to_string());
+                println!(
+                    "{:<20}  added latency hidden up to: {hidden}; single-FPGA ref: {:.4} ms",
+                    "",
+                    series.single_fpga.as_ms()
+                );
+            }
+        }
+    }
+    println!();
+}
+
+fn print_fig12() {
+    println!("== Fig 12: aggregated system throughput (tasks/s) ==");
+    let catalog = Catalog::build();
+    let rows = fig12::run_all_sets(&catalog, 120, 2024);
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>9}",
+        "set", "baseline", "restricted", "this work", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>4} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x",
+            r.set, r.baseline, r.restricted, r.full, r.speedup()
+        );
+    }
+    println!(
+        "mean speedup over baseline: {:.2}x (paper: 2.54x)",
+        fig12::mean_speedup(&rows)
+    );
+    let restricted_gain: f64 = rows
+        .iter()
+        .map(|r| r.full / r.restricted.max(1e-9))
+        .product::<f64>()
+        .powf(1.0 / rows.len() as f64);
+    println!(
+        "full vs restricted policy: {:.1}% (paper: 16%)",
+        100.0 * (restricted_gain - 1.0)
+    );
+    println!();
+}
+
+fn print_overhead() {
+    println!("== Section 4.3: compilation overhead ==");
+    let r = overhead::report();
+    println!(
+        "decompose+partition tool time:      {:.3} s per instance",
+        r.tool_seconds
+    );
+    println!(
+        "baseline compile time ({} instances): {:.0} s",
+        r.instances, r.baseline_seconds
+    );
+    println!(
+        "tool time fraction:                 {} (paper: <1%)",
+        pct(r.tool_fraction)
+    );
+    println!(
+        "scaled-down compiles ({} distinct):  {:.0} s",
+        r.distinct_scaledowns, r.scaledown_seconds
+    );
+    println!(
+        "total overhead (amortized):         {} (paper: 24.6%)",
+        pct(r.total_overhead_fraction)
+    );
+    let _ = SimTime::ZERO; // keep the sim import for the shared prelude
+    println!();
+}
+
+fn print_density() {
+    println!("== Code density: AS ISA vs general-purpose SIMD ==");
+    println!(
+        "{:<22} {:>14} {:>16} {:>9}",
+        "benchmark", "AS ISA (bytes)", "GP SIMD (bytes)", "ratio"
+    );
+    for r in density::compare() {
+        println!(
+            "{:<22} {:>14} {:>16} {:>8.0}x",
+            r.task.to_string(),
+            r.as_isa_bytes,
+            r.gp_bytes,
+            r.ratio()
+        );
+    }
+    println!();
+}
+
+fn print_isolation() {
+    println!("== Section 4.4: performance isolation under spatial sharing ==");
+    let task = vfpga_workload::RnnTask::new(vfpga_workload::RnnKind::Lstm, 512, 25);
+    for r in isolation::measure(task, 3.0) {
+        println!(
+            "{:<26} alone {:.4} ms | shared {:.4} ms | slowdown {}",
+            if r.instruction_buffer {
+                "with instruction buffer"
+            } else {
+                "without instruction buffer"
+            },
+            r.alone.as_ms(),
+            r.shared.as_ms(),
+            pct(r.slowdown())
+        );
+    }
+    println!();
+}

@@ -1,0 +1,383 @@
+//! The evaluated system: accelerator instances, compiled mapping database,
+//! cluster, and the task service-time model.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+
+use vfpga_accel::{
+    generate_rtl, leaf_resource_estimator, AcceleratorConfig, CycleSim, TimingModel,
+    CONTROL_PATH_MODULE, MOVED_TO_CONTROL, TOP_MODULE,
+};
+use vfpga_core::{decompose, partition, DecomposeOptions, Decomposition, MappingDatabase, PartitionTree};
+use vfpga_fabric::{Cluster, DeviceType, MemoryKind};
+use vfpga_hsabs::{HsCompiler, InterfaceModel};
+use vfpga_runtime::{Deployment, Policy};
+use vfpga_sim::{LinkParams, SimTime};
+use vfpga_workload::{generate_program, RnnTask, SizeClass, SliceSpec};
+
+/// Ring link parameters of the custom-built cluster's secondary
+/// bidirectional ring: 0.5 us hop latency at 25 Gb/s (a modest SelectIO/
+/// Aurora-class side channel, as the primary fabric attachment is PCIe).
+pub fn ring_link() -> LinkParams {
+    LinkParams::new(SimTime::from_ns(500.0), 25.0)
+}
+
+/// One registered accelerator instance.
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// The instance configuration.
+    pub config: AcceleratorConfig,
+    /// Partition iterations performed (supports up to 2^n units).
+    pub iterations: usize,
+}
+
+/// The evaluated system, ready to drive every experiment.
+pub struct Catalog {
+    /// The paper's 4-FPGA heterogeneous cluster.
+    pub cluster: Cluster,
+    /// The compiled mapping database.
+    pub db: MappingDatabase,
+    /// Registered instances by name.
+    pub instances: BTreeMap<String, InstanceSpec>,
+    /// Decompositions kept for inspection/benches.
+    pub decompositions: BTreeMap<String, Decomposition>,
+    /// Partition plans kept for inspection/benches.
+    pub plans: BTreeMap<String, PartitionTree>,
+    latency_cache: RefCell<HashMap<(RnnTask, String, u64, usize), SimTime>>,
+}
+
+/// The weight-storage BFP format of the deployed instances: 6-bit
+/// mantissas over blocks of 16 (between BrainWave's ms-fp8 and ms-fp9),
+/// chosen so the Table 4 capacity gates land where the paper's do (GRU
+/// h=1024 fits the XCKU115 baseline; LSTM h=1536 does not).
+pub fn storage_bfp() -> vfpga_isa::BfpFormat {
+    vfpga_isa::BfpFormat::new(6, 16)
+}
+
+/// The DRAM slots the accelerator actually keeps in its on-chip vector
+/// register file across timesteps (hidden and cell state): accesses to
+/// them neither pay DRAM latency nor contend with co-tenants.
+pub fn scratch_slots() -> Vec<u32> {
+    vec![
+        vfpga_workload::H_STATE_SLOT,
+        vfpga_workload::H_LOCAL_SLOT,
+        vfpga_workload::C_LOCAL_SLOT,
+    ]
+}
+
+/// The two baseline accelerator configurations of Table 2, fitted to fill
+/// each device (21 tiles on XCVU37P, 13 on XCKU115).
+pub fn baseline_configs() -> Vec<(AcceleratorConfig, DeviceType)> {
+    let vu = DeviceType::xcvu37p();
+    let ku = DeviceType::xcku115();
+    let vu_tiles = vfpga_accel::fit_tiles(&vu, 230 * 1024);
+    let ku_tiles = vfpga_accel::fit_tiles(&ku, 56 * 1024);
+    vec![
+        (
+            AcceleratorConfig::new("bw-v37", vu_tiles)
+                .with_weight_memory_kb(230 * 1024)
+                .with_memory_kind(MemoryKind::Uram)
+                .with_bfp(storage_bfp()),
+            vu,
+        ),
+        (
+            AcceleratorConfig::new("bw-k115", ku_tiles)
+                .with_weight_memory_kb(56 * 1024)
+                .with_memory_kind(MemoryKind::Bram)
+                .with_bfp(storage_bfp()),
+            ku,
+        ),
+    ]
+}
+
+impl Catalog {
+    /// Builds the full evaluated system: three instance classes sized for
+    /// S/M/L tasks plus the two per-device Table 2 baselines, decomposed,
+    /// partitioned (two iterations), and compiled for both device types.
+    pub fn build() -> Self {
+        let cluster = Cluster::paper_cluster();
+        let types = cluster.device_types();
+        let compiler = HsCompiler::default();
+        let mut db = MappingDatabase::new();
+        let mut instances = BTreeMap::new();
+        let mut decompositions = BTreeMap::new();
+        let mut plans = BTreeMap::new();
+
+        let mut configs: Vec<AcceleratorConfig> = [
+            ("bw-s", 4usize, 40u64),
+            ("bw-m", 10, 150),
+            ("bw-l", 16, 200),
+        ]
+        .into_iter()
+        .map(|(name, tiles, weight_mb)| {
+            AcceleratorConfig::new(name, tiles)
+                .with_weight_memory_kb(weight_mb * 1024)
+                .with_memory_kind(MemoryKind::Uram)
+                .with_bfp(storage_bfp())
+        })
+        .collect();
+        configs.extend(baseline_configs().into_iter().map(|(c, _)| c));
+
+        for config in configs {
+            let name = config.name.clone();
+            let (decomp, plan) = Self::compile_instance(&config, 2);
+            db.register(&name, &decomp, &plan, &types, &compiler, true)
+                .expect("catalog instance must compile");
+            instances.insert(
+                name.clone(),
+                InstanceSpec {
+                    config,
+                    iterations: 2,
+                },
+            );
+            decompositions.insert(name.clone(), decomp);
+            plans.insert(name, plan);
+        }
+
+        Catalog {
+            cluster,
+            db,
+            instances,
+            decompositions,
+            plans,
+            latency_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The baseline system's static provisioning: the accelerator compiled
+    /// onto each device offline, sized for the *average* workload mix (one
+    /// device per class, the KU115 hosting the small instance it can fit).
+    pub fn baseline_provisioning(&self) -> Vec<String> {
+        self.cluster
+            .device_ids()
+            .map(|d| {
+                if self.cluster.device(d).device_type().name() == "XCKU115" {
+                    "bw-s".to_string()
+                } else {
+                    match d.0 % 3 {
+                        0 => "bw-s".to_string(),
+                        1 => "bw-m".to_string(),
+                        _ => "bw-l".to_string(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The Table 2 baseline instance for a device type name.
+    pub fn baseline_instance_name(&self, device_type: &str) -> String {
+        match device_type {
+            "XCVU37P" => "bw-v37".to_string(),
+            _ => "bw-k115".to_string(),
+        }
+    }
+
+    /// Runs the offline mapping flow for one configuration: RTL
+    /// generation, decomposition (with the Section 3 modifications), and
+    /// partitioning.
+    pub fn compile_instance(
+        config: &AcceleratorConfig,
+        iterations: usize,
+    ) -> (Decomposition, PartitionTree) {
+        let design = generate_rtl(config);
+        let mut opts = DecomposeOptions::new(CONTROL_PATH_MODULE);
+        opts.move_to_control = MOVED_TO_CONTROL.iter().map(|s| s.to_string()).collect();
+        opts.intra_parallelism
+            .insert("dpu_array".to_string(), config.rows_per_cycle);
+        let est = leaf_resource_estimator(config);
+        let decomp =
+            decompose(&design, TOP_MODULE, &opts, &est).expect("generated design decomposes");
+        let plan = partition(&decomp.tree, iterations);
+        (decomp, plan)
+    }
+
+    /// The instance class serving a task (by the Table 1 size classes).
+    pub fn instance_for(&self, task: &RnnTask) -> String {
+        match task.size_class() {
+            SizeClass::Small => "bw-s",
+            SizeClass::Medium => "bw-m",
+            SizeClass::Large => "bw-l",
+        }
+        .to_string()
+    }
+
+    /// Single-FPGA inference latency of `task` on `instance`, clocked at
+    /// `freq_mhz`, with `crossings` latency-insensitive boundary crossings
+    /// on the critical path (0 = the unvirtualized baseline). Memoized.
+    pub fn task_latency(
+        &self,
+        task: &RnnTask,
+        instance: &str,
+        freq_mhz: f64,
+        crossings: usize,
+    ) -> SimTime {
+        let key = (*task, instance.to_string(), freq_mhz.to_bits(), crossings);
+        if let Some(&t) = self.latency_cache.borrow().get(&key) {
+            return t;
+        }
+        let spec = &self.instances[instance];
+        let rnn = generate_program(*task, SliceSpec::FULL);
+        let mut model = TimingModel::for_config(&spec.config, freq_mhz);
+        model.mvm_pipeline_depth += InterfaceModel::default().overhead_cycles(crossings);
+        let mut sim = CycleSim::new(model, &rnn.program, rnn.mat_shapes, rnn.dram_lens);
+        sim.set_scratch_slots(scratch_slots());
+        let t = sim.run_local();
+        self.latency_cache.borrow_mut().insert(key, t);
+        t
+    }
+
+    /// On-chip weight storage a task needs on an instance, in kilobits.
+    pub fn task_weight_kb(&self, task: &RnnTask, instance: &str) -> u64 {
+        let cfg = &self.instances[instance].config;
+        task.matrix_shapes()
+            .iter()
+            .map(|&(r, c)| cfg.matrix_storage_kb(r, c))
+            .sum()
+    }
+
+    /// The service-time model used by the cloud simulation (Fig. 12): the
+    /// cycle-level latency of the task on its instance, adjusted for
+    ///
+    /// * the deployment's clock (slowest device among its units),
+    /// * virtualization crossings (zero under the unvirtualized baseline),
+    /// * weight streaming when the task's weights exceed the deployment's
+    ///   aggregate on-chip capacity (each deployed unit instantiates the
+    ///   parameterized memory module on its own device, so capacity scales
+    ///   with the unit count), and
+    /// * partially-overlapped inter-FPGA traffic for multi-unit
+    ///   deployments.
+    pub fn service_time(
+        &self,
+        task: &RnnTask,
+        deployment: &Deployment,
+        policy: Policy,
+    ) -> SimTime {
+        // The baseline system runs every task on the accelerator that was
+        // statically compiled onto its device offline (the paper's "low
+        // elasticity"); the framework runs the demand-sized instance.
+        let instance = if policy == Policy::Baseline {
+            deployment.installed_instance.clone().unwrap_or_else(|| {
+                let dt = self
+                    .cluster
+                    .device(deployment.placements[0].device)
+                    .device_type()
+                    .name()
+                    .to_string();
+                self.baseline_instance_name(&dt)
+            })
+        } else {
+            self.instance_for(task)
+        };
+        let spec = &self.instances[instance.as_str()];
+        // Effective clock: units on slower devices only slow their own
+        // share of the computation.
+        let share_total: f64 = deployment.placements.iter().map(|p| p.compute_share).sum();
+        let freq = if share_total > 0.0 {
+            deployment
+                .placements
+                .iter()
+                .map(|p| self.cluster.device(p.device).device_type().freq_mhz() * p.compute_share)
+                .sum::<f64>()
+                / share_total
+        } else {
+            self.cluster
+                .device(deployment.placements[0].device)
+                .device_type()
+                .freq_mhz()
+        };
+        let crossings = if policy == Policy::Baseline {
+            0
+        } else {
+            deployment.crossings_per_op
+        };
+        let freq = (freq * 10.0).round() / 10.0;
+        let base = self.task_latency(task, &instance, freq, crossings);
+
+        // Weight-streaming penalty on capacity deficit.
+        let needed = self.task_weight_kb(task, &instance) as f64;
+        let capacity =
+            (spec.config.weight_memory_kb * deployment.num_units() as u64) as f64;
+        let stream_factor = if needed <= capacity {
+            1.0
+        } else {
+            1.0 + 3.0 * (needed - capacity) / needed
+        };
+        let mut total = SimTime::from_secs(base.as_secs() * stream_factor);
+
+        // Inter-FPGA traffic for multi-unit deployments: cut bandwidth per
+        // timestep over the ring, half hidden by the overlap optimization.
+        if deployment.num_units() > 1 {
+            let link = ring_link();
+            let per_step = link.serialization_time(deployment.cut_bandwidth.div_ceil(8))
+                + SimTime::from_ns(link.latency.as_ns() * deployment.max_ring_hops as f64);
+            let visible = 0.5 * per_step.as_secs() * task.timesteps as f64;
+            total += SimTime::from_secs(visible);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_with_three_classes() {
+        let c = Catalog::build();
+        assert_eq!(c.instances.len(), 5);
+        for name in ["bw-s", "bw-m", "bw-l"] {
+            let entry = c.db.entry(name).unwrap();
+            assert!(!entry.options.is_empty(), "{name} has options");
+        }
+    }
+
+    #[test]
+    fn small_instance_fits_single_fpga_large_does_not_fit_ku115() {
+        let c = Catalog::build();
+        let s = c.db.entry("bw-s").unwrap();
+        let one = s.options.iter().find(|o| o.num_units() == 1).unwrap();
+        assert!(one.units[0].images.contains_key("XCVU37P"));
+        // The large instance's single-unit option cannot fit the KU115.
+        let l = c.db.entry("bw-l").unwrap();
+        let one_l = l.options.iter().find(|o| o.num_units() == 1).unwrap();
+        assert!(!one_l.units[0].images.contains_key("XCKU115"));
+        assert!(one_l.units[0].images.contains_key("XCVU37P"));
+    }
+
+    #[test]
+    fn latency_grows_with_model_and_shrinks_with_frequency() {
+        use vfpga_workload::RnnKind;
+        let c = Catalog::build();
+        let small = RnnTask::new(RnnKind::Gru, 512, 8);
+        let large = RnnTask::new(RnnKind::Gru, 1536, 8);
+        let a = c.task_latency(&small, "bw-s", 400.0, 0);
+        let b = c.task_latency(&large, "bw-m", 400.0, 0);
+        assert!(b > a);
+        let slow = c.task_latency(&small, "bw-s", 300.0, 0);
+        assert!(slow > a);
+    }
+
+    #[test]
+    fn virtualization_overhead_is_single_digit_percent() {
+        use vfpga_workload::RnnKind;
+        let c = Catalog::build();
+        for task in [
+            RnnTask::new(RnnKind::Gru, 1024, 32),
+            RnnTask::new(RnnKind::Lstm, 512, 25),
+        ] {
+            let name = c.instance_for(&task);
+            let base = c.task_latency(&task, &name, 400.0, 0);
+            let virt = c.task_latency(
+                &task,
+                &name,
+                400.0,
+                vfpga_core::PATTERN_AWARE_CROSSINGS,
+            );
+            let overhead = (virt.as_secs() - base.as_secs()) / base.as_secs();
+            assert!(
+                (0.005..0.12).contains(&overhead),
+                "{task}: overhead {overhead}"
+            );
+        }
+    }
+}

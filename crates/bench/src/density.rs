@@ -1,0 +1,115 @@
+//! Code density: the AS ISA's compactness advantage.
+//!
+//! The paper motivates application-specific ISAs with the observation that
+//! a customized instruction set "reduces the storage/control overhead by
+//! generating more compact code" (Section 1). This experiment quantifies
+//! it for the benchmark programs: the AS ISA encodes a whole
+//! matrix-vector product or vector operation in a handful of bytes, while
+//! a general-purpose SIMD ISA must issue one fixed-width instruction per
+//! vector-register-sized chunk of work.
+
+use vfpga_isa::{encoded_size, Instruction};
+use vfpga_workload::{generate_program, table4_tasks, RnnTask, SliceSpec};
+
+/// The general-purpose comparison ISA: 512-bit vector registers (32 f16
+/// lanes) with fixed 16-byte instructions, AVX-512-class.
+const GP_LANES: usize = 32;
+const GP_INST_BYTES: u64 = 16;
+
+/// Code sizes of one benchmark under both ISAs.
+#[derive(Debug, Clone, Copy)]
+pub struct DensityRow {
+    /// The benchmark layer.
+    pub task: RnnTask,
+    /// AS ISA program size in bytes (compact encoding).
+    pub as_isa_bytes: u64,
+    /// Estimated general-purpose SIMD program size in bytes.
+    pub gp_bytes: u64,
+}
+
+impl DensityRow {
+    /// How many times smaller the AS ISA program is.
+    pub fn ratio(&self) -> f64 {
+        self.gp_bytes as f64 / self.as_isa_bytes as f64
+    }
+}
+
+/// Estimates the general-purpose instruction count of one AS instruction:
+/// the number of vector-register-sized operations a conventional SIMD core
+/// needs for the same work (loads/stores per chunk, one FMA per matrix
+/// element chunk, scalar activation calls per chunk).
+fn gp_instructions(inst: &Instruction, task: &RnnTask) -> u64 {
+    let h = task.hidden;
+    let chunks = h.div_ceil(GP_LANES) as u64;
+    match inst {
+        Instruction::MvMul { .. } => {
+            // rows x (cols / lanes) FMAs plus a horizontal reduce per row.
+            (h as u64) * (chunks + 1)
+        }
+        Instruction::VLoad { .. } | Instruction::VStore { .. } => chunks,
+        Instruction::VAdd { .. }
+        | Instruction::VSub { .. }
+        | Instruction::VMul { .. }
+        | Instruction::VMov { .. }
+        | Instruction::VZero { .. }
+        | Instruction::VOne { .. } => chunks,
+        // Transcendentals: no single-instruction sigmoid/tanh; ~8 ops per
+        // chunk for a polynomial approximation.
+        Instruction::Sigmoid { .. } | Instruction::Tanh { .. } | Instruction::Relu { .. } => {
+            8 * chunks
+        }
+        Instruction::Nop | Instruction::Halt => 1,
+    }
+}
+
+/// Runs the density comparison over the Table 4 benchmarks.
+pub fn compare() -> Vec<DensityRow> {
+    table4_tasks()
+        .into_iter()
+        .map(|task| {
+            let rnn = generate_program(task, SliceSpec::FULL);
+            let as_isa_bytes = encoded_size(&rnn.program) as u64;
+            let gp_bytes: u64 = rnn
+                .program
+                .iter()
+                .map(|i| gp_instructions(i, &task) * GP_INST_BYTES)
+                .sum();
+            DensityRow {
+                task,
+                as_isa_bytes,
+                gp_bytes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_isa_is_orders_of_magnitude_denser() {
+        let rows = compare();
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(
+                r.ratio() > 100.0,
+                "{}: ratio {:.0} should be >100x",
+                r.task,
+                r.ratio()
+            );
+            // And the absolute AS program must fit an on-chip instruction
+            // buffer (the Section 3/4.4 claim): a few hundred KB at most.
+            assert!(
+                r.as_isa_bytes < 1_500_000,
+                "{}: {} bytes",
+                r.task,
+                r.as_isa_bytes
+            );
+        }
+        // Density grows with model width (more work per instruction).
+        let small = rows.iter().find(|r| r.task.hidden == 256).unwrap();
+        let large = rows.iter().find(|r| r.task.hidden == 1536).unwrap();
+        assert!(large.ratio() > small.ratio());
+    }
+}

@@ -1,0 +1,106 @@
+//! Regeneration of Fig. 12: aggregated system throughput over the ten
+//! synthetic workload sets, under the three runtime systems.
+
+use vfpga_runtime::{run_cloud_sim, Policy, SystemController};
+use vfpga_sim::SimTime;
+use vfpga_workload::{generate_workload, Composition};
+
+use crate::catalog::Catalog;
+
+/// One bar group of Fig. 12.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig12Row {
+    /// Workload set index (1-based, Table 1).
+    pub set: usize,
+    /// Baseline system throughput (tasks/s).
+    pub baseline: f64,
+    /// Restricted-policy system throughput.
+    pub restricted: f64,
+    /// This work's throughput.
+    pub full: f64,
+}
+
+impl Fig12Row {
+    /// Speedup of the full system over the baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.baseline == 0.0 {
+            f64::INFINITY
+        } else {
+            self.full / self.baseline
+        }
+    }
+}
+
+/// Runs one workload set under one policy and returns tasks/second.
+pub fn run_set(catalog: &Catalog, set_index: usize, policy: Policy, tasks: usize, seed: u64) -> f64 {
+    let composition = Composition::TABLE1[set_index - 1];
+    let arrivals = generate_workload(
+        composition,
+        tasks,
+        SimTime::from_us(50.0),
+        seed + set_index as u64,
+    );
+    let mut controller =
+        SystemController::new(catalog.cluster.clone(), catalog.db.clone(), policy);
+    if policy == Policy::Baseline {
+        controller = controller.with_provisioning(catalog.baseline_provisioning());
+    }
+    let report = run_cloud_sim(
+        &mut controller,
+        &arrivals,
+        &|task| catalog.instance_for(task),
+        &|task, deployment| catalog.service_time(task, deployment, policy),
+    )
+    .expect("cloud simulation completes");
+    report.throughput_per_s
+}
+
+/// Runs all ten workload sets under all three systems.
+pub fn run_all_sets(catalog: &Catalog, tasks: usize, seed: u64) -> Vec<Fig12Row> {
+    (1..=Composition::TABLE1.len())
+        .map(|set| Fig12Row {
+            set,
+            baseline: run_set(catalog, set, Policy::Baseline, tasks, seed),
+            restricted: run_set(catalog, set, Policy::Restricted, tasks, seed),
+            full: run_set(catalog, set, Policy::Full, tasks, seed),
+        })
+        .collect()
+}
+
+/// Geometric-mean speedup of the full system over the baseline across
+/// rows (the paper reports 2.54x average).
+pub fn mean_speedup(rows: &[Fig12Row]) -> f64 {
+    let product: f64 = rows.iter().map(Fig12Row::speedup).product();
+    product.powf(1.0 / rows.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_beats_baseline_on_an_all_small_set() {
+        let catalog = Catalog::build();
+        // Set 1 (100% small tasks) is where spatial sharing pays the most.
+        let baseline = run_set(&catalog, 1, Policy::Baseline, 80, 42);
+        let full = run_set(&catalog, 1, Policy::Full, 80, 42);
+        assert!(
+            full > baseline * 1.2,
+            "full {full} should clearly beat baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_deployment_beats_restricted_on_large_tasks() {
+        // Set 3 is 100% large tasks: the restricted (same-device-type)
+        // policy cannot span the VU37P/KU115 pair, which is exactly where
+        // the full policy's heterogeneous multi-FPGA support pays off.
+        let catalog = Catalog::build();
+        let restricted = run_set(&catalog, 3, Policy::Restricted, 60, 7);
+        let full = run_set(&catalog, 3, Policy::Full, 60, 7);
+        assert!(
+            full > restricted * 1.1,
+            "full {full} should clearly beat restricted {restricted} on all-large sets"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! The mapping database the system controller searches at deployment time.
+
+use std::collections::BTreeMap;
+
+use vfpga_fabric::{DeviceType, ResourceVec};
+use vfpga_hsabs::{HsCompiler, VirtualBlockImage};
+
+use crate::decompose::Decomposition;
+use crate::partition::PartitionTree;
+use crate::CoreError;
+
+/// Virtual-block boundary crossings on an operation's critical path when
+/// the framework's pattern-aware partition tool places the design: the
+/// pipelined data path of a SIMD unit never straddles a virtual block, so
+/// only the region entry and exit remain (Section 4.3).
+pub const PATTERN_AWARE_CROSSINGS: usize = 2;
+
+/// Crossings when a pattern-oblivious partitioner (e.g. ViTAL's own generic
+/// tool) splits a SIMD unit's pipeline across virtual blocks — the ablation
+/// the paper contrasts against.
+pub const PATTERN_OBLIVIOUS_CROSSINGS: usize = 8;
+
+/// One deployment unit of one option: a cluster of soft blocks compiled for
+/// every feasible device type.
+#[derive(Debug, Clone)]
+pub struct DeploymentUnit {
+    /// Estimated resources of this unit.
+    pub resources: ResourceVec,
+    /// Compiled image per device type name (absent when the unit does not
+    /// fit that type).
+    pub images: BTreeMap<String, VirtualBlockImage>,
+    /// Fraction of the accelerator's compute capability in this unit
+    /// (tile share), used to derive scaled timing.
+    pub compute_share: f64,
+}
+
+/// One way to deploy an accelerator: `units.len()` FPGAs.
+#[derive(Debug, Clone)]
+pub struct DeploymentOption {
+    /// The units, largest (control-bearing) first.
+    pub units: Vec<DeploymentUnit>,
+    /// Latency-insensitive boundary crossings on the critical path.
+    pub crossings_per_op: usize,
+    /// Inter-unit traffic in bits per activation.
+    pub cut_bandwidth: u64,
+}
+
+impl DeploymentOption {
+    /// Number of FPGAs this option occupies.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+}
+
+/// The mapping results of one accelerator instance.
+#[derive(Debug, Clone)]
+pub struct MappingEntry {
+    /// Instance name.
+    pub name: String,
+    /// Deployment options sorted by ascending unit count — exactly the
+    /// order the greedy runtime policy scans (Section 2.3).
+    pub options: Vec<DeploymentOption>,
+    /// Total estimated resources (control + data path).
+    pub total_resources: ResourceVec,
+    /// Estimated HS-compilation cost of all images, in seconds (for the
+    /// Section 4.3 compilation-overhead accounting).
+    pub compile_seconds: f64,
+}
+
+/// The database of compiled mappings (Fig. 7): one entry per registered
+/// accelerator instance.
+#[derive(Debug, Clone, Default)]
+pub struct MappingDatabase {
+    entries: BTreeMap<String, MappingEntry>,
+}
+
+impl MappingDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        MappingDatabase::default()
+    }
+
+    /// Registers an accelerator instance: compiles every deployment option
+    /// of its partition plan against the HS abstraction of every feasible
+    /// device type.
+    ///
+    /// `pattern_aware` selects which partition tool produced the placement
+    /// (the framework's own, or the HS abstraction's generic one); it only
+    /// affects the recorded crossing count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Hs`] if not even the single-FPGA option fits
+    /// any provided device type.
+    pub fn register(
+        &mut self,
+        name: &str,
+        decomposition: &Decomposition,
+        plan: &PartitionTree,
+        device_types: &[DeviceType],
+        compiler: &HsCompiler,
+        pattern_aware: bool,
+    ) -> Result<&MappingEntry, CoreError> {
+        let mut options = Vec::new();
+        let mut compile_seconds = 0.0;
+        let total_resources = decomposition.total_resources();
+        let data_luts = decomposition.tree.root_block().resources.luts.max(1);
+
+        for units in 1..=plan.max_units() {
+            let Ok(clusters) = plan.units_for(units) else {
+                break;
+            };
+            let cut_bandwidth = plan.cut_bandwidth_for(units)?;
+            let mut unit_list = Vec::new();
+            let mut feasible = true;
+            for (i, cluster) in clusters.iter().enumerate() {
+                // The first (largest) unit carries the control soft block.
+                let mut resources = cluster.resources;
+                if i == 0 {
+                    resources += decomposition.control_resources;
+                }
+                let mut images = BTreeMap::new();
+                for dt in device_types {
+                    match compiler.compile(&format!("{name}/{units}u/{i}"), &resources, dt) {
+                        Ok(img) => {
+                            compile_seconds += compiler.compile_seconds(&resources);
+                            images.insert(dt.name().to_string(), img);
+                        }
+                        Err(vfpga_hsabs::HsError::DoesNotFit { .. }) => {}
+                        Err(e) => return Err(CoreError::Hs(e)),
+                    }
+                }
+                if images.is_empty() {
+                    feasible = false;
+                    break;
+                }
+                unit_list.push(DeploymentUnit {
+                    resources,
+                    images,
+                    compute_share: cluster.resources.luts as f64 / data_luts as f64,
+                });
+            }
+            if !feasible {
+                continue;
+            }
+            // Largest unit first (it carries control and the policy places
+            // it first).
+            unit_list.sort_by_key(|u| std::cmp::Reverse(u.resources.luts));
+            options.push(DeploymentOption {
+                units: unit_list,
+                crossings_per_op: if pattern_aware {
+                    PATTERN_AWARE_CROSSINGS
+                } else {
+                    PATTERN_OBLIVIOUS_CROSSINGS
+                },
+                cut_bandwidth,
+            });
+        }
+
+        if options.is_empty() {
+            return Err(CoreError::Hs(vfpga_hsabs::HsError::DoesNotFit {
+                name: name.to_string(),
+                device_type: device_types
+                    .iter()
+                    .map(DeviceType::name)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            }));
+        }
+        options.sort_by_key(DeploymentOption::num_units);
+        let entry = MappingEntry {
+            name: name.to_string(),
+            options,
+            total_resources,
+            compile_seconds,
+        };
+        self.entries.insert(name.to_string(), entry);
+        Ok(&self.entries[name])
+    }
+
+    /// The entry for an instance, if registered.
+    pub fn entry(&self, name: &str) -> Option<&MappingEntry> {
+        self.entries.get(name)
+    }
+
+    /// Iterates over all entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &MappingEntry> {
+        self.entries.values()
+    }
+
+    /// Number of registered instances.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{decompose, DecomposeOptions};
+    use crate::partition::partition;
+    use vfpga_accel::{generate_rtl, AcceleratorConfig, CONTROL_PATH_MODULE, TOP_MODULE};
+    use vfpga_rtl::FlatNode;
+
+    fn small_est(_n: &FlatNode) -> ResourceVec {
+        ResourceVec {
+            luts: 20_000,
+            ffs: 20_000,
+            bram_kb: 500,
+            uram_kb: 0,
+            dsps: 120,
+        }
+    }
+
+    fn register_accel(tiles: usize) -> (MappingDatabase, String) {
+        let cfg = AcceleratorConfig::new("acc", tiles);
+        let design = generate_rtl(&cfg);
+        let mut opts = DecomposeOptions::new(CONTROL_PATH_MODULE);
+        opts.move_to_control = vfpga_accel::MOVED_TO_CONTROL
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let d = decompose(&design, TOP_MODULE, &opts, &small_est).unwrap();
+        let plan = partition(&d.tree, 2);
+        let mut db = MappingDatabase::new();
+        db.register(
+            "acc",
+            &d,
+            &plan,
+            &[DeviceType::xcvu37p(), DeviceType::xcku115()],
+            &HsCompiler::default(),
+            true,
+        )
+        .unwrap();
+        (db, "acc".to_string())
+    }
+
+    #[test]
+    fn registers_options_in_ascending_unit_order() {
+        let (db, name) = register_accel(8);
+        let entry = db.entry(&name).unwrap();
+        assert!(!entry.options.is_empty());
+        let counts: Vec<usize> = entry.options.iter().map(|o| o.num_units()).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        assert_eq!(counts, sorted);
+        assert_eq!(counts[0], 1);
+        assert!(entry.compile_seconds > 0.0);
+    }
+
+    #[test]
+    fn units_have_images_for_feasible_types() {
+        let (db, name) = register_accel(8);
+        let entry = db.entry(&name).unwrap();
+        for option in &entry.options {
+            for unit in &option.units {
+                assert!(!unit.images.is_empty());
+                for (ty, img) in &unit.images {
+                    assert_eq!(img.device_type_name(), ty);
+                    assert!(img.blocks() >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn control_rides_with_first_unit() {
+        let (db, name) = register_accel(8);
+        let entry = db.entry(&name).unwrap();
+        let two = entry
+            .options
+            .iter()
+            .find(|o| o.num_units() == 2)
+            .expect("2-unit option");
+        // First unit is strictly larger (it carries the control block).
+        assert!(two.units[0].resources.luts > two.units[1].resources.luts);
+    }
+
+    #[test]
+    fn crossings_track_partitioner_quality() {
+        let cfg = AcceleratorConfig::new("acc", 4);
+        let design = generate_rtl(&cfg);
+        let mut opts = DecomposeOptions::new(CONTROL_PATH_MODULE);
+        opts.move_to_control = vfpga_accel::MOVED_TO_CONTROL
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let d = decompose(&design, TOP_MODULE, &opts, &small_est).unwrap();
+        let plan = partition(&d.tree, 1);
+        let types = [DeviceType::xcvu37p()];
+        let compiler = HsCompiler::default();
+        let mut db = MappingDatabase::new();
+        let aware = db
+            .register("aware", &d, &plan, &types, &compiler, true)
+            .unwrap()
+            .options[0]
+            .crossings_per_op;
+        let oblivious = db
+            .register("oblivious", &d, &plan, &types, &compiler, false)
+            .unwrap()
+            .options[0]
+            .crossings_per_op;
+        assert!(aware < oblivious);
+    }
+}

@@ -1,0 +1,891 @@
+//! The decomposing tool (Section 2.2.1).
+//!
+//! Lowers an AS ISA-based accelerator's RTL design onto the soft-block
+//! abstraction using the bottom-up flow the paper automates:
+//!
+//! 1. **Build block graph** — flatten the hierarchy, extract every basic
+//!    module of the data path into a leaf soft block, and connect blocks by
+//!    the nets between them.
+//! 2. **Extract intra-block data parallelism** — split leaves whose
+//!    internal logic is data-parallel (the paper uses combinational
+//!    equivalence checking; here the accelerator generator registers the
+//!    lane multiplicity of each behavior, e.g. the 16 identical dot-product
+//!    units inside `dpu_array`).
+//! 3. **Identify inter-block data parallelism** — group interchangeable
+//!    sibling blocks (equal content hash, same external neighbors) under a
+//!    data-parallel parent.
+//! 4. **Identify pipeline parallelism** — group chains of blocks under a
+//!    pipeline parent, recording each link's bit width for the partitioner.
+//! 5. **Iterate** — repeat 3 and 4 until no block can be merged.
+//!
+//! The control path is separated first (the designer marks its module name,
+//! as the paper requires), and the case study additionally moves the small
+//! FP16-to-BFP converter and vector register file into the control soft
+//! block so the data-path root exposes pure data parallelism (Section 3).
+
+use std::collections::{BTreeMap, HashMap};
+
+use vfpga_fabric::ResourceVec;
+use vfpga_rtl::{Design, FlatNode, NodeId};
+
+use crate::softblock::{Pattern, SoftBlock, SoftBlockId, SoftBlockKind, SoftBlockTree};
+use crate::CoreError;
+
+/// Options controlling the decomposition.
+#[derive(Debug, Clone)]
+pub struct DecomposeOptions {
+    /// Name of the control-path module, marked by the system designer
+    /// (the paper's tools cannot infer it from RTL alone).
+    pub control_module: String,
+    /// Basic-module names moved from the data path into the control soft
+    /// block (Section 3 moves the FP16-to-BFP converter and the vector
+    /// register file).
+    pub move_to_control: Vec<String>,
+    /// Intra-block data parallelism: behavior tag to lane count (step 2).
+    pub intra_parallelism: HashMap<String, usize>,
+}
+
+impl DecomposeOptions {
+    /// Options for a design whose control path lives in `control_module`,
+    /// with nothing moved and no intra-block parallelism registered.
+    pub fn new(control_module: impl Into<String>) -> Self {
+        DecomposeOptions {
+            control_module: control_module.into(),
+            move_to_control: Vec::new(),
+            intra_parallelism: HashMap::new(),
+        }
+    }
+}
+
+/// Statistics recorded by the decomposer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecomposeStats {
+    /// Leaf soft blocks in the data-path tree.
+    pub data_leaves: usize,
+    /// Basic modules assigned to the control soft block.
+    pub control_leaves: usize,
+    /// Data-parallel groups created.
+    pub data_groups: usize,
+    /// Pipeline groups created.
+    pub pipeline_groups: usize,
+    /// Iterations of steps 3-4 until fixpoint.
+    pub rounds: usize,
+}
+
+/// The result of decomposing one accelerator.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The data-path soft-block tree.
+    pub tree: SoftBlockTree,
+    /// Resources of the control soft block (control path plus any modules
+    /// moved into it).
+    pub control_resources: ResourceVec,
+    /// Statistics of the run.
+    pub stats: DecomposeStats,
+}
+
+impl Decomposition {
+    /// Total estimated resources (control + data path).
+    pub fn total_resources(&self) -> ResourceVec {
+        self.control_resources + self.tree.root_block().resources
+    }
+}
+
+/// Decomposes the accelerator rooted at `top` into a soft-block tree.
+///
+/// `leaf_resources` estimates the spatial resources of one basic-module
+/// instance (the accelerator generator provides a calibrated estimator).
+///
+/// # Errors
+///
+/// Returns [`CoreError::MissingControlModule`] if `top` does not instantiate
+/// the marked control module, [`CoreError::EmptyDataPath`] if nothing
+/// remains in the data path, or an [`CoreError::Rtl`] error if the design
+/// is malformed.
+pub fn decompose(
+    design: &Design,
+    top: &str,
+    options: &DecomposeOptions,
+    leaf_resources: &dyn Fn(&FlatNode) -> ResourceVec,
+) -> Result<Decomposition, CoreError> {
+    // Locate the control instance at the top level.
+    let top_module = design
+        .module(top)
+        .ok_or_else(|| CoreError::Rtl(vfpga_rtl::RtlError::UnknownModule(top.to_string())))?;
+    let ctrl_instance = top_module
+        .instances
+        .iter()
+        .find(|i| i.module == options.control_module)
+        .ok_or_else(|| CoreError::MissingControlModule(options.control_module.clone()))?
+        .name
+        .clone();
+
+    // Step 1: build the block graph.
+    let graph = design.flatten(top)?;
+    let mut control_resources = ResourceVec::ZERO;
+    let mut control_leaves = 0usize;
+    let mut data_nodes: Vec<NodeId> = Vec::new();
+    for (id, node) in graph.nodes() {
+        let in_ctrl = node.path == ctrl_instance
+            || node.path.starts_with(&format!("{ctrl_instance}/"));
+        let moved = options.move_to_control.iter().any(|m| m == &node.module);
+        if in_ctrl || moved {
+            control_resources += leaf_resources(node);
+            control_leaves += 1;
+        } else {
+            data_nodes.push(id);
+        }
+    }
+    if data_nodes.is_empty() {
+        return Err(CoreError::EmptyDataPath);
+    }
+
+    let mut arena: Vec<SoftBlock> = Vec::new();
+    let mut stats = DecomposeStats {
+        control_leaves,
+        ..DecomposeStats::default()
+    };
+
+    // Working graph nodes: (soft block id, content hash, resources).
+    let mut work: Vec<WorkNode> = Vec::new();
+    let index_of: HashMap<NodeId, usize> = data_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+
+    for &node_id in &data_nodes {
+        let node = graph.node(node_id).expect("node from iteration");
+        let res = leaf_resources(node);
+        let leaf_hash = hash_leaf(node);
+        let lanes = node
+            .behavior
+            .as_deref()
+            .and_then(|b| options.intra_parallelism.get(b).copied())
+            .unwrap_or(1);
+        let block_id = if lanes > 1 {
+            // Step 2: split the leaf into `lanes` identical lane blocks
+            // under a data-parallel parent.
+            let lane_res = res.div_ceil(lanes as u64);
+            let mut lane_hash_src = String::new();
+            if let Some(b) = &node.behavior {
+                lane_hash_src.push_str(b);
+            }
+            lane_hash_src.push_str("/lane");
+            let lane_hash = hash_str(&lane_hash_src);
+            let children: Vec<SoftBlockId> = (0..lanes)
+                .map(|l| {
+                    let id = SoftBlockId(arena.len());
+                    arena.push(SoftBlock {
+                        id,
+                        kind: SoftBlockKind::Leaf {
+                            path: format!("{}/lane{l}", node.path),
+                            module: node.module.clone(),
+                            behavior: node.behavior.as_ref().map(|b| format!("{b}_lane")),
+                        },
+                        resources: lane_res,
+                        content_hash: lane_hash,
+                    });
+                    id
+                })
+                .collect();
+            stats.data_leaves += lanes;
+            stats.data_groups += 1;
+            let id = SoftBlockId(arena.len());
+            arena.push(SoftBlock {
+                id,
+                kind: SoftBlockKind::Composite {
+                    pattern: Pattern::Data,
+                    children,
+                    link_widths: vec![],
+                },
+                resources: res,
+                content_hash: hash_composite("data", &[lane_hash; 1], lanes as u64),
+            });
+            id
+        } else {
+            stats.data_leaves += 1;
+            let id = SoftBlockId(arena.len());
+            arena.push(SoftBlock {
+                id,
+                kind: SoftBlockKind::Leaf {
+                    path: node.path.clone(),
+                    module: node.module.clone(),
+                    behavior: node.behavior.clone(),
+                },
+                resources: res,
+                content_hash: leaf_hash,
+            });
+            id
+        };
+        work.push(WorkNode {
+            block: block_id,
+            hash: arena[block_id.0].content_hash,
+            alive: true,
+        });
+    }
+
+    // Directed edges between work nodes (by work index), keyed
+    // `(driver, reader)`, weights = connecting bits.
+    let mut edges: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    for e in graph.edges() {
+        if let (Some(&a), Some(&b)) = (index_of.get(&e.from), index_of.get(&e.to)) {
+            *edges.entry((a, b)).or_insert(0) += e.width;
+        }
+    }
+
+    // Steps 3-5: iterate grouping until fixpoint. When neither strict
+    // data-parallel grouping nor pipeline grouping makes progress, fall
+    // back to relaxed (matched-lane) grouping, which resolves e.g. the
+    // two-lane farm whose block graph is one big cycle.
+    loop {
+        stats.rounds += 1;
+        let merged_data = group_data_parallel(&mut work, &mut edges, &mut arena, &mut stats);
+        let merged_pipe = group_pipelines(&mut work, &mut edges, &mut arena, &mut stats);
+        if !merged_data && !merged_pipe {
+            let merged_relaxed =
+                group_data_parallel_relaxed(&mut work, &mut edges, &mut arena, &mut stats);
+            if !merged_relaxed {
+                break;
+            }
+        }
+    }
+
+    // Collapse to a single root.
+    let alive: Vec<usize> = (0..work.len()).filter(|&i| work[i].alive).collect();
+    let root = if alive.len() == 1 {
+        work[alive[0]].block
+    } else {
+        // Irregular residue: wrap the remaining blocks as a pipeline in
+        // work order, using the actual inter-block widths where present.
+        let children: Vec<SoftBlockId> = alive.iter().map(|&i| work[i].block).collect();
+        let link_widths: Vec<u64> = alive
+            .windows(2)
+            .map(|w| {
+                edges.get(&(w[0], w[1])).copied().unwrap_or(0)
+                    + edges.get(&(w[1], w[0])).copied().unwrap_or(0)
+            })
+            .collect();
+        let resources = children.iter().map(|c| arena[c.0].resources).sum();
+        let hashes: Vec<u64> = children.iter().map(|c| arena[c.0].content_hash).collect();
+        let id = SoftBlockId(arena.len());
+        arena.push(SoftBlock {
+            id,
+            kind: SoftBlockKind::Composite {
+                pattern: Pattern::Pipeline,
+                children,
+                link_widths,
+            },
+            resources,
+            content_hash: hash_composite("pipe", &hashes, 0),
+        });
+        id
+    };
+
+    Ok(Decomposition {
+        tree: SoftBlockTree::new(arena, root),
+        control_resources,
+        stats,
+    })
+}
+
+struct WorkNode {
+    block: SoftBlockId,
+    hash: u64,
+    alive: bool,
+}
+
+/// Neighbors of `i` as `(neighbor, width, outgoing)` triples; parallel
+/// in/out edges to the same neighbor appear as separate entries.
+fn neighbors_of(edges: &BTreeMap<(usize, usize), u64>, i: usize) -> Vec<(usize, u64, bool)> {
+    edges
+        .iter()
+        .filter_map(|(&(a, b), &w)| {
+            if a == i {
+                Some((b, w, true))
+            } else if b == i {
+                Some((a, w, false))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Undirected neighbor set of `i`.
+fn undirected_neighbors(edges: &BTreeMap<(usize, usize), u64>, i: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = neighbors_of(edges, i).into_iter().map(|(n, _, _)| n).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Step 3: merge interchangeable siblings under data-parallel parents.
+fn group_data_parallel(
+    work: &mut Vec<WorkNode>,
+    edges: &mut BTreeMap<(usize, usize), u64>,
+    arena: &mut Vec<SoftBlock>,
+    stats: &mut DecomposeStats,
+) -> bool {
+    // Group alive nodes by content hash.
+    let mut by_hash: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, n) in work.iter().enumerate() {
+        if n.alive {
+            by_hash.entry(n.hash).or_default().push(i);
+        }
+    }
+    let mut merged_any = false;
+    for (_, members) in by_hash {
+        if members.len() < 2 {
+            continue;
+        }
+        // Sub-partition by external connection signature: the sorted list
+        // of (neighbor, width, direction) triples over neighbors outside
+        // the hash group. Direction matters: an identical block feeding a
+        // consumer is not interchangeable with one reading from it.
+        let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
+        let mut by_sig: BTreeMap<Vec<(usize, u64, bool)>, Vec<usize>> = BTreeMap::new();
+        for &m in &members {
+            let mut sig: Vec<(usize, u64, bool)> = neighbors_of(edges, m)
+                .into_iter()
+                .filter(|(n, _, _)| !member_set.contains(n))
+                .collect();
+            sig.sort_unstable();
+            by_sig.entry(sig).or_default().push(m);
+        }
+        for (_, group) in by_sig {
+            if group.len() < 2 {
+                continue;
+            }
+            merged_any = true;
+            stats.data_groups += 1;
+            let children: Vec<SoftBlockId> = group.iter().map(|&i| work[i].block).collect();
+            let resources: ResourceVec = children.iter().map(|c| arena[c.0].resources).sum();
+            let child_hash = arena[children[0].0].content_hash;
+            let id = SoftBlockId(arena.len());
+            arena.push(SoftBlock {
+                id,
+                kind: SoftBlockKind::Composite {
+                    pattern: Pattern::Data,
+                    children,
+                    link_widths: vec![],
+                },
+                resources,
+                content_hash: hash_composite("data", &[child_hash], group.len() as u64),
+            });
+            // Replace the group with one new work node.
+            let new_idx = work.len();
+            work.push(WorkNode {
+                block: id,
+                hash: arena[id.0].content_hash,
+                alive: true,
+            });
+            for &g in &group {
+                work[g].alive = false;
+            }
+            // Rewire: external neighbors get summed widths; intra-group
+            // edges vanish (artifacts of shared broadcast nets).
+            let group_set: std::collections::HashSet<usize> = group.iter().copied().collect();
+            let mut new_out: HashMap<usize, u64> = HashMap::new();
+            let mut new_in: HashMap<usize, u64> = HashMap::new();
+            edges.retain(|&(a, b), w| {
+                let a_in = group_set.contains(&a);
+                let b_in = group_set.contains(&b);
+                if a_in && b_in {
+                    false
+                } else if a_in {
+                    *new_out.entry(b).or_insert(0) += *w;
+                    false
+                } else if b_in {
+                    *new_in.entry(a).or_insert(0) += *w;
+                    false
+                } else {
+                    true
+                }
+            });
+            for (n, w) in new_out {
+                *edges.entry((new_idx, n)).or_insert(0) += w;
+            }
+            for (n, w) in new_in {
+                *edges.entry((n, new_idx)).or_insert(0) += w;
+            }
+        }
+    }
+    merged_any
+}
+
+/// Relaxed data-parallel grouping (fallback): merge equal-hash nodes whose
+/// neighborhoods match *by equivalence class* rather than by identity.
+/// Each neighbor class must either be fully shared (every member connects
+/// to the same node, e.g. a broadcast hub) or fully disjoint with equal
+/// counts (each member owns its private downstream node, a matched lane).
+/// This is what resolves farms whose block graph is one large cycle, where
+/// neither strict grouping nor chain detection can start.
+fn group_data_parallel_relaxed(
+    work: &mut Vec<WorkNode>,
+    edges: &mut BTreeMap<(usize, usize), u64>,
+    arena: &mut Vec<SoftBlock>,
+    stats: &mut DecomposeStats,
+) -> bool {
+    let mut by_hash: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, n) in work.iter().enumerate() {
+        if n.alive {
+            by_hash.entry(n.hash).or_default().push(i);
+        }
+    }
+    for (_, members) in by_hash {
+        if members.len() < 2 {
+            continue;
+        }
+        let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
+        // Per member: neighbors outside the group, keyed by
+        // (neighbor hash, direction), with the concrete neighbor indices.
+        type NeighborClasses = BTreeMap<(u64, bool), Vec<(usize, u64)>>;
+        let mut per_member: Vec<NeighborClasses> = Vec::new();
+        for &m in &members {
+            let mut classes: NeighborClasses = BTreeMap::new();
+            for (n, w, out) in neighbors_of(edges, m) {
+                if !member_set.contains(&n) {
+                    classes.entry((work[n].hash, out)).or_default().push((n, w));
+                }
+            }
+            per_member.push(classes);
+        }
+        // All members must see the same classes with the same multiplicity
+        // and widths.
+        let keys: Vec<(u64, bool)> = per_member[0].keys().copied().collect();
+        let consistent = per_member.iter().all(|c| {
+            c.keys().copied().collect::<Vec<_>>() == keys
+                && keys.iter().all(|k| c[k].len() == per_member[0][k].len())
+        });
+        if !consistent {
+            continue;
+        }
+        // Each class must be fully shared or fully disjoint.
+        let mut eligible = true;
+        for k in &keys {
+            let mut all: Vec<usize> = Vec::new();
+            for c in &per_member {
+                all.extend(c[k].iter().map(|&(n, _)| n));
+            }
+            let mut distinct = all.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let per = per_member[0][k].len();
+            let shared = distinct.len() == per;
+            let disjoint = distinct.len() == per * members.len();
+            if !(shared || disjoint) {
+                eligible = false;
+                break;
+            }
+        }
+        if !eligible {
+            continue;
+        }
+        // Merge exactly like the strict step.
+        stats.data_groups += 1;
+        let children: Vec<SoftBlockId> = members.iter().map(|&i| work[i].block).collect();
+        let resources: ResourceVec = children.iter().map(|c| arena[c.0].resources).sum();
+        let child_hash = arena[children[0].0].content_hash;
+        let id = SoftBlockId(arena.len());
+        arena.push(SoftBlock {
+            id,
+            kind: SoftBlockKind::Composite {
+                pattern: Pattern::Data,
+                children,
+                link_widths: vec![],
+            },
+            resources,
+            content_hash: hash_composite("data", &[child_hash], members.len() as u64),
+        });
+        let new_idx = work.len();
+        work.push(WorkNode {
+            block: id,
+            hash: arena[id.0].content_hash,
+            alive: true,
+        });
+        for &g in &members {
+            work[g].alive = false;
+        }
+        let mut new_out: HashMap<usize, u64> = HashMap::new();
+        let mut new_in: HashMap<usize, u64> = HashMap::new();
+        edges.retain(|&(a, b), w| {
+            let a_in = member_set.contains(&a);
+            let b_in = member_set.contains(&b);
+            if a_in && b_in {
+                false
+            } else if a_in {
+                *new_out.entry(b).or_insert(0) += *w;
+                false
+            } else if b_in {
+                *new_in.entry(a).or_insert(0) += *w;
+                false
+            } else {
+                true
+            }
+        });
+        for (n, w) in new_out {
+            *edges.entry((new_idx, n)).or_insert(0) += w;
+        }
+        for (n, w) in new_in {
+            *edges.entry((n, new_idx)).or_insert(0) += w;
+        }
+        // One merge per call: the strict steps re-run first.
+        return true;
+    }
+    false
+}
+
+/// Step 4: merge chains under pipeline parents.
+fn group_pipelines(
+    work: &mut Vec<WorkNode>,
+    edges: &mut BTreeMap<(usize, usize), u64>,
+    arena: &mut Vec<SoftBlock>,
+    stats: &mut DecomposeStats,
+) -> bool {
+    let n = work.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if work[i].alive {
+            adj[i] = undirected_neighbors(edges, i);
+        }
+    }
+    let degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+
+    // A node can sit inside a chain iff it has one or two neighbors; branch
+    // nodes (degree >= 3, e.g. a broadcast source feeding every lane) stay
+    // outside so identical lanes remain identical.
+    let pathable: Vec<bool> = (0..n)
+        .map(|i| work[i].alive && (1..=2).contains(&degree[i]))
+        .collect();
+    let path_adj: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            if pathable[i] {
+                adj[i].iter().copied().filter(|&j| pathable[j]).collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    let mut visited = vec![false; n];
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if !pathable[start] || visited[start] {
+            continue;
+        }
+        // Collect the connected component of pathable nodes.
+        let mut component = vec![start];
+        visited[start] = true;
+        let mut head = 0;
+        while head < component.len() {
+            let cur = component[head];
+            head += 1;
+            for &next in &path_adj[cur] {
+                if !visited[next] {
+                    visited[next] = true;
+                    component.push(next);
+                }
+            }
+        }
+        // A component where every node has two pathable neighbors is a
+        // cycle; skip it (no linear pipeline exists).
+        let Some(&endpoint) = component
+            .iter()
+            .find(|&&i| path_adj[i].len() <= 1)
+        else {
+            continue;
+        };
+        // Walk the path from the endpoint.
+        let mut chain = vec![endpoint];
+        let mut prev = usize::MAX;
+        let mut cur = endpoint;
+        while let Some(&next) = path_adj[cur].iter().find(|&&x| x != prev) {
+            prev = cur;
+            cur = next;
+            chain.push(cur);
+        }
+        if chain.len() >= 2 {
+            chains.push(chain);
+        }
+    }
+
+    let mut merged_any = false;
+    for mut chain in chains {
+        merged_any = true;
+        stats.pipeline_groups += 1;
+        // Orient the chain along the dataflow direction: count forward vs
+        // backward directed edges and flip if the flow runs the other way.
+        let forward: usize = chain
+            .windows(2)
+            .filter(|w| edges.contains_key(&(w[0], w[1])))
+            .count();
+        let backward: usize = chain
+            .windows(2)
+            .filter(|w| edges.contains_key(&(w[1], w[0])))
+            .count();
+        if backward > forward {
+            chain.reverse();
+        }
+        let children: Vec<SoftBlockId> = chain.iter().map(|&i| work[i].block).collect();
+        let link_widths: Vec<u64> = chain
+            .windows(2)
+            .map(|w| {
+                edges.get(&(w[0], w[1])).copied().unwrap_or(0)
+                    + edges.get(&(w[1], w[0])).copied().unwrap_or(0)
+            })
+            .collect();
+        let resources: ResourceVec = children.iter().map(|c| arena[c.0].resources).sum();
+        let hashes: Vec<u64> = children.iter().map(|c| arena[c.0].content_hash).collect();
+        let id = SoftBlockId(arena.len());
+        arena.push(SoftBlock {
+            id,
+            kind: SoftBlockKind::Composite {
+                pattern: Pattern::Pipeline,
+                children,
+                link_widths,
+            },
+            resources,
+            content_hash: hash_composite("pipe", &hashes, 0),
+        });
+        let new_idx = work.len();
+        work.push(WorkNode {
+            block: id,
+            hash: arena[id.0].content_hash,
+            alive: true,
+        });
+        let chain_set: std::collections::HashSet<usize> = chain.iter().copied().collect();
+        let mut new_out: HashMap<usize, u64> = HashMap::new();
+        let mut new_in: HashMap<usize, u64> = HashMap::new();
+        edges.retain(|&(a, b), w| {
+            let a_in = chain_set.contains(&a);
+            let b_in = chain_set.contains(&b);
+            if a_in && b_in {
+                false
+            } else if a_in {
+                *new_out.entry(b).or_insert(0) += *w;
+                false
+            } else if b_in {
+                *new_in.entry(a).or_insert(0) += *w;
+                false
+            } else {
+                true
+            }
+        });
+        for &c in &chain {
+            work[c].alive = false;
+        }
+        for (n2, w) in new_out {
+            *edges.entry((new_idx, n2)).or_insert(0) += w;
+        }
+        for (n2, w) in new_in {
+            *edges.entry((n2, new_idx)).or_insert(0) += w;
+        }
+    }
+    merged_any
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn hash_leaf(node: &FlatNode) -> u64 {
+    match &node.behavior {
+        Some(b) => hash_str(&format!("leaf:{b}")),
+        None => hash_str(&format!("leaf-module:{}", node.module)),
+    }
+}
+
+fn hash_composite(kind: &str, child_hashes: &[u64], count: u64) -> u64 {
+    let mut h = hash_str(kind);
+    for &c in child_hashes {
+        h ^= c;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= count;
+    h.wrapping_mul(0x100_0000_01b3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfpga_rtl::parse;
+
+    fn unit_resources(_n: &FlatNode) -> ResourceVec {
+        ResourceVec {
+            luts: 1000,
+            ffs: 1000,
+            bram_kb: 10,
+            uram_kb: 0,
+            dsps: 4,
+        }
+    }
+
+    /// A miniature accelerator: ctrl + datapath with 3 identical two-stage
+    /// lanes between a splitter and a joiner.
+    const MINI: &str = r#"
+        module ctl_seq #(behavior="seq") (input [63:0] i, output [63:0] o);
+        endmodule
+        module ctrl (input [63:0] instr, output [63:0] ctl);
+          ctl_seq u (.i(instr), .o(ctl));
+        endmodule
+
+        module stage_a #(behavior="sa") (input [31:0] x, output [31:0] y);
+        endmodule
+        module stage_b #(behavior="sb") (input [31:0] x, output [15:0] y);
+        endmodule
+        module lane (input [31:0] x, output [15:0] y);
+          wire [31:0] t;
+          stage_a a (.x(x), .y(t));
+          stage_b b (.x(t), .y(y));
+        endmodule
+        module split #(behavior="split") (input [63:0] x, output [31:0] y);
+        endmodule
+        module join #(behavior="join") (input [15:0] x, output [63:0] y);
+        endmodule
+        module datapath (input [63:0] din, input [63:0] ctl, output [63:0] dout);
+          wire [31:0] xs;
+          wire [15:0] ys;
+          split s (.x(din), .y(xs));
+          lane l0 (.x(xs), .y(ys));
+          lane l1 (.x(xs), .y(ys));
+          lane l2 (.x(xs), .y(ys));
+          join j (.x(ys), .y(dout));
+        endmodule
+
+        module top (input [63:0] instr, input [63:0] din, output [63:0] dout);
+          wire [63:0] ctl;
+          ctrl c (.instr(instr), .ctl(ctl));
+          datapath d (.din(din), .ctl(ctl), .dout(dout));
+        endmodule
+    "#;
+
+    #[test]
+    fn mini_accelerator_decomposes_to_pipeline_of_data() {
+        let design = parse(MINI).unwrap();
+        let opts = DecomposeOptions::new("ctrl");
+        let d = decompose(&design, "top", &opts, &unit_resources).unwrap();
+        // Control: the one seq leaf.
+        assert_eq!(d.stats.control_leaves, 1);
+        // Data leaves: split + 3*2 + join = 8.
+        assert_eq!(d.stats.data_leaves, 8);
+        assert_eq!(d.tree.leaf_count(), 8);
+        // Root: pipeline [split, data[3 x pipeline(a,b)], join].
+        let root = d.tree.root_block();
+        assert_eq!(root.pattern(), Some(Pattern::Pipeline));
+        assert_eq!(root.children().len(), 3);
+        let mid = d.tree.block(root.children()[1]);
+        assert_eq!(mid.pattern(), Some(Pattern::Data));
+        assert_eq!(mid.children().len(), 3);
+        let lane = d.tree.block(mid.children()[0]);
+        assert_eq!(lane.pattern(), Some(Pattern::Pipeline));
+        assert_eq!(lane.children().len(), 2);
+    }
+
+    #[test]
+    fn moving_endpoints_to_control_exposes_data_root() {
+        let design = parse(MINI).unwrap();
+        let mut opts = DecomposeOptions::new("ctrl");
+        opts.move_to_control = vec!["split".into(), "join".into()];
+        let d = decompose(&design, "top", &opts, &unit_resources).unwrap();
+        assert_eq!(d.stats.control_leaves, 3);
+        assert_eq!(d.tree.leaf_count(), 6);
+        let root = d.tree.root_block();
+        assert_eq!(root.pattern(), Some(Pattern::Data));
+        assert_eq!(root.children().len(), 3);
+    }
+
+    #[test]
+    fn intra_block_parallelism_splits_leaves() {
+        let design = parse(MINI).unwrap();
+        let mut opts = DecomposeOptions::new("ctrl");
+        opts.intra_parallelism.insert("sa".into(), 4);
+        let d = decompose(&design, "top", &opts, &unit_resources).unwrap();
+        // Each stage_a leaf becomes 4 lane leaves: 1 + 3*(4+1) + 1 = 17.
+        assert_eq!(d.tree.leaf_count(), 17);
+        // Lane resources divide.
+        let lanes: Vec<_> = d
+            .tree
+            .iter()
+            .filter(|b| matches!(&b.kind, SoftBlockKind::Leaf { behavior: Some(x), .. } if x == "sa_lane"))
+            .collect();
+        assert_eq!(lanes.len(), 12);
+        assert_eq!(lanes[0].resources.luts, 250);
+    }
+
+    #[test]
+    fn resources_accumulate_up_the_tree() {
+        let design = parse(MINI).unwrap();
+        let opts = DecomposeOptions::new("ctrl");
+        let d = decompose(&design, "top", &opts, &unit_resources).unwrap();
+        // Root resources = 8 leaves x 1000 LUTs.
+        assert_eq!(d.tree.root_block().resources.luts, 8000);
+        assert_eq!(d.control_resources.luts, 1000);
+        assert_eq!(d.total_resources().luts, 9000);
+    }
+
+    #[test]
+    fn pipeline_link_widths_recorded() {
+        let design = parse(MINI).unwrap();
+        let opts = DecomposeOptions::new("ctrl");
+        let d = decompose(&design, "top", &opts, &unit_resources).unwrap();
+        // Inside a lane: a->b link is 32 bits.
+        let root = d.tree.root_block();
+        let mid = d.tree.block(root.children()[1]);
+        let lane = d.tree.block(mid.children()[0]);
+        match &lane.kind {
+            SoftBlockKind::Composite { link_widths, .. } => assert_eq!(link_widths, &[32]),
+            _ => panic!("expected composite"),
+        }
+    }
+
+    #[test]
+    fn missing_control_module_reported() {
+        let design = parse(MINI).unwrap();
+        let opts = DecomposeOptions::new("nonexistent");
+        let err = decompose(&design, "top", &opts, &unit_resources).unwrap_err();
+        assert!(matches!(err, CoreError::MissingControlModule(_)));
+    }
+
+    #[test]
+    fn identical_blocks_with_different_neighbors_not_grouped() {
+        // Two `sa` stages in different pipeline positions must not merge.
+        let src = r#"
+            module c #(behavior="seq") (input i, output o);
+            endmodule
+            module ctrl (input instr, output ctl);
+              c u (.i(instr), .o(ctl));
+            endmodule
+            module sa #(behavior="sa") (input [31:0] x, output [31:0] y);
+            endmodule
+            module sb #(behavior="sb") (input [31:0] x, output [31:0] y);
+            endmodule
+            module datapath (input [31:0] din, input ctl, output [31:0] dout);
+              wire [31:0] t1;
+              wire [31:0] t2;
+              sa first (.x(din), .y(t1));
+              sb middle (.x(t1), .y(t2));
+              sa last (.x(t2), .y(dout));
+            endmodule
+            module top (input instr, input [31:0] din, output [31:0] dout);
+              wire ctl;
+              ctrl cc (.instr(instr), .ctl(ctl));
+              datapath d (.din(din), .ctl(ctl), .dout(dout));
+            endmodule
+        "#;
+        let design = parse(src).unwrap();
+        let opts = DecomposeOptions::new("ctrl");
+        let d = decompose(&design, "top", &opts, &unit_resources).unwrap();
+        // The two `sa` leaves sit at different chain positions: the result
+        // must be a 3-stage pipeline, not a data group.
+        let root = d.tree.root_block();
+        assert_eq!(root.pattern(), Some(Pattern::Pipeline));
+        assert_eq!(root.children().len(), 3);
+        assert_eq!(d.stats.data_groups, 0);
+    }
+}

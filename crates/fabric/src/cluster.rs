@@ -1,0 +1,218 @@
+//! Cluster topology: devices, PCIe attachments, and the inter-FPGA ring.
+
+use std::fmt;
+
+use crate::DeviceType;
+
+/// Identifies one physical FPGA within a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fpga{}", self.0)
+    }
+}
+
+/// One physical FPGA in the cluster.
+#[derive(Debug, Clone)]
+pub struct DeviceInstance {
+    id: DeviceId,
+    device_type: DeviceType,
+}
+
+impl DeviceInstance {
+    /// This device's cluster-unique id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// This device's type (part number, resources, frequency).
+    pub fn device_type(&self) -> &DeviceType {
+        &self.device_type
+    }
+}
+
+/// The secondary bidirectional ring network connecting the FPGAs.
+///
+/// The ring is described by its member count; distances are minimum hop
+/// counts in either direction.
+#[derive(Debug, Clone, Copy)]
+pub struct RingTopology {
+    nodes: usize,
+}
+
+impl RingTopology {
+    /// Creates a ring over `nodes` members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "ring must have at least one node");
+        RingTopology { nodes }
+    }
+
+    /// Number of nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether the ring is trivial (a single node).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Minimum number of hops between two ring positions, taking the shorter
+    /// direction of the bidirectional ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.nodes && b < self.nodes, "ring position out of range");
+        let d = a.abs_diff(b);
+        d.min(self.nodes - d)
+    }
+}
+
+/// A heterogeneous FPGA cluster: an ordered set of devices, each attached to
+/// the host by PCIe, connected among themselves by a bidirectional ring in
+/// index order.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    devices: Vec<DeviceInstance>,
+    ring: RingTopology,
+}
+
+impl Cluster {
+    /// Builds a cluster from a list of device types; device `i` sits at ring
+    /// position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `types` is empty.
+    pub fn new(types: Vec<DeviceType>) -> Self {
+        assert!(!types.is_empty(), "cluster must contain at least one device");
+        let ring = RingTopology::new(types.len());
+        let devices = types
+            .into_iter()
+            .enumerate()
+            .map(|(i, device_type)| DeviceInstance {
+                id: DeviceId(i),
+                device_type,
+            })
+            .collect();
+        Cluster { devices, ring }
+    }
+
+    /// The paper's evaluation cluster: three XCVU37P and one XCKU115.
+    pub fn paper_cluster() -> Self {
+        Cluster::new(vec![
+            DeviceType::xcvu37p(),
+            DeviceType::xcvu37p(),
+            DeviceType::xcvu37p(),
+            DeviceType::xcku115(),
+        ])
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the cluster has no devices (never true; see [`Cluster::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn device(&self, id: DeviceId) -> &DeviceInstance {
+        &self.devices[id.0]
+    }
+
+    /// Iterates over all devices in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceInstance> {
+        self.devices.iter()
+    }
+
+    /// All device ids in order.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len()).map(DeviceId)
+    }
+
+    /// The ring topology connecting the devices.
+    pub fn ring(&self) -> RingTopology {
+        self.ring
+    }
+
+    /// Ring distance in hops between two devices.
+    pub fn ring_hops(&self, a: DeviceId, b: DeviceId) -> usize {
+        self.ring.hops(a.0, b.0)
+    }
+
+    /// Distinct device types present, in first-appearance order.
+    pub fn device_types(&self) -> Vec<DeviceType> {
+        let mut seen: Vec<DeviceType> = Vec::new();
+        for d in &self.devices {
+            if !seen.contains(d.device_type()) {
+                seen.push(d.device_type().clone());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_composition() {
+        let c = Cluster::paper_cluster();
+        assert_eq!(c.len(), 4);
+        let types = c.device_types();
+        assert_eq!(types.len(), 2);
+        let vu_count = c
+            .iter()
+            .filter(|d| d.device_type().name() == "XCVU37P")
+            .count();
+        assert_eq!(vu_count, 3);
+    }
+
+    #[test]
+    fn ring_hops_take_shorter_direction() {
+        let ring = RingTopology::new(4);
+        assert_eq!(ring.hops(0, 0), 0);
+        assert_eq!(ring.hops(0, 1), 1);
+        assert_eq!(ring.hops(0, 2), 2);
+        assert_eq!(ring.hops(0, 3), 1); // wraps around
+        assert_eq!(ring.hops(3, 1), 2);
+    }
+
+    #[test]
+    fn cluster_ring_distance() {
+        let c = Cluster::paper_cluster();
+        assert_eq!(c.ring_hops(DeviceId(0), DeviceId(3)), 1);
+        assert_eq!(c.ring_hops(DeviceId(1), DeviceId(3)), 2);
+    }
+
+    #[test]
+    fn device_lookup() {
+        let c = Cluster::paper_cluster();
+        let d = c.device(DeviceId(3));
+        assert_eq!(d.id(), DeviceId(3));
+        assert_eq!(d.device_type().name(), "XCKU115");
+        assert_eq!(format!("{}", d.id()), "fpga3");
+    }
+
+    #[test]
+    #[should_panic(expected = "ring position out of range")]
+    fn hops_out_of_range_panics() {
+        RingTopology::new(2).hops(0, 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! FPGA device types and the catalog used in the paper's evaluation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ResourceVec;
+
+/// The kind of on-chip memory a parameterized memory module binds to.
+///
+/// The paper's accelerator provides a parameterized memory module so that it
+/// can use URAM on devices that have it (XCVU37P) and BRAM elsewhere
+/// (XCKU115); the parameter is fixed when mapping onto a specific device
+/// type's HS abstraction (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryKind {
+    /// 36 Kb block RAM (512 x 72 bit words).
+    Bram,
+    /// 288 Kb UltraRAM (4096 x 72 bit words).
+    Uram,
+}
+
+impl MemoryKind {
+    /// Capacity of one memory block of this kind, in kilobits.
+    pub fn block_kb(self) -> u64 {
+        match self {
+            MemoryKind::Bram => 36,
+            MemoryKind::Uram => 288,
+        }
+    }
+
+    /// Capacity of one block in 72-bit words (512 for BRAM, 4096 for URAM).
+    pub fn block_words(self) -> u64 {
+        match self {
+            MemoryKind::Bram => 512,
+            MemoryKind::Uram => 4096,
+        }
+    }
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryKind::Bram => write!(f, "BRAM"),
+            MemoryKind::Uram => write!(f, "URAM"),
+        }
+    }
+}
+
+/// A type of FPGA device (part number), its resource capacities, the clock
+/// frequency our designs close timing at, and its virtual-block floorplan.
+///
+/// `DeviceType` values are cheap to clone (internally reference-counted) and
+/// compare equal by name.
+#[derive(Debug, Clone)]
+pub struct DeviceType {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    name: String,
+    resources: ResourceVec,
+    freq_mhz: f64,
+    vblock_slots: usize,
+}
+
+impl DeviceType {
+    /// Creates a custom device type.
+    ///
+    /// `vblock_slots` is the number of identical virtual-block regions the
+    /// underlying HS abstraction divides this device into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` is not strictly positive or `vblock_slots` is
+    /// zero.
+    pub fn new(
+        name: impl Into<String>,
+        resources: ResourceVec,
+        freq_mhz: f64,
+        vblock_slots: usize,
+    ) -> Self {
+        assert!(freq_mhz > 0.0, "invalid frequency: {freq_mhz} MHz");
+        assert!(vblock_slots > 0, "device must have at least one slot");
+        DeviceType {
+            inner: Arc::new(Inner {
+                name: name.into(),
+                resources,
+                freq_mhz,
+                vblock_slots,
+            }),
+        }
+    }
+
+    /// Xilinx Virtex UltraScale+ XCVU37P (published capacities).
+    ///
+    /// 1,303,680 LUTs / 2,607,360 FFs / 70.9 Mb BRAM (2016 blocks) /
+    /// 270 Mb URAM (960 blocks) / 9024 DSPs. Our BrainWave-like designs close
+    /// timing at 400 MHz on this part, matching the paper's Table 2.
+    pub fn xcvu37p() -> Self {
+        DeviceType::new(
+            "XCVU37P",
+            ResourceVec {
+                luts: 1_303_680,
+                ffs: 2_607_360,
+                bram_kb: 2016 * 36,
+                uram_kb: 960 * 288,
+                dsps: 9024,
+            },
+            400.0,
+            16,
+        )
+    }
+
+    /// Xilinx Kintex UltraScale XCKU115 (published capacities).
+    ///
+    /// 663,360 LUTs / 1,326,720 FFs / 75.9 Mb BRAM (2160 blocks) / no URAM /
+    /// 5520 DSPs. Our designs close timing at 300 MHz, matching Table 2.
+    pub fn xcku115() -> Self {
+        DeviceType::new(
+            "XCKU115",
+            ResourceVec {
+                luts: 663_360,
+                ffs: 1_326_720,
+                bram_kb: 2160 * 36,
+                uram_kb: 0,
+                dsps: 5520,
+            },
+            300.0,
+            10,
+        )
+    }
+
+    /// Part name, e.g. `"XCVU37P"`.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Total device resource capacities.
+    pub fn resources(&self) -> &ResourceVec {
+        &self.inner.resources
+    }
+
+    /// Clock frequency (MHz) designs close timing at on this device.
+    pub fn freq_mhz(&self) -> f64 {
+        self.inner.freq_mhz
+    }
+
+    /// Number of identical virtual-block slots the HS abstraction divides
+    /// this device into.
+    pub fn vblock_slots(&self) -> usize {
+        self.inner.vblock_slots
+    }
+
+    /// Resource capacity of one virtual-block slot (total divided by slot
+    /// count, rounded down component-wise).
+    pub fn slot_resources(&self) -> ResourceVec {
+        let n = self.inner.vblock_slots as u64;
+        let r = &self.inner.resources;
+        ResourceVec {
+            luts: r.luts / n,
+            ffs: r.ffs / n,
+            bram_kb: r.bram_kb / n,
+            uram_kb: r.uram_kb / n,
+            dsps: r.dsps / n,
+        }
+    }
+
+    /// The preferred on-chip memory kind for weight storage on this device:
+    /// URAM when available, BRAM otherwise.
+    pub fn preferred_memory(&self) -> MemoryKind {
+        if self.inner.resources.uram_kb > 0 {
+            MemoryKind::Uram
+        } else {
+            MemoryKind::Bram
+        }
+    }
+}
+
+impl PartialEq for DeviceType {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.name == other.inner.name
+    }
+}
+
+impl Eq for DeviceType {}
+
+impl std::hash::Hash for DeviceType {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.inner.name.hash(state);
+    }
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.inner.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_capacities_match_published_numbers() {
+        let vu = DeviceType::xcvu37p();
+        assert_eq!(vu.resources().luts, 1_303_680);
+        assert_eq!(vu.resources().dsps, 9024);
+        // 70.9 Mb BRAM, 270 Mb URAM.
+        assert!((vu.resources().bram_mb() - 70.9).abs() < 0.2);
+        assert!((vu.resources().uram_mb() - 270.0).abs() < 0.1);
+
+        let ku = DeviceType::xcku115();
+        assert_eq!(ku.resources().luts, 663_360);
+        assert_eq!(ku.resources().uram_kb, 0);
+        assert!((ku.resources().bram_mb() - 75.9).abs() < 0.1);
+    }
+
+    #[test]
+    fn preferred_memory_follows_uram_presence() {
+        assert_eq!(DeviceType::xcvu37p().preferred_memory(), MemoryKind::Uram);
+        assert_eq!(DeviceType::xcku115().preferred_memory(), MemoryKind::Bram);
+    }
+
+    #[test]
+    fn slot_resources_partition_device() {
+        let vu = DeviceType::xcvu37p();
+        let slot = vu.slot_resources();
+        let total = slot.scaled(vu.vblock_slots() as u64);
+        // Rounded-down slots never oversubscribe the device.
+        assert!(total.fits_in(vu.resources()));
+        assert!(slot.dsps > 0 && slot.luts > 0);
+    }
+
+    #[test]
+    fn equality_by_name_and_cheap_clone() {
+        let a = DeviceType::xcvu37p();
+        let b = a.clone();
+        let c = DeviceType::xcvu37p();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(a, DeviceType::xcku115());
+    }
+
+    #[test]
+    fn memory_kind_geometry() {
+        assert_eq!(MemoryKind::Bram.block_words(), 512);
+        assert_eq!(MemoryKind::Uram.block_words(), 4096);
+        assert_eq!(MemoryKind::Bram.block_kb(), 36);
+        assert_eq!(MemoryKind::Uram.block_kb(), 288);
+    }
+}

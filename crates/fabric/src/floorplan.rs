@@ -1,0 +1,189 @@
+//! Clock-region floorplanning.
+//!
+//! The paper leans on manual floorplanning (Fig. 10) to reach 400 MHz on
+//! the XCVU37P: placement quality decides the longest inter-region wire on
+//! the critical path, and with it the achievable frequency. This module
+//! models that mechanism: a device is a grid of clock regions, components
+//! are placed into regions under per-region capacity, and the achievable
+//! frequency falls off with the longest span between communicating
+//! components.
+
+use crate::DeviceType;
+
+/// A grid of clock regions with uniform per-region capacity (in abstract
+/// placement units; one tile engine ~ one unit).
+#[derive(Debug, Clone)]
+pub struct RegionGrid {
+    rows: usize,
+    cols: usize,
+    capacity_per_region: usize,
+}
+
+impl RegionGrid {
+    /// The clock-region grid of a device type. UltraScale+ parts span
+    /// multiple SLRs stacked vertically; we model the XCVU37P as 3x3
+    /// super-regions and the XCKU115 as 2x2.
+    pub fn for_device(device: &DeviceType) -> Self {
+        if device.name() == "XCVU37P" {
+            RegionGrid {
+                rows: 3,
+                cols: 3,
+                capacity_per_region: 3,
+            }
+        } else {
+            RegionGrid {
+                rows: 2,
+                cols: 2,
+                capacity_per_region: 4,
+            }
+        }
+    }
+
+    /// Creates a custom grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the capacity is zero.
+    pub fn new(rows: usize, cols: usize, capacity_per_region: usize) -> Self {
+        assert!(rows > 0 && cols > 0 && capacity_per_region > 0, "degenerate grid");
+        RegionGrid {
+            rows,
+            cols,
+            capacity_per_region,
+        }
+    }
+
+    /// Total placement capacity.
+    pub fn capacity(&self) -> usize {
+        self.rows * self.cols * self.capacity_per_region
+    }
+
+    /// Places `units` communicating components (a hub-and-spoke netlist:
+    /// every component talks to component 0, the control hub).
+    ///
+    /// `optimized` mimics manual floorplanning: components pack into
+    /// regions closest to the hub (spiral order). Unoptimized placement
+    /// scans regions in raster order, as automatic placement without
+    /// guidance tends to.
+    ///
+    /// Returns `None` if the design exceeds the grid's capacity.
+    pub fn place(&self, units: usize, optimized: bool) -> Option<Placement> {
+        if units > self.capacity() {
+            return None;
+        }
+        // Hub region: center for optimized placement, corner for raster.
+        let hub = if optimized {
+            (self.rows / 2, self.cols / 2)
+        } else {
+            (0, 0)
+        };
+        let mut regions: Vec<(usize, usize)> = (0..self.rows)
+            .flat_map(|r| (0..self.cols).map(move |c| (r, c)))
+            .collect();
+        if optimized {
+            // Closest-to-hub first.
+            regions.sort_by_key(|&(r, c)| r.abs_diff(hub.0) + c.abs_diff(hub.1));
+        }
+        let mut assignment = Vec::with_capacity(units);
+        'outer: for region in regions {
+            for _ in 0..self.capacity_per_region {
+                assignment.push(region);
+                if assignment.len() == units {
+                    break 'outer;
+                }
+            }
+        }
+        let max_span = assignment
+            .iter()
+            .map(|&(r, c)| r.abs_diff(hub.0) + c.abs_diff(hub.1))
+            .max()
+            .unwrap_or(0);
+        Some(Placement {
+            assignment,
+            max_span,
+        })
+    }
+
+    /// Frequency retention factor for a placement: each region of span on
+    /// the critical path costs ~7% of the clock (inter-region routing
+    /// delay), floored at 60%.
+    pub fn freq_factor(&self, placement: &Placement) -> f64 {
+        (1.0 - 0.07 * placement.max_span as f64).max(0.6)
+    }
+}
+
+/// A placement of components into clock regions.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    assignment: Vec<(usize, usize)>,
+    max_span: usize,
+}
+
+impl Placement {
+    /// Region of each component, in placement order.
+    pub fn assignment(&self) -> &[(usize, usize)] {
+        &self.assignment
+    }
+
+    /// The longest hub-to-component span, in regions.
+    pub fn max_span(&self) -> usize {
+        self.max_span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_device_scale() {
+        let vu = RegionGrid::for_device(&DeviceType::xcvu37p());
+        let ku = RegionGrid::for_device(&DeviceType::xcku115());
+        assert!(vu.capacity() > ku.capacity() / 2);
+        assert_eq!(vu.capacity(), 27);
+        assert_eq!(ku.capacity(), 16);
+    }
+
+    #[test]
+    fn optimized_placement_shortens_span() {
+        let grid = RegionGrid::new(3, 3, 3);
+        for units in [5usize, 9, 18, 27] {
+            let opt = grid.place(units, true).unwrap();
+            let raster = grid.place(units, false).unwrap();
+            assert!(
+                opt.max_span() <= raster.max_span(),
+                "units={units}: optimized {} vs raster {}",
+                opt.max_span(),
+                raster.max_span()
+            );
+        }
+        // At high occupancy the difference is real.
+        let opt = grid.place(20, true).unwrap();
+        let raster = grid.place(20, false).unwrap();
+        assert!(opt.max_span() < raster.max_span());
+    }
+
+    #[test]
+    fn frequency_falls_with_span() {
+        let grid = RegionGrid::new(3, 3, 3);
+        let small = grid.place(2, true).unwrap();
+        let big = grid.place(27, true).unwrap();
+        assert!(grid.freq_factor(&small) >= grid.freq_factor(&big));
+        assert!(grid.freq_factor(&big) >= 0.6);
+        assert!(grid.freq_factor(&small) <= 1.0);
+    }
+
+    #[test]
+    fn capacity_overflow_rejected() {
+        let grid = RegionGrid::new(2, 2, 1);
+        assert!(grid.place(4, true).is_some());
+        assert!(grid.place(5, true).is_none());
+    }
+
+    #[test]
+    fn assignment_covers_all_units() {
+        let grid = RegionGrid::new(3, 3, 2);
+        let p = grid.place(10, true).unwrap();
+        assert_eq!(p.assignment().len(), 10);
+    }
+}

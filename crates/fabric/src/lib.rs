@@ -1,0 +1,38 @@
+//! # vfpga-fabric — models of heterogeneous FPGA devices and clusters
+//!
+//! The paper evaluates on a custom-built cluster of three Xilinx Virtex
+//! UltraScale+ XCVU37P FPGAs and one Kintex UltraScale XCKU115, attached to a
+//! host over PCIe and to each other over a secondary bidirectional ring.
+//! This crate models exactly the information the virtualization framework
+//! consumes from that hardware:
+//!
+//! * per-device **resource capacities** (LUTs, flip-flops, BRAM, URAM, DSPs)
+//!   and achievable clock frequency ([`DeviceType`], [`ResourceVec`]);
+//! * the **virtual-block floorplan** each device is divided into by the
+//!   underlying HS abstraction ([`DeviceType::vblock_slots`]);
+//! * the **cluster topology**: which devices exist and how they are connected
+//!   ([`Cluster`], [`RingTopology`]).
+//!
+//! Capacities use the devices' published numbers, so "does this soft block
+//! fit" decisions match what the real toolchain would conclude.
+//!
+//! ```
+//! use vfpga_fabric::{Cluster, DeviceType};
+//!
+//! let cluster = Cluster::paper_cluster();
+//! assert_eq!(cluster.len(), 4);
+//! let big = DeviceType::xcvu37p();
+//! let small = DeviceType::xcku115();
+//! assert!(big.resources().dsps > small.resources().dsps);
+//! assert!(small.resources().uram_kb == 0); // KU115 has no URAM
+//! ```
+
+mod cluster;
+mod device;
+mod floorplan;
+mod resources;
+
+pub use cluster::{Cluster, DeviceId, DeviceInstance, RingTopology};
+pub use floorplan::{Placement, RegionGrid};
+pub use device::{DeviceType, MemoryKind};
+pub use resources::ResourceVec;

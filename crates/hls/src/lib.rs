@@ -1,0 +1,417 @@
+//! # vfpga-hls — a parallel-pattern dataflow frontend
+//!
+//! The paper chooses to decompose at the RTL level precisely so that the
+//! framework stays open to "various high-level programming
+//! languages/frameworks, as HLS designs can be converted into RTL designs"
+//! (Section 2.2.1). This crate is that upper entry point: a small dataflow
+//! DSL in the style of the parallel-pattern languages the paper cites
+//! (Lime, Spatial/Plasticine, pattern-based decomposition), lowering
+//! straight to [`vfpga_rtl`] structural designs that the decomposing tool
+//! consumes.
+//!
+//! A dataflow graph is built from four operators:
+//!
+//! * [`Dataflow::stage`] — a sequential kernel (one basic module);
+//! * [`Dataflow::map`] — `n` identical parallel workers (data parallelism);
+//! * [`Dataflow::reduce`] — a binary combine tree (the Fig. 2c composite);
+//! * chaining — consecutive operators form pipelines.
+//!
+//! ```
+//! use vfpga_hls::Dataflow;
+//!
+//! let mut g = Dataflow::new("imgproc");
+//! let input = g.input(256);
+//! let pre = g.stage("normalize", input, 256);
+//! let conv = g.map("conv_tap", pre, 4, 256);
+//! let agg = g.reduce("max_pool", conv, 64);
+//! g.output(agg);
+//! let design = g.lower()?;
+//! assert!(design.module("imgproc_top").is_some());
+//! # Ok::<(), vfpga_rtl::RtlError>(())
+//! ```
+//!
+//! The emitted design has the control/data-path split the decomposing tool
+//! expects: mark `"<name>_ctrl"` as the control module and the soft-block
+//! tree recovers exactly the patterns written in the DSL (the tests
+//! demonstrate the round trip).
+
+use vfpga_rtl::{Design, Instance, ModuleDecl, Port, RtlError};
+
+/// A value flowing through the dataflow graph (the output of one
+/// operator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wire(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Input {
+        width: u32,
+    },
+    Stage {
+        kernel: String,
+        from: Wire,
+        width: u32,
+    },
+    Map {
+        kernel: String,
+        from: Wire,
+        n: usize,
+        width: u32,
+    },
+    Reduce {
+        kernel: String,
+        from: Wire,
+        width: u32,
+    },
+}
+
+/// A dataflow graph under construction.
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    name: String,
+    ops: Vec<Op>,
+    output: Option<Wire>,
+}
+
+impl Dataflow {
+    /// Starts a graph named `name` (module names are prefixed with it).
+    pub fn new(name: impl Into<String>) -> Self {
+        Dataflow {
+            name: name.into(),
+            ops: Vec::new(),
+            output: None,
+        }
+    }
+
+    /// Declares the external input of `width` bits.
+    pub fn input(&mut self, width: u32) -> Wire {
+        self.push(Op::Input { width })
+    }
+
+    /// A sequential kernel consuming `from` and producing `width` bits.
+    pub fn stage(&mut self, kernel: impl Into<String>, from: Wire, width: u32) -> Wire {
+        self.push(Op::Stage {
+            kernel: kernel.into(),
+            from,
+            width,
+        })
+    }
+
+    /// `n` identical parallel workers over `from`; each produces `width`
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn map(&mut self, kernel: impl Into<String>, from: Wire, n: usize, width: u32) -> Wire {
+        assert!(n > 0, "map needs at least one worker");
+        self.push(Op::Map {
+            kernel: kernel.into(),
+            from,
+            n,
+            width,
+        })
+    }
+
+    /// A combine kernel reducing `from` to `width` bits.
+    pub fn reduce(&mut self, kernel: impl Into<String>, from: Wire, width: u32) -> Wire {
+        self.push(Op::Reduce {
+            kernel: kernel.into(),
+            from,
+            width,
+        })
+    }
+
+    /// Declares the graph's external output.
+    pub fn output(&mut self, from: Wire) {
+        self.output = Some(from);
+    }
+
+    fn push(&mut self, op: Op) -> Wire {
+        self.ops.push(op);
+        Wire(self.ops.len() - 1)
+    }
+
+    fn width_of(&self, w: Wire) -> u32 {
+        match &self.ops[w.0] {
+            Op::Input { width }
+            | Op::Stage { width, .. }
+            | Op::Map { width, .. }
+            | Op::Reduce { width, .. } => *width,
+        }
+    }
+
+    /// Lowers the graph to a structural RTL design.
+    ///
+    /// The emitted hierarchy mirrors the generated accelerators:
+    /// `<name>_top` instantiates `<name>_ctrl` (a sequencer leaf) and
+    /// `<name>_datapath` holding the operator instances. Kernels become
+    /// basic modules tagged with their kernel name as behavior, so the
+    /// decomposing tool's equivalence checking sees map workers as
+    /// interchangeable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RtlError`] if the graph is malformed (no output, or a
+    /// kernel name collides with generated module names).
+    pub fn lower(&self) -> Result<Design, RtlError> {
+        let output = self.output.ok_or(RtlError::Parse {
+            line: 0,
+            message: "dataflow graph has no output".into(),
+        })?;
+        let mut d = Design::new();
+        let n = &self.name;
+
+        // Control path: one sequencer leaf.
+        d.add_module(ModuleDecl::leaf(
+            format!("{n}_seq"),
+            vec![Port::input("i", 32), Port::output("o", 32)],
+            "sequencer",
+        ))?;
+        {
+            let mut ctrl = ModuleDecl::new(
+                format!("{n}_ctrl"),
+                vec![Port::input("instr", 32), Port::output("go", 32)],
+            );
+            ctrl.add_instance(Instance::new(
+                "u_seq",
+                format!("{n}_seq"),
+                [("i", "instr"), ("o", "go")],
+            ));
+            d.add_module(ctrl)?;
+        }
+
+        // Kernel leaf modules (deduplicated by kernel name + shape).
+        let mut dp = ModuleDecl::new(
+            format!("{n}_datapath"),
+            vec![
+                Port::input("din", self.width_of(Wire(0))),
+                Port::input("go", 32),
+                Port::output("dout", self.width_of(output)),
+            ],
+        );
+        let mut declared: Vec<String> = Vec::new();
+        let declare_kernel = |d: &mut Design,
+                                  declared: &mut Vec<String>,
+                                  kernel: &str,
+                                  in_w: u32,
+                                  out_w: u32|
+         -> Result<String, RtlError> {
+            let mod_name = format!("{n}_{kernel}_{in_w}x{out_w}");
+            if !declared.contains(&mod_name) {
+                d.add_module(ModuleDecl::leaf(
+                    &mod_name,
+                    vec![Port::input("x", in_w), Port::output("y", out_w)],
+                    kernel,
+                ))?;
+                declared.push(mod_name.clone());
+            }
+            Ok(mod_name)
+        };
+
+        // Net per op output.
+        let net_of = |w: Wire| format!("n{}", w.0);
+        for (i, op) in self.ops.iter().enumerate() {
+            let this = Wire(i);
+            // The output op drives `dout` directly; every other operator
+            // result gets an internal wire.
+            match op {
+                Op::Input { .. } => {}
+                Op::Stage { width, .. } | Op::Map { width, .. } | Op::Reduce { width, .. } => {
+                    if this != output {
+                        dp.add_wire(net_of(this), *width);
+                    }
+                }
+            }
+        }
+        let net_or_port = |w: Wire| -> String {
+            if w == output {
+                "dout".to_string()
+            } else if matches!(self.ops[w.0], Op::Input { .. }) {
+                "din".to_string()
+            } else {
+                net_of(w)
+            }
+        };
+
+        for (i, op) in self.ops.iter().enumerate() {
+            let this = Wire(i);
+            match op {
+                Op::Input { .. } => {}
+                Op::Stage {
+                    kernel,
+                    from,
+                    width,
+                } => {
+                    let m = declare_kernel(&mut d, &mut declared, kernel, self.width_of(*from), *width)?;
+                    dp.add_instance(Instance::new(
+                        format!("u{i}"),
+                        m,
+                        [("x", net_or_port(*from)), ("y", net_or_port(this))],
+                    ));
+                }
+                Op::Map {
+                    kernel,
+                    from,
+                    n: workers,
+                    width,
+                } => {
+                    let m = declare_kernel(&mut d, &mut declared, kernel, self.width_of(*from), *width)?;
+                    for k in 0..*workers {
+                        dp.add_instance(Instance::new(
+                            format!("u{i}_{k}"),
+                            m.clone(),
+                            [("x", net_or_port(*from)), ("y", net_or_port(this))],
+                        ));
+                    }
+                }
+                Op::Reduce {
+                    kernel,
+                    from,
+                    width,
+                } => {
+                    let m = declare_kernel(&mut d, &mut declared, kernel, self.width_of(*from), *width)?;
+                    dp.add_instance(Instance::new(
+                        format!("u{i}"),
+                        m,
+                        [("x", net_or_port(*from)), ("y", net_or_port(this))],
+                    ));
+                }
+            }
+        }
+        d.add_module(dp)?;
+
+        // Top.
+        let mut top = ModuleDecl::new(
+            format!("{n}_top"),
+            vec![
+                Port::input("instr", 32),
+                Port::input("din", self.width_of(Wire(0))),
+                Port::output("dout", self.width_of(output)),
+            ],
+        );
+        top.add_wire("go", 32);
+        top.add_instance(Instance::new(
+            "u_ctrl",
+            format!("{n}_ctrl"),
+            [("instr", "instr"), ("go", "go")],
+        ));
+        top.add_instance(Instance::new(
+            "u_datapath",
+            format!("{n}_datapath"),
+            [("din", "din"), ("go", "go"), ("dout", "dout")],
+        ));
+        d.add_module(top)?;
+        Ok(d)
+    }
+
+    /// The names of the generated top and control modules (inputs to the
+    /// decomposing tool).
+    pub fn module_names(&self) -> (String, String) {
+        (format!("{}_top", self.name), format!("{}_ctrl", self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfpga_core::{decompose, DecomposeOptions, Pattern};
+    use vfpga_fabric::ResourceVec;
+
+    fn unit(_: &vfpga_rtl::FlatNode) -> ResourceVec {
+        ResourceVec {
+            luts: 500,
+            ffs: 500,
+            bram_kb: 2,
+            uram_kb: 0,
+            dsps: 2,
+        }
+    }
+
+    fn sample() -> Dataflow {
+        let mut g = Dataflow::new("acc");
+        let input = g.input(128);
+        let pre = g.stage("pre", input, 128);
+        let workers = g.map("work", pre, 5, 128);
+        let post = g.stage("post", workers, 64);
+        g.output(post);
+        g
+    }
+
+    #[test]
+    fn lowers_to_valid_rtl() {
+        let d = sample().lower().unwrap();
+        assert!(d.module("acc_top").is_some());
+        assert!(d.module("acc_ctrl").is_some());
+        // seq + pre + work*5 + post = 8 leaf instances.
+        assert_eq!(d.leaf_instance_count("acc_top").unwrap(), 8);
+        // Emitted source round-trips through the parser.
+        let reparsed = vfpga_rtl::parse(&d.to_source()).unwrap();
+        assert_eq!(
+            reparsed.canonical_hash("acc_top").unwrap(),
+            d.canonical_hash("acc_top").unwrap()
+        );
+    }
+
+    #[test]
+    fn decomposer_recovers_dsl_patterns() {
+        let g = sample();
+        let d = g.lower().unwrap();
+        let (top, ctrl) = g.module_names();
+        let opts = DecomposeOptions::new(ctrl);
+        let dec = decompose(&d, &top, &opts, &unit).unwrap();
+        // pipeline [pre, data(5 x work), post].
+        let root = dec.tree.root_block();
+        assert_eq!(root.pattern(), Some(Pattern::Pipeline));
+        assert_eq!(root.children().len(), 3);
+        let mid = dec.tree.block(root.children()[1]);
+        assert_eq!(mid.pattern(), Some(Pattern::Data));
+        assert_eq!(mid.children().len(), 5);
+        assert_eq!(dec.stats.control_leaves, 1);
+    }
+
+    #[test]
+    fn reduce_and_chained_maps() {
+        let mut g = Dataflow::new("r");
+        let input = g.input(256);
+        let m = g.map("lane", input, 4, 64);
+        let red = g.reduce("combine", m, 16);
+        g.output(red);
+        let d = g.lower().unwrap();
+        assert_eq!(d.leaf_instance_count("r_top").unwrap(), 6);
+        let (top, ctrl) = g.module_names();
+        let dec = decompose(&d, &top, &DecomposeOptions::new(ctrl), &unit).unwrap();
+        // The four lanes group in data parallelism feeding the combiner.
+        let root = dec.tree.root_block();
+        assert_eq!(root.pattern(), Some(Pattern::Pipeline));
+        let kinds: Vec<_> = root
+            .children()
+            .iter()
+            .map(|&c| dec.tree.block(c).pattern())
+            .collect();
+        assert!(kinds.contains(&Some(Pattern::Data)));
+    }
+
+    #[test]
+    fn kernel_modules_deduplicate() {
+        let mut g = Dataflow::new("d");
+        let input = g.input(32);
+        let a = g.stage("same", input, 32);
+        let b = g.stage("same", a, 32);
+        g.output(b);
+        let d = g.lower().unwrap();
+        // One kernel module, two instances.
+        assert_eq!(
+            d.modules().filter(|m| m.behavior.as_deref() == Some("same")).count(),
+            1
+        );
+        assert_eq!(d.leaf_instance_count("d_top").unwrap(), 3);
+    }
+
+    #[test]
+    fn graph_without_output_is_rejected() {
+        let mut g = Dataflow::new("x");
+        let _ = g.input(8);
+        assert!(g.lower().is_err());
+    }
+}

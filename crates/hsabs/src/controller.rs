@@ -1,0 +1,220 @@
+//! The low-level controller: runtime slot accounting and configuration.
+
+use std::collections::HashMap;
+
+use vfpga_fabric::{Cluster, DeviceId};
+
+use crate::vblock::VirtualBlockImage;
+use crate::HsError;
+
+/// Identifies one live configuration (an image occupying slots on one
+/// device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocationId(pub u64);
+
+#[derive(Debug, Clone)]
+struct Allocation {
+    device: DeviceId,
+    blocks: usize,
+}
+
+/// The HS abstraction's runtime controller (Fig. 7's "low-level
+/// controller"): receives configuration requests from the system controller
+/// and tracks which virtual blocks of which device are occupied.
+///
+/// Spatial sharing falls out directly: images from different accelerators
+/// occupy disjoint slots of the same device.
+#[derive(Debug, Clone)]
+pub struct LowLevelController {
+    total_slots: Vec<usize>,
+    free_slots: Vec<usize>,
+    allocations: HashMap<u64, Allocation>,
+    device_type_names: Vec<String>,
+    next_id: u64,
+}
+
+impl LowLevelController {
+    /// Creates a controller for a cluster with all slots free.
+    pub fn new(cluster: &Cluster) -> Self {
+        let total_slots: Vec<usize> = cluster
+            .iter()
+            .map(|d| d.device_type().vblock_slots())
+            .collect();
+        let device_type_names = cluster
+            .iter()
+            .map(|d| d.device_type().name().to_string())
+            .collect();
+        LowLevelController {
+            free_slots: total_slots.clone(),
+            total_slots,
+            allocations: HashMap::new(),
+            device_type_names,
+            next_id: 0,
+        }
+    }
+
+    /// Free virtual blocks on a device.
+    pub fn slots_free(&self, device: DeviceId) -> usize {
+        self.free_slots[device.0]
+    }
+
+    /// Total virtual blocks on a device.
+    pub fn slots_total(&self, device: DeviceId) -> usize {
+        self.total_slots[device.0]
+    }
+
+    /// Whether `image` could be configured on `device` right now.
+    pub fn can_configure(&self, device: DeviceId, image: &VirtualBlockImage) -> bool {
+        self.device_type_names[device.0] == image.device_type_name()
+            && self.free_slots[device.0] >= image.blocks()
+    }
+
+    /// Configures `image` onto free slots of `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HsError::DeviceTypeMismatch`] if the image targets a
+    /// different device type, or [`HsError::InsufficientSlots`] if too few
+    /// blocks are free.
+    pub fn configure(
+        &mut self,
+        device: DeviceId,
+        image: &VirtualBlockImage,
+    ) -> Result<AllocationId, HsError> {
+        if self.device_type_names[device.0] != image.device_type_name() {
+            return Err(HsError::DeviceTypeMismatch {
+                image: image.device_type_name().to_string(),
+                device: self.device_type_names[device.0].clone(),
+            });
+        }
+        if self.free_slots[device.0] < image.blocks() {
+            return Err(HsError::InsufficientSlots {
+                device,
+                requested: image.blocks(),
+                free: self.free_slots[device.0],
+            });
+        }
+        self.free_slots[device.0] -= image.blocks();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocations.insert(
+            id,
+            Allocation {
+                device,
+                blocks: image.blocks(),
+            },
+        );
+        Ok(AllocationId(id))
+    }
+
+    /// Releases a previous configuration, freeing its slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HsError::UnknownAllocation`] for ids never issued or
+    /// already released.
+    pub fn release(&mut self, id: AllocationId) -> Result<(), HsError> {
+        let alloc = self
+            .allocations
+            .remove(&id.0)
+            .ok_or(HsError::UnknownAllocation(id.0))?;
+        self.free_slots[alloc.device.0] += alloc.blocks;
+        Ok(())
+    }
+
+    /// Number of live allocations across the cluster.
+    pub fn live_allocations(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Fraction of all slots currently occupied, cluster-wide.
+    pub fn occupancy(&self) -> f64 {
+        let total: usize = self.total_slots.iter().sum();
+        let free: usize = self.free_slots.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            (total - free) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::HsCompiler;
+    use vfpga_fabric::{DeviceType, ResourceVec};
+
+    fn image_for(device_type: &DeviceType, dsps: u64) -> VirtualBlockImage {
+        HsCompiler::default()
+            .compile(
+                "img",
+                &ResourceVec {
+                    luts: 10_000,
+                    ffs: 10_000,
+                    bram_kb: 100,
+                    uram_kb: 0,
+                    dsps,
+                },
+                device_type,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn configure_and_release_track_slots() {
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        let vu = DeviceType::xcvu37p();
+        let total = ctl.slots_free(DeviceId(0));
+        let img = image_for(&vu, 1000); // needs 2 slots (564 dsps/slot)
+        let blocks = img.blocks();
+        assert!(blocks >= 2);
+        let a = ctl.configure(DeviceId(0), &img).unwrap();
+        assert_eq!(ctl.slots_free(DeviceId(0)), total - blocks);
+        assert_eq!(ctl.live_allocations(), 1);
+        ctl.release(a).unwrap();
+        assert_eq!(ctl.slots_free(DeviceId(0)), total);
+        assert!(ctl.release(a).is_err());
+    }
+
+    #[test]
+    fn multiple_tenants_share_one_device() {
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        let vu = DeviceType::xcvu37p();
+        let img = image_for(&vu, 100); // 1 slot each
+        let mut allocs = Vec::new();
+        for _ in 0..ctl.slots_total(DeviceId(1)) {
+            allocs.push(ctl.configure(DeviceId(1), &img).unwrap());
+        }
+        // Device is now full.
+        let err = ctl.configure(DeviceId(1), &img).unwrap_err();
+        assert!(matches!(err, HsError::InsufficientSlots { .. }));
+        // Freeing one tenant admits the next.
+        ctl.release(allocs.pop().unwrap()).unwrap();
+        assert!(ctl.configure(DeviceId(1), &img).is_ok());
+    }
+
+    #[test]
+    fn wrong_device_type_rejected() {
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        let img = image_for(&DeviceType::xcvu37p(), 100);
+        // Device 3 is the XCKU115.
+        let err = ctl.configure(DeviceId(3), &img).unwrap_err();
+        assert!(matches!(err, HsError::DeviceTypeMismatch { .. }));
+        assert!(!ctl.can_configure(DeviceId(3), &img));
+        assert!(ctl.can_configure(DeviceId(0), &img));
+    }
+
+    #[test]
+    fn occupancy_reflects_allocations() {
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        assert_eq!(ctl.occupancy(), 0.0);
+        let img = image_for(&DeviceType::xcvu37p(), 100);
+        ctl.configure(DeviceId(0), &img).unwrap();
+        assert!(ctl.occupancy() > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! The latency-insensitive interface cost model.
+
+/// Cost model of ViTAL's latency-insensitive inter-block interfaces.
+///
+/// Every signal crossing a virtual-block boundary goes through an elastic
+/// interface (a small relay-station FIFO), adding a fixed number of cycles.
+/// The paper attributes the marginal 3–8% latency overhead of Table 4 to
+/// exactly these interfaces, and credits its pattern-aware partitioner with
+/// keeping the number of crossings on the critical path small by never
+/// splitting a SIMD unit's pipelined data path across virtual blocks
+/// (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterfaceModel {
+    /// Cycles added per virtual-block boundary crossing.
+    pub cycles_per_crossing: u64,
+}
+
+impl Default for InterfaceModel {
+    /// Eight cycles per crossing: a four-deep elastic buffer on each side.
+    fn default() -> Self {
+        InterfaceModel {
+            cycles_per_crossing: 8,
+        }
+    }
+}
+
+impl InterfaceModel {
+    /// Total added cycles for a path crossing `crossings` boundaries.
+    pub fn overhead_cycles(&self, crossings: usize) -> u64 {
+        self.cycles_per_crossing * crossings as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_linear_in_crossings() {
+        let m = InterfaceModel::default();
+        assert_eq!(m.overhead_cycles(0), 0);
+        assert_eq!(m.overhead_cycles(3), 3 * m.cycles_per_crossing);
+    }
+}

@@ -1,0 +1,180 @@
+//! Virtual block geometry and compiled images.
+
+use vfpga_fabric::{DeviceType, ResourceVec};
+
+/// The virtual-block geometry of one device type: how many identical slots
+/// the device is divided into and what each offers.
+///
+/// ViTAL divides every FPGA of a type into identical virtual blocks so a
+/// compiled image is position-independent; the slot count and per-slot
+/// resources come from the device catalog.
+#[derive(Debug, Clone)]
+pub struct VirtualBlockSpec {
+    device_type: DeviceType,
+    slots: usize,
+    slot_resources: ResourceVec,
+}
+
+impl VirtualBlockSpec {
+    /// The geometry for a device type.
+    pub fn for_device(device_type: &DeviceType) -> Self {
+        VirtualBlockSpec {
+            slots: device_type.vblock_slots(),
+            slot_resources: device_type.slot_resources(),
+            device_type: device_type.clone(),
+        }
+    }
+
+    /// The device type this geometry belongs to.
+    pub fn device_type(&self) -> &DeviceType {
+        &self.device_type
+    }
+
+    /// Number of virtual-block slots per device.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Resources offered by one slot.
+    pub fn slot_resources(&self) -> &ResourceVec {
+        &self.slot_resources
+    }
+
+    /// The minimum number of slots needed to hold `demand`, or `None` if
+    /// the whole device is not enough (or a required resource is absent).
+    pub fn blocks_for(&self, demand: &ResourceVec) -> Option<usize> {
+        let util = demand.utilization_of(&self.slot_resources.scaled(self.slots as u64));
+        if util > 1.0 {
+            return None;
+        }
+        let per_slot = demand.utilization_of(&self.slot_resources);
+        if per_slot.is_infinite() {
+            return None; // demands a resource the device lacks entirely
+        }
+        Some((per_slot.ceil() as usize).clamp(1, self.slots))
+    }
+}
+
+/// A compiled virtual-block image: the result of mapping one soft block
+/// onto the HS abstraction of one device type.
+///
+/// Images are device-*type* specific but device-*instance* independent; the
+/// low-level controller can configure them onto any free slots of any
+/// device of that type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualBlockImage {
+    name: String,
+    device_type_name: String,
+    blocks: usize,
+    resources: ResourceVec,
+    freq_mhz: f64,
+}
+
+impl VirtualBlockImage {
+    pub(crate) fn new(
+        name: String,
+        device_type_name: String,
+        blocks: usize,
+        resources: ResourceVec,
+        freq_mhz: f64,
+    ) -> Self {
+        VirtualBlockImage {
+            name,
+            device_type_name,
+            blocks,
+            resources,
+            freq_mhz,
+        }
+    }
+
+    /// The compiled design's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name of the device type the image targets.
+    pub fn device_type_name(&self) -> &str {
+        &self.device_type_name
+    }
+
+    /// Number of virtual blocks the image occupies.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Resources consumed by the image.
+    pub fn resources(&self) -> &ResourceVec {
+        &self.resources
+    }
+
+    /// Clock frequency of the image (the device type's frequency).
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_mhz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_device_catalog() {
+        let vu = DeviceType::xcvu37p();
+        let spec = VirtualBlockSpec::for_device(&vu);
+        assert_eq!(spec.slots(), vu.vblock_slots());
+        assert!(spec.slot_resources().dsps > 0);
+    }
+
+    #[test]
+    fn blocks_for_rounds_up_on_binding_resource() {
+        let ku = DeviceType::xcku115();
+        let spec = VirtualBlockSpec::for_device(&ku);
+        let slot = *spec.slot_resources();
+        // Exactly one slot.
+        assert_eq!(spec.blocks_for(&slot), Some(1));
+        // Slightly more than one slot of DSPs -> two blocks.
+        let mut demand = slot;
+        demand.dsps += 1;
+        assert_eq!(spec.blocks_for(&demand), Some(2));
+    }
+
+    #[test]
+    fn whole_device_overflow_rejected() {
+        let ku = DeviceType::xcku115();
+        let spec = VirtualBlockSpec::for_device(&ku);
+        let demand = ResourceVec {
+            dsps: ku.resources().dsps + 1,
+            ..*ku.resources()
+        };
+        assert_eq!(spec.blocks_for(&demand), None);
+    }
+
+    #[test]
+    fn missing_resource_rejected() {
+        // URAM demand on a device with no URAM.
+        let ku = DeviceType::xcku115();
+        let spec = VirtualBlockSpec::for_device(&ku);
+        let demand = ResourceVec {
+            luts: 10,
+            ffs: 10,
+            bram_kb: 0,
+            uram_kb: 288,
+            dsps: 0,
+        };
+        assert_eq!(spec.blocks_for(&demand), None);
+    }
+
+    #[test]
+    fn tiny_demand_takes_one_block() {
+        let vu = DeviceType::xcvu37p();
+        let spec = VirtualBlockSpec::for_device(&vu);
+        let demand = ResourceVec {
+            luts: 1,
+            ffs: 1,
+            bram_kb: 0,
+            uram_kb: 0,
+            dsps: 0,
+        };
+        assert_eq!(spec.blocks_for(&demand), Some(1));
+    }
+}

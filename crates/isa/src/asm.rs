@@ -1,0 +1,229 @@
+//! Textual assembler and disassembler.
+//!
+//! The format is one instruction per line, mirroring [`Instruction`]'s
+//! `Display` output, with `;` or `#` comments:
+//!
+//! ```text
+//! ; GRU gate computation (one timestep)
+//! vload v0, 0          ; x_t
+//! mvmul v1, m0, v0     ; W_z * x_t
+//! mvmul v2, m1, v3     ; U_z * h_{t-1}
+//! vadd v1, v1, v2
+//! sigmoid v1, v1       ; z_t
+//! halt
+//! ```
+
+use crate::inst::{Instruction, MReg, VReg};
+use crate::program::Program;
+use crate::IsaError;
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::Asm`] with the offending line for syntax errors.
+pub fn assemble(source: &str) -> Result<Program, IsaError> {
+    let mut insts = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw
+            .split([';', '#'])
+            .next()
+            .unwrap_or("")
+            .trim();
+        if text.is_empty() {
+            continue;
+        }
+        insts.push(parse_line(text, line)?);
+    }
+    Ok(Program::new(insts))
+}
+
+/// Disassembles a program back to source text (one instruction per line).
+pub fn disassemble(program: &Program) -> String {
+    program.to_string()
+}
+
+fn parse_line(text: &str, line: usize) -> Result<Instruction, IsaError> {
+    let err = |message: String| IsaError::Asm { line, message };
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    let want = |n: usize| -> Result<(), IsaError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "`{mnemonic}` expects {n} operand(s), found {}",
+                operands.len()
+            )))
+        }
+    };
+
+    let vreg = |s: &str| -> Result<VReg, IsaError> {
+        s.strip_prefix('v')
+            .and_then(|d| d.parse::<u8>().ok())
+            .map(VReg)
+            .ok_or_else(|| err(format!("invalid vector register `{s}`")))
+    };
+    let mreg = |s: &str| -> Result<MReg, IsaError> {
+        s.strip_prefix('m')
+            .and_then(|d| d.parse::<u16>().ok())
+            .map(MReg)
+            .ok_or_else(|| err(format!("invalid matrix register `{s}`")))
+    };
+    let addr = |s: &str| -> Result<u32, IsaError> {
+        let parsed = if let Some(hex) = s.strip_prefix("0x") {
+            u32::from_str_radix(hex, 16).ok()
+        } else {
+            s.parse::<u32>().ok()
+        };
+        parsed.ok_or_else(|| err(format!("invalid address `{s}`")))
+    };
+
+    use Instruction::*;
+    let inst = match mnemonic {
+        "vload" => {
+            want(2)?;
+            VLoad {
+                dst: vreg(operands[0])?,
+                addr: addr(operands[1])?,
+            }
+        }
+        "vstore" => {
+            want(2)?;
+            VStore {
+                src: vreg(operands[0])?,
+                addr: addr(operands[1])?,
+            }
+        }
+        "mvmul" => {
+            want(3)?;
+            MvMul {
+                dst: vreg(operands[0])?,
+                mat: mreg(operands[1])?,
+                src: vreg(operands[2])?,
+            }
+        }
+        "vadd" | "vsub" | "vmul" => {
+            want(3)?;
+            let dst = vreg(operands[0])?;
+            let a = vreg(operands[1])?;
+            let b = vreg(operands[2])?;
+            match mnemonic {
+                "vadd" => VAdd { dst, a, b },
+                "vsub" => VSub { dst, a, b },
+                _ => VMul { dst, a, b },
+            }
+        }
+        "vmov" | "sigmoid" | "tanh" | "relu" => {
+            want(2)?;
+            let dst = vreg(operands[0])?;
+            let src = vreg(operands[1])?;
+            match mnemonic {
+                "vmov" => VMov { dst, src },
+                "sigmoid" => Sigmoid { dst, src },
+                "tanh" => Tanh { dst, src },
+                _ => Relu { dst, src },
+            }
+        }
+        "vzero" => {
+            want(1)?;
+            VZero {
+                dst: vreg(operands[0])?,
+            }
+        }
+        "vone" => {
+            want(1)?;
+            VOne {
+                dst: vreg(operands[0])?,
+            }
+        }
+        "nop" => {
+            want(0)?;
+            Nop
+        }
+        "halt" => {
+            want(0)?;
+            Halt
+        }
+        other => return Err(err(format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Instruction as I, MReg, VReg};
+
+    #[test]
+    fn assembles_with_comments_and_blanks() {
+        let p = assemble(
+            "; header comment\n\
+             \n\
+             vload v0, 0x10   ; load input\n\
+             mvmul v1, m2, v0 # tile multiply\n\
+             halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p[0],
+            I::VLoad {
+                dst: VReg(0),
+                addr: 16
+            }
+        );
+        assert_eq!(
+            p[1],
+            I::MvMul {
+                dst: VReg(1),
+                mat: MReg(2),
+                src: VReg(0)
+            }
+        );
+    }
+
+    #[test]
+    fn round_trip_disassemble_assemble() {
+        let p = assemble(
+            "vload v0, 0\nvone v9\nvadd v1, v0, v9\nsigmoid v2, v1\ntanh v3, v2\n\
+             relu v4, v3\nvmul v5, v4, v4\nvsub v6, v5, v0\nvmov v7, v6\nvzero v8\n\
+             vstore v7, 42\nnop\nhalt\n",
+        )
+        .unwrap();
+        let text = disassemble(&p);
+        let q = assemble(&text).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = assemble("vload v0, 0\nbogus v1\n").unwrap_err();
+        match err {
+            IsaError::Asm { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        assert!(assemble("vadd v0, v1\n").is_err());
+        assert!(assemble("halt v0\n").is_err());
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(assemble("vload x0, 0\n").is_err());
+        assert!(assemble("vload v300, 0\n").is_err());
+        assert!(assemble("mvmul v0, v1, v2\n").is_err());
+    }
+}

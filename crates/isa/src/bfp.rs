@@ -1,0 +1,324 @@
+//! Block floating point (BFP): a shared exponent over narrow integer
+//! mantissas.
+//!
+//! The BrainWave-like accelerator uses BFP for matrix-vector multiplication
+//! "to increase the computing capability" (Section 3): the matrix and the
+//! input vector are split into blocks, each block shares one exponent, and
+//! the expensive inner loop becomes narrow *integer* multiply-accumulate —
+//! the operation DSP slices execute natively. This module implements the
+//! format and the exact integer dot product the tile engines compute.
+
+use crate::F16;
+
+/// A block floating point format: the number of mantissa bits (including
+/// sign) and the block size sharing one exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BfpFormat {
+    /// Total mantissa bits including the sign bit (2..=16).
+    pub mantissa_bits: u32,
+    /// Number of values sharing one exponent (at least 1).
+    pub block_size: usize,
+}
+
+impl BfpFormat {
+    /// The accelerator's default format: 9-bit mantissas over blocks of 16,
+    /// comparable to the ms-fp9 format described for BrainWave.
+    pub const MS_FP9: BfpFormat = BfpFormat {
+        mantissa_bits: 9,
+        block_size: 16,
+    };
+
+    /// Creates a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mantissa_bits` is outside `2..=16` or `block_size` is zero.
+    pub fn new(mantissa_bits: u32, block_size: usize) -> Self {
+        assert!(
+            (2..=16).contains(&mantissa_bits),
+            "mantissa bits must be in 2..=16, got {mantissa_bits}"
+        );
+        assert!(block_size > 0, "block size must be positive");
+        BfpFormat {
+            mantissa_bits,
+            block_size,
+        }
+    }
+
+    /// Largest representable mantissa magnitude: `2^(mantissa_bits-1) - 1`.
+    pub fn max_mantissa(&self) -> i32 {
+        (1 << (self.mantissa_bits - 1)) - 1
+    }
+
+    /// Worst-case relative quantization error versus the block maximum:
+    /// `2^-(mantissa_bits-1)`.
+    pub fn quantization_step(&self) -> f64 {
+        2.0f64.powi(-((self.mantissa_bits - 1) as i32))
+    }
+
+    /// Quantizes a slice of values into one BFP block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != block_size`.
+    pub fn quantize(&self, values: &[f32]) -> BfpBlock {
+        assert_eq!(
+            values.len(),
+            self.block_size,
+            "expected {} values, got {}",
+            self.block_size,
+            values.len()
+        );
+        let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if max_abs == 0.0 || !max_abs.is_finite() {
+            return BfpBlock {
+                exponent: 0,
+                mantissas: vec![0; values.len()],
+                format: *self,
+            };
+        }
+        // Choose E so that |x| / 2^E < 1 strictly for every x in the block
+        // (max_abs / 2^E lands in [0.5, 1)), keeping the largest mantissa
+        // representable without clamping.
+        let exponent = max_abs.log2().floor() as i32 + 1;
+        let scale = 2.0f64.powi(exponent);
+        let steps = self.max_mantissa() as f64 + 1.0; // 2^(mb-1)
+        let limit = self.max_mantissa();
+        let mantissas = values
+            .iter()
+            .map(|&v| {
+                let m = ((f64::from(v) / scale) * steps).round() as i32;
+                m.clamp(-limit - 1, limit) as i16
+            })
+            .collect();
+        BfpBlock {
+            exponent,
+            mantissas,
+            format: *self,
+        }
+    }
+}
+
+impl Default for BfpFormat {
+    fn default() -> Self {
+        BfpFormat::MS_FP9
+    }
+}
+
+/// One quantized block: integer mantissas sharing one exponent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfpBlock {
+    exponent: i32,
+    mantissas: Vec<i16>,
+    format: BfpFormat,
+}
+
+impl BfpBlock {
+    /// The shared exponent.
+    pub fn exponent(&self) -> i32 {
+        self.exponent
+    }
+
+    /// The integer mantissas.
+    pub fn mantissas(&self) -> &[i16] {
+        &self.mantissas
+    }
+
+    /// The format this block was quantized with.
+    pub fn format(&self) -> BfpFormat {
+        self.format
+    }
+
+    /// Dequantizes the block back to `f32` values.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let steps = self.format.max_mantissa() as f64 + 1.0;
+        let scale = 2.0f64.powi(self.exponent);
+        self.mantissas
+            .iter()
+            .map(|&m| ((f64::from(m) / steps) * scale) as f32)
+            .collect()
+    }
+
+    /// Exact integer dot product of two blocks, as the tile engine's MAC
+    /// array computes it: mantissa products accumulate in a wide integer
+    /// (no rounding), then one floating-point scale at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks have different lengths or formats.
+    pub fn dot(&self, other: &BfpBlock) -> f64 {
+        assert_eq!(
+            self.mantissas.len(),
+            other.mantissas.len(),
+            "block length mismatch"
+        );
+        assert_eq!(self.format, other.format, "block format mismatch");
+        let acc: i64 = self
+            .mantissas
+            .iter()
+            .zip(&other.mantissas)
+            .map(|(&a, &b)| i64::from(a) * i64::from(b))
+            .sum();
+        let steps = self.format.max_mantissa() as f64 + 1.0;
+        acc as f64 * 2.0f64.powi(self.exponent + other.exponent) / (steps * steps)
+    }
+}
+
+/// A vector quantized block-by-block, zero-padded to a whole number of
+/// blocks — the layout the accelerator's FP16-to-BFP converter produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfpVector {
+    blocks: Vec<BfpBlock>,
+    len: usize,
+}
+
+impl BfpVector {
+    /// Quantizes `values` (given as f16, as they arrive from the vector
+    /// register file) into consecutive BFP blocks.
+    pub fn from_f16(format: BfpFormat, values: &[F16]) -> Self {
+        let floats: Vec<f32> = values.iter().map(|v| v.to_f32()).collect();
+        Self::from_f32(format, &floats)
+    }
+
+    /// Quantizes `values` into consecutive BFP blocks, zero-padding the
+    /// final partial block.
+    pub fn from_f32(format: BfpFormat, values: &[f32]) -> Self {
+        let mut blocks = Vec::new();
+        for chunk in values.chunks(format.block_size) {
+            let mut padded = chunk.to_vec();
+            padded.resize(format.block_size, 0.0);
+            blocks.push(format.quantize(&padded));
+        }
+        BfpVector {
+            blocks,
+            len: values.len(),
+        }
+    }
+
+    /// The quantized blocks.
+    pub fn blocks(&self) -> &[BfpBlock] {
+        &self.blocks
+    }
+
+    /// The original (unpadded) element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dot product with another BFP vector of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &BfpVector) -> f64 {
+        assert_eq!(self.len, other.len, "vector length mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| a.dot(b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_dequantize_bounded_error() {
+        let fmt = BfpFormat::new(9, 16);
+        let values: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.37).collect();
+        let block = fmt.quantize(&values);
+        let back = block.dequantize();
+        let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let bound = max_abs as f64 * fmt.quantization_step();
+        for (orig, deq) in values.iter().zip(&back) {
+            assert!(
+                (f64::from(*orig) - f64::from(*deq)).abs() <= bound,
+                "{orig} vs {deq} exceeds {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_block_is_exact() {
+        let fmt = BfpFormat::new(9, 4);
+        let block = fmt.quantize(&[0.0; 4]);
+        assert_eq!(block.dequantize(), vec![0.0; 4]);
+        assert_eq!(block.exponent(), 0);
+    }
+
+    #[test]
+    fn power_of_two_values_exact() {
+        let fmt = BfpFormat::new(9, 4);
+        let values = [1.0, 0.5, -0.25, 0.125];
+        let back = fmt.quantize(&values).dequantize();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn dot_product_close_to_f64_reference() {
+        let fmt = BfpFormat::MS_FP9;
+        let a: Vec<f32> = (0..64).map(|i| ((i * 37) % 17) as f32 / 17.0 - 0.5).collect();
+        let b: Vec<f32> = (0..64).map(|i| ((i * 53) % 13) as f32 / 13.0 - 0.5).collect();
+        let va = BfpVector::from_f32(fmt, &a);
+        let vb = BfpVector::from_f32(fmt, &b);
+        let reference: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| f64::from(x) * f64::from(y))
+            .sum();
+        let got = va.dot(&vb);
+        // Error per element bounded by ~2 * 2^-8 * |a||b|; with 64 elements
+        // of magnitude <= 0.5 the absolute error stays well under 0.15.
+        assert!(
+            (got - reference).abs() < 0.15,
+            "got {got}, reference {reference}"
+        );
+    }
+
+    #[test]
+    fn partial_block_zero_padded() {
+        let fmt = BfpFormat::new(9, 16);
+        let v = BfpVector::from_f32(fmt, &[1.0; 20]);
+        assert_eq!(v.blocks().len(), 2);
+        assert_eq!(v.len(), 20);
+        // Padding contributes nothing to dot products.
+        let w = BfpVector::from_f32(fmt, &[1.0; 20]);
+        assert!((v.dot(&w) - 20.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn mantissas_respect_bit_budget() {
+        let fmt = BfpFormat::new(5, 8);
+        let values: Vec<f32> = (0..8).map(|i| (i as f32).sin() * 100.0).collect();
+        let block = fmt.quantize(&values);
+        for &m in block.mantissas() {
+            assert!(i32::from(m) <= fmt.max_mantissa());
+            assert!(i32::from(m) >= -fmt.max_mantissa() - 1);
+        }
+    }
+
+    #[test]
+    fn f16_entry_point_matches_f32() {
+        let fmt = BfpFormat::new(9, 4);
+        let halves: Vec<F16> = [0.5f32, -1.0, 0.25, 2.0]
+            .iter()
+            .map(|&x| F16::from_f32(x))
+            .collect();
+        let via_f16 = BfpVector::from_f16(fmt, &halves);
+        let via_f32 = BfpVector::from_f32(fmt, &[0.5, -1.0, 0.25, 2.0]);
+        assert_eq!(via_f16, via_f32);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 16 values")]
+    fn wrong_block_size_panics() {
+        BfpFormat::MS_FP9.quantize(&[1.0; 8]);
+    }
+}

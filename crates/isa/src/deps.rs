@@ -1,0 +1,339 @@
+//! Instruction dependency analysis.
+//!
+//! The scale-out optimization reorders instructions "under the dependency
+//! constraint to maximally overlap the communication and computation"
+//! (Section 2.3). This module computes the dependency graph that constrains
+//! any such reordering: register RAW/WAR/WAW hazards plus exact per-slot
+//! memory ordering (DRAM addresses are static in this ISA, so alias analysis
+//! is exact).
+
+use std::collections::HashMap;
+
+use crate::inst::Instruction;
+
+/// The kind of a dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write through a vector register.
+    Raw,
+    /// Write-after-read through a vector register.
+    War,
+    /// Write-after-write through a vector register.
+    Waw,
+    /// Ordering through a DRAM slot (load/store on the same address).
+    Mem,
+    /// Ordering against a `halt` (everything precedes program end).
+    Control,
+}
+
+/// One dependency edge: instruction `from` must execute before `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DepEdge {
+    /// Earlier instruction index.
+    pub from: usize,
+    /// Later instruction index.
+    pub to: usize,
+    /// Why the order is required.
+    pub kind: DepKind,
+}
+
+/// The dependency graph of a program: a DAG over instruction indices in
+/// original program order (edges always point from lower to higher index).
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    len: usize,
+    edges: Vec<DepEdge>,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of an instruction sequence.
+    pub fn build(insts: &[Instruction]) -> Self {
+        let mut edges = Vec::new();
+        // Register hazards.
+        let mut last_def: HashMap<u8, usize> = HashMap::new();
+        let mut uses_since_def: HashMap<u8, Vec<usize>> = HashMap::new();
+        // Memory hazards, exact per slot.
+        let mut last_store: HashMap<u32, usize> = HashMap::new();
+        let mut loads_since_store: HashMap<u32, Vec<usize>> = HashMap::new();
+
+        for (i, inst) in insts.iter().enumerate() {
+            if matches!(inst, Instruction::Halt) {
+                // A halt is a full barrier: it must stay after everything
+                // before it.
+                for j in 0..i {
+                    edges.push(DepEdge {
+                        from: j,
+                        to: i,
+                        kind: DepKind::Control,
+                    });
+                }
+                continue;
+            }
+            for r in inst.uses() {
+                if let Some(&d) = last_def.get(&r.0) {
+                    edges.push(DepEdge {
+                        from: d,
+                        to: i,
+                        kind: DepKind::Raw,
+                    });
+                }
+            }
+            if let Some(addr) = inst.mem_read() {
+                if let Some(&s) = last_store.get(&addr) {
+                    edges.push(DepEdge {
+                        from: s,
+                        to: i,
+                        kind: DepKind::Mem,
+                    });
+                }
+                loads_since_store.entry(addr).or_default().push(i);
+            }
+            if let Some(addr) = inst.mem_write() {
+                if let Some(loads) = loads_since_store.get(&addr) {
+                    for &l in loads {
+                        edges.push(DepEdge {
+                            from: l,
+                            to: i,
+                            kind: DepKind::Mem,
+                        });
+                    }
+                }
+                if let Some(&s) = last_store.get(&addr) {
+                    edges.push(DepEdge {
+                        from: s,
+                        to: i,
+                        kind: DepKind::Mem,
+                    });
+                }
+                last_store.insert(addr, i);
+                loads_since_store.insert(addr, Vec::new());
+            }
+            if let Some(d) = inst.defs() {
+                if let Some(readers) = uses_since_def.get(&d.0) {
+                    for &r in readers {
+                        if r != i {
+                            edges.push(DepEdge {
+                                from: r,
+                                to: i,
+                                kind: DepKind::War,
+                            });
+                        }
+                    }
+                }
+                if let Some(&prev) = last_def.get(&d.0) {
+                    edges.push(DepEdge {
+                        from: prev,
+                        to: i,
+                        kind: DepKind::Waw,
+                    });
+                }
+                last_def.insert(d.0, i);
+                uses_since_def.insert(d.0, Vec::new());
+            }
+            // Record uses after handling the def so `vadd v1, v1, v2` does
+            // not produce a spurious WAR on itself.
+            for r in inst.uses() {
+                uses_since_def.entry(r.0).or_default().push(i);
+            }
+        }
+
+        edges.sort_by_key(|e| (e.from, e.to));
+        edges.dedup_by_key(|e| (e.from, e.to, e.kind));
+
+        let mut preds = vec![Vec::new(); insts.len()];
+        let mut succs = vec![Vec::new(); insts.len()];
+        for e in &edges {
+            preds[e.to].push(e.from);
+            succs[e.from].push(e.to);
+        }
+        for v in preds.iter_mut().chain(succs.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        DepGraph {
+            len: insts.len(),
+            edges,
+            preds,
+            succs,
+        }
+    }
+
+    /// Number of instructions covered by the graph.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the graph covers no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All dependency edges.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Indices of instructions that must execute before `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Indices of instructions that must execute after `i`.
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Checks that `order` (a permutation of `0..len`) respects every
+    /// dependency edge — the correctness condition for the reordering tool.
+    pub fn is_valid_order(&self, order: &[usize]) -> bool {
+        if order.len() != self.len {
+            return false;
+        }
+        let mut position = vec![usize::MAX; self.len];
+        for (pos, &idx) in order.iter().enumerate() {
+            if idx >= self.len || position[idx] != usize::MAX {
+                return false; // not a permutation
+            }
+            position[idx] = pos;
+        }
+        self.edges
+            .iter()
+            .all(|e| position[e.from] < position[e.to])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Instruction as I, MReg, VReg};
+
+    fn sample() -> Vec<I> {
+        vec![
+            I::VLoad {
+                dst: VReg(0),
+                addr: 0,
+            }, // 0
+            I::MvMul {
+                dst: VReg(1),
+                mat: MReg(0),
+                src: VReg(0),
+            }, // 1: RAW on v0
+            I::VAdd {
+                dst: VReg(2),
+                a: VReg(1),
+                b: VReg(0),
+            }, // 2: RAW on v1, v0
+            I::VLoad {
+                dst: VReg(0),
+                addr: 1,
+            }, // 3: WAR on v0 (vs 1, 2), WAW vs 0
+            I::VStore {
+                src: VReg(2),
+                addr: 5,
+            }, // 4: RAW on v2
+            I::Halt, // 5: control
+        ]
+    }
+
+    #[test]
+    fn register_hazards_detected() {
+        let g = DepGraph::build(&sample());
+        let has = |from, to, kind| g.edges().contains(&DepEdge { from, to, kind });
+        assert!(has(0, 1, DepKind::Raw));
+        assert!(has(1, 2, DepKind::Raw));
+        assert!(has(0, 2, DepKind::Raw));
+        assert!(has(1, 3, DepKind::War));
+        assert!(has(2, 3, DepKind::War));
+        assert!(has(0, 3, DepKind::Waw));
+        assert!(has(2, 4, DepKind::Raw));
+        assert!(has(4, 5, DepKind::Control));
+    }
+
+    #[test]
+    fn memory_hazards_are_per_slot() {
+        let insts = vec![
+            I::VStore {
+                src: VReg(0),
+                addr: 10,
+            }, // 0
+            I::VLoad {
+                dst: VReg(1),
+                addr: 10,
+            }, // 1: mem RAW
+            I::VLoad {
+                dst: VReg(2),
+                addr: 11,
+            }, // 2: different slot, no edge to 0
+            I::VStore {
+                src: VReg(3),
+                addr: 10,
+            }, // 3: mem WAR vs 1, WAW vs 0
+        ];
+        let g = DepGraph::build(&insts);
+        let pairs: Vec<(usize, usize)> = g.edges().iter().map(|e| (e.from, e.to)).collect();
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 3)));
+        assert!(pairs.contains(&(0, 3)));
+        assert!(!pairs.contains(&(0, 2)));
+        assert!(!pairs.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn original_order_is_always_valid() {
+        let insts = sample();
+        let g = DepGraph::build(&insts);
+        let order: Vec<usize> = (0..insts.len()).collect();
+        assert!(g.is_valid_order(&order));
+    }
+
+    #[test]
+    fn independent_instructions_may_swap() {
+        let insts = vec![
+            I::VLoad {
+                dst: VReg(0),
+                addr: 0,
+            },
+            I::VLoad {
+                dst: VReg(1),
+                addr: 1,
+            },
+        ];
+        let g = DepGraph::build(&insts);
+        assert!(g.is_valid_order(&[1, 0]));
+    }
+
+    #[test]
+    fn dependent_swap_rejected() {
+        let g = DepGraph::build(&sample());
+        // Moving the mvmul before its input load violates the RAW edge.
+        assert!(!g.is_valid_order(&[1, 0, 2, 3, 4, 5]));
+        // Non-permutations are rejected.
+        assert!(!g.is_valid_order(&[0, 0, 2, 3, 4, 5]));
+        assert!(!g.is_valid_order(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn self_read_write_has_no_self_edge() {
+        let insts = vec![
+            I::VZero { dst: VReg(1) },
+            I::VAdd {
+                dst: VReg(1),
+                a: VReg(1),
+                b: VReg(1),
+            },
+        ];
+        let g = DepGraph::build(&insts);
+        assert!(g.edges().iter().all(|e| e.from != e.to));
+        // But the RAW edge from the vzero is present.
+        assert!(g
+            .edges()
+            .contains(&DepEdge {
+                from: 0,
+                to: 1,
+                kind: DepKind::Raw
+            }));
+    }
+}

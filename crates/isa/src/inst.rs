@@ -1,0 +1,291 @@
+//! The instruction set.
+
+use std::fmt;
+
+/// A vector register index.
+///
+/// The accelerator's vector register file holds whole native-length vectors;
+/// one `VReg` names one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u8);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A matrix register index: one preloaded weight tile in the on-chip matrix
+/// memory (BRAM or URAM depending on the device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MReg(pub u16);
+
+impl fmt::Display for MReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One instruction of the BrainWave-like application-specific ISA.
+///
+/// Vector instructions operate on whole native-length vectors. DRAM is
+/// addressed in *vector slots*: address `a` names the `a`-th native vector
+/// in on-board DRAM. The scale-out optimization (Section 2.3 of the paper)
+/// reuses [`Instruction::VStore`]/[`Instruction::VLoad`] on reserved
+/// out-of-range slots for inter-FPGA sends and barrier-synchronized
+/// receives, so no extra opcodes exist for communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Load a vector from DRAM slot `addr` into `dst`.
+    VLoad {
+        /// Destination register.
+        dst: VReg,
+        /// DRAM vector-slot address.
+        addr: u32,
+    },
+    /// Store `src` to DRAM slot `addr`.
+    VStore {
+        /// Source register.
+        src: VReg,
+        /// DRAM vector-slot address.
+        addr: u32,
+    },
+    /// Matrix-vector multiply: `dst = M[mat] * src`, computed in block
+    /// floating point by the tile engines.
+    MvMul {
+        /// Destination register.
+        dst: VReg,
+        /// Weight tile.
+        mat: MReg,
+        /// Input vector.
+        src: VReg,
+    },
+    /// Element-wise addition in f16: `dst = a + b`.
+    VAdd {
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// Element-wise subtraction in f16: `dst = a - b`.
+    VSub {
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// Element-wise (Hadamard) multiplication in f16: `dst = a * b`.
+    VMul {
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// Copy a vector register.
+    VMov {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// Fill `dst` with zeros.
+    VZero {
+        /// Destination register.
+        dst: VReg,
+    },
+    /// Fill `dst` with ones.
+    VOne {
+        /// Destination register.
+        dst: VReg,
+    },
+    /// Logistic sigmoid applied element-wise in f16.
+    Sigmoid {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// Hyperbolic tangent applied element-wise in f16.
+    Tanh {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// Rectified linear unit applied element-wise in f16.
+    Relu {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+impl Instruction {
+    /// The vector register this instruction writes, if any.
+    pub fn defs(&self) -> Option<VReg> {
+        use Instruction::*;
+        match *self {
+            VLoad { dst, .. }
+            | MvMul { dst, .. }
+            | VAdd { dst, .. }
+            | VSub { dst, .. }
+            | VMul { dst, .. }
+            | VMov { dst, .. }
+            | VZero { dst }
+            | VOne { dst }
+            | Sigmoid { dst, .. }
+            | Tanh { dst, .. }
+            | Relu { dst, .. } => Some(dst),
+            VStore { .. } | Nop | Halt => None,
+        }
+    }
+
+    /// The vector registers this instruction reads (0, 1, or 2).
+    pub fn uses(&self) -> impl Iterator<Item = VReg> {
+        use Instruction::*;
+        let (a, b) = match *self {
+            VStore { src, .. } => (Some(src), None),
+            MvMul { src, .. } => (Some(src), None),
+            VAdd { a, b, .. } | VSub { a, b, .. } | VMul { a, b, .. } => (Some(a), Some(b)),
+            VMov { src, .. } | Sigmoid { src, .. } | Tanh { src, .. } | Relu { src, .. } => {
+                (Some(src), None)
+            }
+            VLoad { .. } | VZero { .. } | VOne { .. } | Nop | Halt => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// The matrix register this instruction reads, if any.
+    pub fn matrix(&self) -> Option<MReg> {
+        match *self {
+            Instruction::MvMul { mat, .. } => Some(mat),
+            _ => None,
+        }
+    }
+
+    /// The DRAM slot this instruction reads, if any.
+    pub fn mem_read(&self) -> Option<u32> {
+        match *self {
+            Instruction::VLoad { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// The DRAM slot this instruction writes, if any.
+    pub fn mem_write(&self) -> Option<u32> {
+        match *self {
+            Instruction::VStore { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a matrix-vector multiplication (the instruction class
+    /// executed by the tile engines rather than the MFUs).
+    pub fn is_mvm(&self) -> bool {
+        matches!(self, Instruction::MvMul { .. })
+    }
+
+    /// The mnemonic for this instruction.
+    pub fn mnemonic(&self) -> &'static str {
+        use Instruction::*;
+        match self {
+            VLoad { .. } => "vload",
+            VStore { .. } => "vstore",
+            MvMul { .. } => "mvmul",
+            VAdd { .. } => "vadd",
+            VSub { .. } => "vsub",
+            VMul { .. } => "vmul",
+            VMov { .. } => "vmov",
+            VZero { .. } => "vzero",
+            VOne { .. } => "vone",
+            Sigmoid { .. } => "sigmoid",
+            Tanh { .. } => "tanh",
+            Relu { .. } => "relu",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            VLoad { dst, addr } => write!(f, "vload {dst}, {addr}"),
+            VStore { src, addr } => write!(f, "vstore {src}, {addr}"),
+            MvMul { dst, mat, src } => write!(f, "mvmul {dst}, {mat}, {src}"),
+            VAdd { dst, a, b } => write!(f, "vadd {dst}, {a}, {b}"),
+            VSub { dst, a, b } => write!(f, "vsub {dst}, {a}, {b}"),
+            VMul { dst, a, b } => write!(f, "vmul {dst}, {a}, {b}"),
+            VMov { dst, src } => write!(f, "vmov {dst}, {src}"),
+            VZero { dst } => write!(f, "vzero {dst}"),
+            VOne { dst } => write!(f, "vone {dst}"),
+            Sigmoid { dst, src } => write!(f, "sigmoid {dst}, {src}"),
+            Tanh { dst, src } => write!(f, "tanh {dst}, {src}"),
+            Relu { dst, src } => write!(f, "relu {dst}, {src}"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Instruction::VAdd {
+            dst: VReg(3),
+            a: VReg(1),
+            b: VReg(2),
+        };
+        assert_eq!(i.defs(), Some(VReg(3)));
+        assert_eq!(i.uses().collect::<Vec<_>>(), [VReg(1), VReg(2)]);
+
+        let s = Instruction::VStore {
+            src: VReg(5),
+            addr: 7,
+        };
+        assert_eq!(s.defs(), None);
+        assert_eq!(s.uses().collect::<Vec<_>>(), [VReg(5)]);
+        assert_eq!(s.mem_write(), Some(7));
+        assert_eq!(s.mem_read(), None);
+
+        assert_eq!(Instruction::Halt.uses().count(), 0);
+    }
+
+    #[test]
+    fn matrix_operand() {
+        let m = Instruction::MvMul {
+            dst: VReg(0),
+            mat: MReg(9),
+            src: VReg(1),
+        };
+        assert_eq!(m.matrix(), Some(MReg(9)));
+        assert!(m.is_mvm());
+        assert_eq!(Instruction::Nop.matrix(), None);
+    }
+
+    #[test]
+    fn display_format() {
+        let i = Instruction::MvMul {
+            dst: VReg(2),
+            mat: MReg(10),
+            src: VReg(1),
+        };
+        assert_eq!(format!("{i}"), "mvmul v2, m10, v1");
+        assert_eq!(format!("{}", Instruction::Halt), "halt");
+    }
+}

@@ -1,0 +1,99 @@
+//! # vfpga-isa — the BrainWave-like application-specific ISA
+//!
+//! The paper's case study uses an application-specific ISA "similar to the
+//! one proposed in the Microsoft BrainWave project": a soft NPU whose
+//! instructions operate on whole vectors and matrix tiles, using **block
+//! floating point** (BFP) for matrix-vector multiplication and **half
+//! precision** (float16) for the secondary point-wise operations. This crate
+//! implements that ISA and its numerics from scratch:
+//!
+//! * [`F16`] — IEEE 754 binary16, software implementation (no `half` crate);
+//! * [`BfpFormat`]/[`BfpBlock`] — block floating point: a shared exponent
+//!   over a block of narrow integer mantissas, with exact integer dot
+//!   products like the hardware MAC arrays compute;
+//! * [`Instruction`] — the vector/matrix instruction set, including the
+//!   DRAM read/write instructions that the scale-out optimization reuses for
+//!   inter-FPGA communication (Section 2.3 of the paper);
+//! * [`Program`] — validation, per-instruction def/use sets, and the
+//!   dependency analysis that the instruction-reordering tool relies on;
+//! * [`assemble`]/[`disassemble`] — a textual assembly format;
+//! * [`encode`]/[`decode`] — the compact binary encoding that gives AS ISAs
+//!   their code-density advantage over general-purpose ISAs.
+//!
+//! ```
+//! use vfpga_isa::{assemble, Instruction, IsaConfig, Program, VReg};
+//!
+//! let program = assemble(
+//!     "vload v0, 0\n\
+//!      mvmul v1, m0, v0\n\
+//!      sigmoid v2, v1\n\
+//!      vstore v2, 1\n\
+//!      halt\n",
+//! )?;
+//! assert_eq!(program.len(), 5);
+//! assert_eq!(program[1].defs(), Some(VReg(1)));
+//! program.validate(&IsaConfig::default())?;
+//! # Ok::<(), vfpga_isa::IsaError>(())
+//! ```
+
+mod asm;
+mod bfp;
+mod deps;
+mod encode;
+mod f16;
+mod inst;
+mod program;
+
+pub use asm::{assemble, disassemble};
+pub use bfp::{BfpBlock, BfpFormat, BfpVector};
+pub use deps::{DepEdge, DepGraph, DepKind};
+pub use encode::{decode, encode, encoded_size};
+pub use f16::F16;
+pub use inst::{Instruction, MReg, VReg};
+pub use program::{IsaConfig, Program};
+
+use std::fmt;
+
+/// Errors produced while assembling, decoding, or validating programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Assembly syntax error.
+    Asm {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Binary stream malformed or truncated.
+    Decode {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A register or address exceeds the configured limits.
+    Validation {
+        /// Index of the offending instruction.
+        index: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Asm { line, message } => {
+                write!(f, "assembly error at line {line}: {message}")
+            }
+            IsaError::Decode { offset, message } => {
+                write!(f, "decode error at byte {offset}: {message}")
+            }
+            IsaError::Validation { index, message } => {
+                write!(f, "invalid instruction {index}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

@@ -1,0 +1,219 @@
+//! Module declarations: ports, nets, and instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Data flows into the module.
+    Input,
+    /// Data flows out of the module.
+    Output,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortDir::Input => write!(f, "input"),
+            PortDir::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// A module port: a named, directed bundle of wires.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Port {
+    /// Port name, unique within the module.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Bit width (at least 1).
+    pub width: u32,
+}
+
+impl Port {
+    /// Creates an input port.
+    pub fn input(name: impl Into<String>, width: u32) -> Self {
+        Port {
+            name: name.into(),
+            dir: PortDir::Input,
+            width,
+        }
+    }
+
+    /// Creates an output port.
+    pub fn output(name: impl Into<String>, width: u32) -> Self {
+        Port {
+            name: name.into(),
+            dir: PortDir::Output,
+            width,
+        }
+    }
+}
+
+/// An instantiation of one module inside another, with named port
+/// connections. Connections map the instantiated module's port names to nets
+/// (wires or ports) of the enclosing module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Instance name, unique within the enclosing module.
+    pub name: String,
+    /// Name of the instantiated module.
+    pub module: String,
+    /// Port-name to net-name connections, kept sorted for determinism.
+    pub connections: BTreeMap<String, String>,
+}
+
+impl Instance {
+    /// Creates an instance with the given connections.
+    pub fn new<I, P, N>(name: impl Into<String>, module: impl Into<String>, connections: I) -> Self
+    where
+        I: IntoIterator<Item = (P, N)>,
+        P: Into<String>,
+        N: Into<String>,
+    {
+        Instance {
+            name: name.into(),
+            module: module.into(),
+            connections: connections
+                .into_iter()
+                .map(|(p, n)| (p.into(), n.into()))
+                .collect(),
+        }
+    }
+}
+
+/// A module declaration: ports, internal wires, and child instances.
+///
+/// A module with no instances is a **basic module** — the unit the paper's
+/// decomposing step assigns to leaf soft blocks. Basic modules may carry a
+/// `behavior` tag naming their combinational function; the equivalence
+/// checker treats two basic modules as interchangeable only when both their
+/// interfaces and behaviors agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleDecl {
+    /// Module name, unique within a design.
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Internal wires: name to width, sorted by name.
+    pub wires: BTreeMap<String, u32>,
+    /// Child instances in declaration order.
+    pub instances: Vec<Instance>,
+    /// Opaque behavior tag for basic modules (e.g. `"mvm_tile"`). Stands in
+    /// for the module's combinational function during equivalence checking.
+    pub behavior: Option<String>,
+}
+
+impl ModuleDecl {
+    /// Creates an empty module with the given ports.
+    pub fn new(name: impl Into<String>, ports: Vec<Port>) -> Self {
+        ModuleDecl {
+            name: name.into(),
+            ports,
+            wires: BTreeMap::new(),
+            instances: Vec::new(),
+            behavior: None,
+        }
+    }
+
+    /// Creates a basic (leaf) module with a behavior tag.
+    pub fn leaf(name: impl Into<String>, ports: Vec<Port>, behavior: impl Into<String>) -> Self {
+        let mut m = ModuleDecl::new(name, ports);
+        m.behavior = Some(behavior.into());
+        m
+    }
+
+    /// Whether this is a basic module (instantiates nothing).
+    pub fn is_basic(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Adds an internal wire; returns `&mut self` for chaining.
+    pub fn add_wire(&mut self, name: impl Into<String>, width: u32) -> &mut Self {
+        self.wires.insert(name.into(), width);
+        self
+    }
+
+    /// Adds a child instance; returns `&mut self` for chaining.
+    pub fn add_instance(&mut self, instance: Instance) -> &mut Self {
+        self.instances.push(instance);
+        self
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Width of a net (port or wire) in this module.
+    pub fn net_width(&self, name: &str) -> Option<u32> {
+        self.port(name)
+            .map(|p| p.width)
+            .or_else(|| self.wires.get(name).copied())
+    }
+
+    /// Total width of all input ports.
+    pub fn input_width(&self) -> u32 {
+        self.ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Input)
+            .map(|p| p.width)
+            .sum()
+    }
+
+    /// Total width of all output ports.
+    pub fn output_width(&self) -> u32 {
+        self.ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Output)
+            .map(|p| p.width)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModuleDecl {
+        let mut m = ModuleDecl::new(
+            "top",
+            vec![Port::input("a", 16), Port::output("y", 8)],
+        );
+        m.add_wire("t", 4);
+        m.add_instance(Instance::new("u0", "pe", [("x", "a"), ("y", "t")]));
+        m
+    }
+
+    #[test]
+    fn basic_module_detection() {
+        let leaf = ModuleDecl::leaf("pe", vec![Port::input("x", 1)], "mac");
+        assert!(leaf.is_basic());
+        assert_eq!(leaf.behavior.as_deref(), Some("mac"));
+        assert!(!sample().is_basic());
+    }
+
+    #[test]
+    fn net_width_checks_ports_then_wires() {
+        let m = sample();
+        assert_eq!(m.net_width("a"), Some(16));
+        assert_eq!(m.net_width("t"), Some(4));
+        assert_eq!(m.net_width("missing"), None);
+    }
+
+    #[test]
+    fn io_widths() {
+        let m = sample();
+        assert_eq!(m.input_width(), 16);
+        assert_eq!(m.output_width(), 8);
+    }
+
+    #[test]
+    fn instance_connections_sorted() {
+        let i = Instance::new("u", "m", [("z", "n1"), ("a", "n2")]);
+        let keys: Vec<_> = i.connections.keys().cloned().collect();
+        assert_eq!(keys, ["a", "z"]);
+    }
+}

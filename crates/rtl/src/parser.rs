@@ -1,0 +1,516 @@
+//! Parser for a small Verilog-like structural subset.
+//!
+//! Supported constructs — exactly what structural accelerator RTL needs:
+//!
+//! ```text
+//! // line comments
+//! module pe #(behavior="mac") (input [15:0] a, input [15:0] b, output [15:0] y);
+//! endmodule
+//!
+//! module top (input [15:0] x, output [15:0] y);
+//!   wire [15:0] t, u;
+//!   pe u0 (.a(x), .b(x), .y(t));
+//!   pe u1 (.a(t), .b(t), .y(y));
+//! endmodule
+//! ```
+//!
+//! The `#(behavior="...")` attribute tags a basic module's combinational
+//! function for equivalence checking (see [`crate::Design::canonical_hash`]).
+
+use crate::module::{Instance, ModuleDecl, Port, PortDir};
+use crate::{Design, RtlError};
+
+/// Parses a design from source text.
+///
+/// Modules may be declared in any order; instantiated modules must be
+/// defined somewhere in the same source.
+///
+/// # Errors
+///
+/// Returns [`RtlError::Parse`] for syntax errors (with a line number) and
+/// the usual structural errors ([`RtlError::UnknownModule`],
+/// [`RtlError::WidthMismatch`], ...) for semantic ones.
+pub fn parse(source: &str) -> Result<Design, RtlError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut modules = Vec::new();
+    while !p.at_end() {
+        modules.push(p.module()?);
+    }
+
+    // Insert bottom-up: Design::add_module requires children first.
+    let mut design = Design::new();
+    let mut remaining = modules;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|m| {
+            let ready = m
+                .instances
+                .iter()
+                .all(|i| design.module(&i.module).is_some());
+            if ready {
+                // add_module can still fail on semantic errors; surface them
+                // by stashing the error. (Handled below via re-validation.)
+                if let Err(e) = design.add_module(m.clone()) {
+                    // Propagate by smuggling through panic-free path: store
+                    // in thread-local? Simpler: validate eagerly here.
+                    ERROR.with(|slot| *slot.borrow_mut() = Some(e));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(e) = ERROR.with(|slot| slot.borrow_mut().take()) {
+            return Err(e);
+        }
+        if remaining.len() == before {
+            // No progress: an instantiated module is missing (or circular).
+            let missing = remaining
+                .iter()
+                .flat_map(|m| m.instances.iter())
+                .map(|i| i.module.clone())
+                .find(|name| {
+                    design.module(name).is_none() && !remaining.iter().any(|m| &m.name == name)
+                });
+            return Err(match missing {
+                Some(name) => RtlError::UnknownModule(name),
+                None => RtlError::RecursiveHierarchy(remaining[0].name.clone()),
+            });
+        }
+    }
+    Ok(design)
+}
+
+thread_local! {
+    static ERROR: std::cell::RefCell<Option<RtlError>> = const { std::cell::RefCell::new(None) };
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(u32),
+    Str(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Token>, RtlError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(RtlError::Parse {
+                        line,
+                        message: "unexpected `/` (only `//` comments supported)".into(),
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(RtlError::Parse {
+                                line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut v: u32 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        v = v
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(digit))
+                            .ok_or(RtlError::Parse {
+                                line,
+                                message: "integer literal overflow".into(),
+                            })?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Int(v),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '$' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            '(' | ')' | '[' | ']' | ':' | ';' | ',' | '.' | '#' | '=' => {
+                chars.next();
+                tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+            other => {
+                return Err(RtlError::Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> RtlError {
+        RtlError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), RtlError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, RtlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), RtlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `[msb:lsb]` -> width; absent -> 1.
+    fn range(&mut self) -> Result<u32, RtlError> {
+        if !self.eat_punct('[') {
+            return Ok(1);
+        }
+        let msb = match self.next() {
+            Some(Tok::Int(v)) => v,
+            other => return Err(self.err(format!("expected msb integer, found {other:?}"))),
+        };
+        self.expect_punct(':')?;
+        let lsb = match self.next() {
+            Some(Tok::Int(v)) => v,
+            other => return Err(self.err(format!("expected lsb integer, found {other:?}"))),
+        };
+        self.expect_punct(']')?;
+        if lsb > msb {
+            return Err(self.err(format!("descending range [{msb}:{lsb}] required")));
+        }
+        Ok(msb - lsb + 1)
+    }
+
+    fn module(&mut self) -> Result<ModuleDecl, RtlError> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+
+        // Optional #(key="value", ...) attributes.
+        let mut behavior = None;
+        if self.eat_punct('#') {
+            self.expect_punct('(')?;
+            loop {
+                let key = self.expect_ident()?;
+                self.expect_punct('=')?;
+                let value = match self.next() {
+                    Some(Tok::Str(s)) => s,
+                    other => {
+                        return Err(self.err(format!("expected string value, found {other:?}")))
+                    }
+                };
+                if key == "behavior" {
+                    behavior = Some(value);
+                } else {
+                    return Err(self.err(format!("unknown attribute `{key}`")));
+                }
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct(')')?;
+        }
+
+        // Port list.
+        self.expect_punct('(')?;
+        let mut ports = Vec::new();
+        if !self.eat_punct(')') {
+            loop {
+                let dir = match self.expect_ident()?.as_str() {
+                    "input" => PortDir::Input,
+                    "output" => PortDir::Output,
+                    other => return Err(self.err(format!("expected port direction, found `{other}`"))),
+                };
+                let width = self.range()?;
+                let pname = self.expect_ident()?;
+                ports.push(Port {
+                    name: pname,
+                    dir,
+                    width,
+                });
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct(')')?;
+        }
+        self.expect_punct(';')?;
+
+        let mut module = ModuleDecl::new(name, ports);
+        module.behavior = behavior;
+
+        // Body: wires and instances until `endmodule`.
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(kw)) if kw == "endmodule" => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::Ident(kw)) if kw == "wire" => {
+                    self.pos += 1;
+                    let width = self.range()?;
+                    loop {
+                        let wname = self.expect_ident()?;
+                        module.add_wire(wname, width);
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.expect_punct(';')?;
+                }
+                Some(Tok::Ident(_)) => {
+                    let mod_name = self.expect_ident()?;
+                    let inst_name = self.expect_ident()?;
+                    self.expect_punct('(')?;
+                    let mut conns: Vec<(String, String)> = Vec::new();
+                    if !self.eat_punct(')') {
+                        loop {
+                            self.expect_punct('.')?;
+                            let port = self.expect_ident()?;
+                            self.expect_punct('(')?;
+                            let net = self.expect_ident()?;
+                            self.expect_punct(')')?;
+                            conns.push((port, net));
+                            if !self.eat_punct(',') {
+                                break;
+                            }
+                        }
+                        self.expect_punct(')')?;
+                    }
+                    self.expect_punct(';')?;
+                    module.add_instance(Instance::new(inst_name, mod_name, conns));
+                }
+                other => return Err(self.err(format!("expected module body item, found {other:?}"))),
+            }
+        }
+        Ok(module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+        // A two-stage pipeline of multiply-accumulate PEs.
+        module pe #(behavior="mac") (input [15:0] a, input [15:0] b, output [15:0] y);
+        endmodule
+
+        module top (input [15:0] x, output [15:0] y);
+          wire [15:0] t;
+          pe u0 (.a(x), .b(x), .y(t));
+          pe u1 (.a(t), .b(t), .y(y));
+        endmodule
+    "#;
+
+    #[test]
+    fn parses_modules_ports_and_instances() {
+        let d = parse(GOOD).unwrap();
+        assert_eq!(d.len(), 2);
+        let pe = d.module("pe").unwrap();
+        assert!(pe.is_basic());
+        assert_eq!(pe.behavior.as_deref(), Some("mac"));
+        assert_eq!(pe.ports.len(), 3);
+        assert_eq!(pe.port("a").unwrap().width, 16);
+        let top = d.module("top").unwrap();
+        assert_eq!(top.instances.len(), 2);
+        assert_eq!(top.wires.get("t"), Some(&16));
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        // `top` defined before `pe`.
+        let src = r#"
+            module top (input x, output y);
+              pe u (.a(x), .y(y));
+            endmodule
+            module pe #(behavior="buf") (input a, output y);
+            endmodule
+        "#;
+        let d = parse(src).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn scalar_ports_have_width_one() {
+        let d = parse("module m (input clk, output q); endmodule").unwrap();
+        assert_eq!(d.module("m").unwrap().port("clk").unwrap().width, 1);
+    }
+
+    #[test]
+    fn multiple_wires_in_one_declaration() {
+        let d = parse(
+            r#"
+            module leaf #(behavior="x") (input a, output y);
+            endmodule
+            module m (input a, output y);
+              wire [7:0] p, q, r;
+              leaf u (.a(a), .y(y));
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let m = d.module("m").unwrap();
+        assert_eq!(m.wires.len(), 3);
+        assert!(m.wires.values().all(|&w| w == 8));
+    }
+
+    #[test]
+    fn syntax_error_reports_line() {
+        let err = parse("module m (input a output y);\nendmodule").unwrap_err();
+        match err {
+            RtlError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_instantiated_module_detected() {
+        let err = parse(
+            "module top (input x, output y); ghost u (.a(x), .y(y)); endmodule",
+        )
+        .unwrap_err();
+        assert_eq!(err, RtlError::UnknownModule("ghost".into()));
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let err = parse(
+            r#"
+            module pe #(behavior="mac") (input [15:0] a, output [15:0] y);
+            endmodule
+            module top (input [7:0] x, output [15:0] y);
+              pe u (.a(x), .y(y));
+            endmodule
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtlError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let err = parse("module m #(behavior=\"oops) (input a); endmodule").unwrap_err();
+        assert!(matches!(err, RtlError::Parse { .. }));
+    }
+
+    #[test]
+    fn ascending_range_rejected() {
+        let err = parse("module m (input [0:7] a); endmodule").unwrap_err();
+        assert!(matches!(err, RtlError::Parse { .. }));
+    }
+
+    #[test]
+    fn flatten_roundtrip_through_parser() {
+        let d = parse(GOOD).unwrap();
+        let g = d.flatten("top").unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edges_between(crate::NodeId(0), crate::NodeId(1)), 16);
+    }
+}

@@ -1,0 +1,197 @@
+//! Discrete-event simulation of the cluster serving a workload set.
+
+use std::collections::VecDeque;
+
+use vfpga_sim::{EventQueue, SimTime, Summary, ThroughputMeter};
+use vfpga_workload::{RnnTask, TaskArrival};
+
+use crate::controller::{Deployment, SystemController};
+use crate::RuntimeError;
+
+/// Results of one cloud simulation run.
+#[derive(Debug, Clone)]
+pub struct CloudReport {
+    /// Tasks completed.
+    pub completed: u64,
+    /// Time of the last completion.
+    pub elapsed: SimTime,
+    /// Aggregated system throughput in tasks per second (Fig. 12's
+    /// metric).
+    pub throughput_per_s: f64,
+    /// End-to-end latency statistics (arrival to completion).
+    pub latency: Summary,
+    /// Queueing delay statistics (arrival to deployment).
+    pub queue_wait: Summary,
+}
+
+enum Event {
+    Arrival(usize),
+    Completion {
+        task_index: usize,
+    },
+}
+
+/// Runs a workload through the controller.
+///
+/// * `instance_for` names the accelerator instance (a mapping-database key)
+///   serving a task — the deployment catalog is sized per model class.
+/// * `service_time` gives the task's execution latency on a given
+///   deployment (built from the cycle-level timing simulations).
+///
+/// Tasks that cannot deploy on arrival wait in a FIFO queue; every
+/// completion retries the queue head.
+///
+/// # Errors
+///
+/// Propagates controller errors ([`RuntimeError::UnknownInstance`] etc.).
+pub fn run_cloud_sim(
+    controller: &mut SystemController,
+    arrivals: &[TaskArrival],
+    instance_for: &dyn Fn(&RnnTask) -> String,
+    service_time: &dyn Fn(&RnnTask, &Deployment) -> SimTime,
+) -> Result<CloudReport, RuntimeError> {
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut events: EventQueue<Event> = EventQueue::new();
+    let mut running: Vec<Option<Deployment>> = vec![None; arrivals.len()];
+    let mut deployed_at: Vec<SimTime> = vec![SimTime::ZERO; arrivals.len()];
+    let mut meter = ThroughputMeter::new();
+    let mut latency = Summary::new();
+    let mut queue_wait = Summary::new();
+    let mut last_completion = SimTime::ZERO;
+
+    for (i, a) in arrivals.iter().enumerate() {
+        events.schedule(a.at, Event::Arrival(i));
+    }
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Arrival(i) => {
+                queue.push_back(i);
+            }
+            Event::Completion { task_index } => {
+                let deployment = running[task_index]
+                    .take()
+                    .expect("completion for task not running");
+                controller.release(&deployment)?;
+                meter.record_completion();
+                latency.record((now.saturating_sub(arrivals[task_index].at)).as_secs());
+                last_completion = now;
+            }
+        }
+        // Admit as many queued tasks as capacity allows. Tasks request
+        // deployment independently, so a blocked task does not block later
+        // tasks that fit elsewhere; the scan window stays bounded to keep
+        // arrival order roughly fair.
+        const SCAN_WINDOW: usize = 64;
+        loop {
+            let mut admitted = None;
+            for (pos, &idx) in queue.iter().take(SCAN_WINDOW).enumerate() {
+                let task = arrivals[idx].task;
+                let name = instance_for(&task);
+                if let Some(deployment) = controller.try_deploy(&name)? {
+                    admitted = Some((pos, idx, deployment));
+                    break;
+                }
+            }
+            let Some((pos, idx, deployment)) = admitted else {
+                break;
+            };
+            queue.remove(pos);
+            deployed_at[idx] = now;
+            queue_wait.record(now.saturating_sub(arrivals[idx].at).as_secs());
+            let task = arrivals[idx].task;
+            let service = service_time(&task, &deployment);
+            running[idx] = Some(deployment);
+            events.schedule(now + service, Event::Completion { task_index: idx });
+        }
+    }
+
+    let elapsed = last_completion;
+    Ok(CloudReport {
+        completed: meter.completed(),
+        elapsed,
+        throughput_per_s: meter.per_second(elapsed),
+        latency,
+        queue_wait,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Policy;
+    use crate::testutil::small_db;
+    use vfpga_workload::{RnnKind, RnnTask};
+
+    fn arrivals(n: usize, gap_us: f64) -> Vec<TaskArrival> {
+        (0..n)
+            .map(|i| TaskArrival {
+                at: SimTime::from_us(i as f64 * gap_us),
+                task: RnnTask::new(RnnKind::Lstm, 512, 5),
+            })
+            .collect()
+    }
+
+    fn fixed_service(_t: &RnnTask, _d: &Deployment) -> SimTime {
+        SimTime::from_us(100.0)
+    }
+
+    #[test]
+    fn all_tasks_complete() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let a = arrivals(50, 10.0);
+        let report =
+            run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        assert_eq!(report.completed, 50);
+        assert!(report.throughput_per_s > 0.0);
+        // Everything released at the end.
+        assert_eq!(c.live_deployments(), 0);
+        assert_eq!(c.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn saturation_builds_queue_wait() {
+        let (cluster, db) = small_db();
+        // Offered load far above capacity: queue wait must grow well past
+        // the (light-load) service time.
+        let mut c = SystemController::new(cluster, db, Policy::Baseline);
+        let a = arrivals(80, 1.0);
+        let report =
+            run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        assert_eq!(report.completed, 80);
+        assert!(report.queue_wait.mean() > 100e-6);
+        // Under saturation the baseline's throughput is bounded by 4
+        // concurrent servers of 100us each: 40000/s.
+        assert!(report.throughput_per_s <= 41_000.0);
+        assert!(report.throughput_per_s > 30_000.0);
+    }
+
+    #[test]
+    fn sharing_policy_outperforms_baseline_under_saturation() {
+        let (cluster, db) = small_db();
+        let a = arrivals(80, 1.0);
+        let mut base = SystemController::new(cluster.clone(), db.clone(), Policy::Baseline);
+        let b = run_cloud_sim(&mut base, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        let mut full = SystemController::new(cluster, db, Policy::Full);
+        let f = run_cloud_sim(&mut full, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        assert!(
+            f.throughput_per_s > b.throughput_per_s * 1.5,
+            "full {} vs baseline {}",
+            f.throughput_per_s,
+            b.throughput_per_s
+        );
+    }
+
+    #[test]
+    fn latency_includes_queueing() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Baseline);
+        let a = arrivals(20, 1.0);
+        let report =
+            run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        // End-to-end latency >= service time for every task.
+        assert!(report.latency.min() >= 100e-6 - 1e-9);
+        assert!(report.latency.mean() > report.queue_wait.mean());
+    }
+}

@@ -1,0 +1,486 @@
+//! The system controller and runtime policies.
+
+use std::collections::HashMap;
+
+use vfpga_core::MappingDatabase;
+use vfpga_fabric::{Cluster, DeviceId};
+use vfpga_hsabs::{AllocationId, LowLevelController};
+
+use crate::RuntimeError;
+
+/// The runtime resource-management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The paper's baseline system: AS ISA only. FPGAs are managed at
+    /// per-device granularity — one accelerator occupies one whole FPGA,
+    /// no spatial sharing, no multi-FPGA deployment.
+    Baseline,
+    /// The framework, but one accelerator may only span FPGAs of a single
+    /// type (emulating the homogeneous-cluster multi-FPGA support of
+    /// existing HS abstractions; Fig. 12's "restricted" system).
+    Restricted,
+    /// The full framework: spatial sharing plus heterogeneous multi-FPGA
+    /// deployment.
+    Full,
+}
+
+/// Identifies one live deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeploymentId(pub u64);
+
+/// One deployed unit.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The device holding the unit.
+    pub device: DeviceId,
+    /// The HS allocation backing it.
+    pub allocation: AllocationId,
+    /// Fraction of the accelerator's compute capability in this unit.
+    pub compute_share: f64,
+}
+
+/// A live deployment of one accelerator instance.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// This deployment's id.
+    pub id: DeploymentId,
+    /// The instance name requested.
+    pub instance: String,
+    /// Under a statically provisioned baseline: the instance actually
+    /// installed on the device serving this task (which may differ from
+    /// the requested one — the inelasticity the paper describes).
+    pub installed_instance: Option<String>,
+    /// The deployed units.
+    pub placements: Vec<Placement>,
+    /// Latency-insensitive boundary crossings on the critical path (from
+    /// the mapping entry).
+    pub crossings_per_op: usize,
+    /// Inter-unit traffic in bits per activation.
+    pub cut_bandwidth: u64,
+    /// Largest ring distance between any two of the deployment's devices.
+    pub max_ring_hops: usize,
+}
+
+impl Deployment {
+    /// Number of FPGAs this deployment spans.
+    pub fn num_units(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+/// The system controller (Fig. 7): searches the mapping database for
+/// deployable mapping results under the active policy and drives the HS
+/// abstraction's low-level controller.
+#[derive(Debug)]
+pub struct SystemController {
+    cluster: Cluster,
+    db: MappingDatabase,
+    llc: LowLevelController,
+    policy: Policy,
+    /// Whole-device occupancy for the baseline policy.
+    device_taken: Vec<bool>,
+    /// Static provisioning (baseline policy): the instance compiled onto
+    /// each device at offline time. The paper's baseline fixes resource
+    /// allocation "at the offline compilation time, resulting in a low
+    /// elasticity" — tasks run on whatever accelerator their device hosts.
+    provisioned: Option<Vec<String>>,
+    live: HashMap<u64, Vec<AllocationId>>,
+    next_id: u64,
+}
+
+impl SystemController {
+    /// Creates a controller over a cluster with a compiled mapping
+    /// database.
+    pub fn new(cluster: Cluster, db: MappingDatabase, policy: Policy) -> Self {
+        let llc = LowLevelController::new(&cluster);
+        let device_taken = vec![false; cluster.len()];
+        SystemController {
+            cluster,
+            db,
+            llc,
+            policy,
+            device_taken,
+            provisioned: None,
+            live: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Statically provisions the cluster (baseline policy): device `i`
+    /// hosts `instances[i]`, fixed offline. Tasks then run on whichever
+    /// provisioned device is free — possibly an ill-fitting accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances.len()` differs from the cluster size or an
+    /// instance is not in the database.
+    pub fn with_provisioning(mut self, instances: Vec<String>) -> Self {
+        assert_eq!(
+            instances.len(),
+            self.cluster.len(),
+            "one provisioned instance per device"
+        );
+        for (i, name) in instances.iter().enumerate() {
+            let entry = self
+                .db
+                .entry(name)
+                .unwrap_or_else(|| panic!("provisioned instance `{name}` not in database"));
+            let dt = self.cluster.device(DeviceId(i)).device_type().name();
+            assert!(
+                entry
+                    .options
+                    .iter()
+                    .any(|o| o.num_units() == 1 && o.units[0].images.contains_key(dt)),
+                "provisioned instance `{name}` cannot fit device {i} ({dt})"
+            );
+        }
+        self.provisioned = Some(instances);
+        self
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The mapping database.
+    pub fn database(&self) -> &MappingDatabase {
+        &self.db
+    }
+
+    /// The cluster under management.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Attempts to deploy an instance. Returns `Ok(None)` when the cluster
+    /// currently lacks capacity (the caller queues the task).
+    ///
+    /// The greedy policy scans the instance's mapping results sorted by
+    /// ascending number of soft blocks, taking the first feasible
+    /// allocation — minimizing the number of allocated FPGAs and therefore
+    /// the inter-FPGA communication overhead (Section 2.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownInstance`] for unregistered
+    /// instances.
+    pub fn try_deploy(&mut self, instance: &str) -> Result<Option<Deployment>, RuntimeError> {
+        let entry = self
+            .db
+            .entry(instance)
+            .ok_or_else(|| RuntimeError::UnknownInstance(instance.to_string()))?
+            .clone();
+
+        // Statically provisioned baseline: the task runs on whatever free
+        // device's preinstalled accelerator, preferring a matching install.
+        if self.policy == Policy::Baseline && self.provisioned.is_some() {
+            return self.deploy_provisioned(instance);
+        }
+
+        for option in &entry.options {
+            if self.policy == Policy::Baseline && option.num_units() > 1 {
+                continue;
+            }
+            let Some(devices) = self.find_placement(option) else {
+                continue;
+            };
+            // Commit the placement.
+            let mut allocations = Vec::new();
+            let mut placements = Vec::new();
+            for (unit, &device) in option.units.iter().zip(&devices) {
+                let type_name = self.cluster.device(device).device_type().name();
+                let image = &unit.images[type_name];
+                let alloc = match self.llc.configure(device, image) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        // Roll back anything configured so far.
+                        for a in allocations {
+                            let _ = self.llc.release(a);
+                        }
+                        return Err(RuntimeError::Hs(e));
+                    }
+                };
+                allocations.push(alloc);
+                placements.push(Placement {
+                    device,
+                    allocation: alloc,
+                    compute_share: unit.compute_share,
+                });
+            }
+            if self.policy == Policy::Baseline {
+                for &d in &devices {
+                    self.device_taken[d.0] = true;
+                }
+            }
+            let mut max_ring_hops = 0;
+            for a in &placements {
+                for b in &placements {
+                    max_ring_hops = max_ring_hops.max(self.cluster.ring_hops(a.device, b.device));
+                }
+            }
+            let id = DeploymentId(self.next_id);
+            self.next_id += 1;
+            self.live.insert(id.0, allocations);
+            return Ok(Some(Deployment {
+                id,
+                instance: instance.to_string(),
+                installed_instance: None,
+                placements,
+                crossings_per_op: option.crossings_per_op,
+                cut_bandwidth: option.cut_bandwidth,
+                max_ring_hops,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// Deploys a task onto a statically provisioned device (baseline): the
+    /// device keeps the accelerator that was compiled onto it offline.
+    fn deploy_provisioned(&mut self, instance: &str) -> Result<Option<Deployment>, RuntimeError> {
+        let prov = self.provisioned.as_ref().expect("checked by caller").clone();
+        let mut candidates: Vec<DeviceId> = self
+            .cluster
+            .device_ids()
+            .filter(|d| !self.device_taken[d.0])
+            .collect();
+        // Prefer a device whose installed instance matches the request.
+        candidates.sort_by_key(|d| (prov[d.0] != instance, d.0));
+        let Some(&device) = candidates.first() else {
+            return Ok(None);
+        };
+        let installed = prov[device.0].clone();
+        let entry = self
+            .db
+            .entry(&installed)
+            .expect("validated at provisioning")
+            .clone();
+        let option = entry
+            .options
+            .iter()
+            .find(|o| o.num_units() == 1)
+            .expect("validated at provisioning");
+        let dt = self.cluster.device(device).device_type().name();
+        let image = &option.units[0].images[dt];
+        let alloc = self.llc.configure(device, image)?;
+        self.device_taken[device.0] = true;
+        let id = DeploymentId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id.0, vec![alloc]);
+        Ok(Some(Deployment {
+            id,
+            instance: instance.to_string(),
+            installed_instance: Some(installed),
+            placements: vec![Placement {
+                device,
+                allocation: alloc,
+                compute_share: 1.0,
+            }],
+            crossings_per_op: 0,
+            cut_bandwidth: 0,
+            max_ring_hops: 0,
+        }))
+    }
+
+    /// Finds devices for each unit of an option under the active policy,
+    /// without committing. Units are assigned best-fit (most-loaded
+    /// feasible device first) with ring proximity as tie-break.
+    fn find_placement(&self, option: &vfpga_core::DeploymentOption) -> Option<Vec<DeviceId>> {
+        let type_candidates: Vec<Option<String>> = match self.policy {
+            // Restricted: try each device type exclusively.
+            Policy::Restricted => self
+                .cluster
+                .device_types()
+                .iter()
+                .map(|t| Some(t.name().to_string()))
+                .collect(),
+            _ => vec![None],
+        };
+
+        for restrict in &type_candidates {
+            if let Some(placement) = self.find_placement_with(option, restrict.as_deref()) {
+                return Some(placement);
+            }
+        }
+        None
+    }
+
+    fn find_placement_with(
+        &self,
+        option: &vfpga_core::DeploymentOption,
+        restrict_type: Option<&str>,
+    ) -> Option<Vec<DeviceId>> {
+        let mut free: Vec<usize> = self
+            .cluster
+            .device_ids()
+            .map(|d| self.llc.slots_free(d))
+            .collect();
+        let mut chosen: Vec<DeviceId> = Vec::new();
+        for unit in &option.units {
+            let mut best: Option<(usize, usize, DeviceId)> = None; // (free_after, hops, dev)
+            for device in self.cluster.device_ids() {
+                let dt = self.cluster.device(device).device_type();
+                if let Some(t) = restrict_type {
+                    if dt.name() != t {
+                        continue;
+                    }
+                }
+                if self.policy == Policy::Baseline {
+                    // Whole-device granularity: device must be untouched.
+                    if self.device_taken[device.0]
+                        || free[device.0] != self.llc.slots_total(device)
+                    {
+                        continue;
+                    }
+                }
+                let Some(image) = unit.images.get(dt.name()) else {
+                    continue;
+                };
+                if free[device.0] < image.blocks() {
+                    continue;
+                }
+                let free_after = free[device.0] - image.blocks();
+                let hops = chosen
+                    .first()
+                    .map(|&f| self.cluster.ring_hops(f, device))
+                    .unwrap_or(0);
+                let key = (free_after, hops, device);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let (_, _, device) = best?;
+            let dt = self.cluster.device(device).device_type();
+            free[device.0] -= unit.images[dt.name()].blocks();
+            chosen.push(device);
+        }
+        Some(chosen)
+    }
+
+    /// Releases a deployment, freeing its virtual blocks (and, under the
+    /// baseline policy, its whole devices).
+    ///
+    /// # Errors
+    ///
+    /// Returns an HS error for unknown deployments.
+    pub fn release(&mut self, deployment: &Deployment) -> Result<(), RuntimeError> {
+        let allocations = self
+            .live
+            .remove(&deployment.id.0)
+            .ok_or(RuntimeError::Hs(vfpga_hsabs::HsError::UnknownAllocation(
+                deployment.id.0,
+            )))?;
+        for a in allocations {
+            self.llc.release(a)?;
+        }
+        if self.policy == Policy::Baseline {
+            for p in &deployment.placements {
+                self.device_taken[p.device.0] = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cluster-wide virtual-block occupancy (0..=1).
+    pub fn occupancy(&self) -> f64 {
+        self.llc.occupancy()
+    }
+
+    /// Number of live deployments.
+    pub fn live_deployments(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_db;
+
+    #[test]
+    fn deploy_release_roundtrip() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        assert_eq!(c.live_deployments(), 0);
+        let d = c.try_deploy("tiny").unwrap().unwrap();
+        assert_eq!(d.num_units(), 1);
+        assert!(c.occupancy() > 0.0);
+        assert_eq!(c.live_deployments(), 1);
+        c.release(&d).unwrap();
+        assert_eq!(c.occupancy(), 0.0);
+        // Double release is an error.
+        assert!(c.release(&d).is_err());
+    }
+
+    #[test]
+    fn unknown_instance_is_an_error() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        assert!(matches!(
+            c.try_deploy("ghost"),
+            Err(RuntimeError::UnknownInstance(_))
+        ));
+    }
+
+    #[test]
+    fn greedy_prefers_fewest_fpgas() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        // With a completely free cluster, even the big instance takes the
+        // single-FPGA option.
+        let d = c.try_deploy("big").unwrap().unwrap();
+        assert_eq!(d.num_units(), 1);
+    }
+
+    #[test]
+    fn baseline_serializes_on_devices() {
+        let (cluster, db) = small_db();
+        let n = cluster.len();
+        let mut c = SystemController::new(cluster, db, Policy::Baseline);
+        let mut held = Vec::new();
+        while let Some(d) = c.try_deploy("tiny").unwrap() {
+            held.push(d);
+            assert!(held.len() <= n, "baseline cannot exceed one per device");
+        }
+        assert_eq!(held.len(), n);
+        // Releasing one admits exactly one more.
+        let d = held.pop().unwrap();
+        c.release(&d).unwrap();
+        assert!(c.try_deploy("tiny").unwrap().is_some());
+        assert!(c.try_deploy("tiny").unwrap().is_none());
+    }
+
+    #[test]
+    fn full_policy_packs_multiple_tenants() {
+        let (cluster, db) = small_db();
+        let n = cluster.len();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let mut held = Vec::new();
+        while let Some(d) = c.try_deploy("tiny").unwrap() {
+            held.push(d);
+            assert!(held.len() < 100);
+        }
+        assert!(held.len() > n, "sharing should beat one-per-device");
+    }
+
+    #[test]
+    fn capacity_pressure_falls_back_to_more_units() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        // Fill the cluster with big tenants until a multi-unit deployment
+        // appears or capacity runs out.
+        let mut saw_multi = false;
+        let mut held = Vec::new();
+        while let Some(d) = c.try_deploy("big").unwrap() {
+            saw_multi |= d.num_units() > 1;
+            held.push(d);
+            if held.len() > 16 {
+                break;
+            }
+        }
+        assert!(
+            saw_multi || held.len() >= 3,
+            "pressure should trigger multi-unit or fill the big devices"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # vfpga-runtime — the runtime management system
+//!
+//! The top layer of the framework (Section 2.3): a **system controller**
+//! that owns the mapping database and allocates physical FPGAs to deploy
+//! decomposed accelerators, sending configuration requests to the HS
+//! abstraction's low-level controller (Fig. 7).
+//!
+//! * [`SystemController`] — deployment/release with the paper's **greedy
+//!   policy** (scan mapping results by ascending soft-block count, i.e.
+//!   fewest FPGAs first, minimizing inter-FPGA communication), plus the two
+//!   comparison policies of the evaluation: [`Policy::Baseline`] (AS ISA
+//!   only: one whole FPGA per accelerator, the paper's baseline system) and
+//!   [`Policy::Restricted`] (multi-FPGA deployments confined to devices of
+//!   one type, emulating the homogeneous-only multi-FPGA support of
+//!   existing HS abstractions — the Fig. 12 middle bar).
+//! * [`run_cloud_sim`] — the discrete-event simulation of the cluster
+//!   serving a workload set: arrivals queue, deploy, run, release;
+//!   aggregated throughput in tasks/second is Fig. 12's metric.
+//! * [`co_simulate_timing`]/[`co_simulate_functional`] — coupled simulation
+//!   of scaled-down accelerators exchanging state over the inter-FPGA ring,
+//!   with a configurable added link latency (the paper's programmable
+//!   latency-insertion module) — the machinery behind Fig. 11.
+
+mod cloudsim;
+mod controller;
+mod scaleout_sim;
+#[cfg(test)]
+mod testutil;
+
+pub use cloudsim::{run_cloud_sim, CloudReport};
+pub use controller::{Deployment, DeploymentId, Placement, Policy, SystemController};
+pub use scaleout_sim::{co_simulate_functional, co_simulate_timing, ScaleOutTiming};
+
+use std::fmt;
+
+/// Errors from the runtime layer.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The instance is not in the mapping database.
+    UnknownInstance(String),
+    /// The HS abstraction rejected a configuration request.
+    Hs(vfpga_hsabs::HsError),
+    /// Communicating machines deadlocked (each waiting on the other).
+    Deadlock {
+        /// Machines still blocked when progress stopped.
+        blocked: usize,
+    },
+    /// A functional simulation error during co-simulation.
+    Sim(Box<dyn std::error::Error>),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownInstance(name) => {
+                write!(f, "instance `{name}` not in mapping database")
+            }
+            RuntimeError::Hs(e) => write!(f, "hs abstraction error: {e}"),
+            RuntimeError::Deadlock { blocked } => {
+                write!(f, "scale-out deadlock with {blocked} machines blocked")
+            }
+            RuntimeError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<vfpga_hsabs::HsError> for RuntimeError {
+    fn from(e: vfpga_hsabs::HsError) -> Self {
+        RuntimeError::Hs(e)
+    }
+}

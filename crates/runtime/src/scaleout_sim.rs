@@ -1,0 +1,167 @@
+//! Coupled simulation of scaled-down accelerators exchanging state over
+//! the inter-FPGA ring (Fig. 11's machinery).
+
+use vfpga_accel::{CycleSim, FuncSim, Poll, StepOutcome};
+use vfpga_isa::Program;
+use vfpga_sim::{LinkParams, SimTime};
+
+use crate::RuntimeError;
+
+/// Result of a timing co-simulation.
+#[derive(Debug, Clone)]
+pub struct ScaleOutTiming {
+    /// Per-machine finish time.
+    pub finish: Vec<SimTime>,
+    /// The inference latency: the latest finish.
+    pub makespan: SimTime,
+}
+
+/// Co-simulates the timing of communicating machines.
+///
+/// Each machine runs its own [`CycleSim`] (with its remote window already
+/// configured). A message sent by machine `p` on channel `c` with sequence
+/// number `s` becomes available to every other machine at
+///
+/// ```text
+/// send_time + serialization(len) + link.latency + added_latency
+/// ```
+///
+/// `added_latency` reproduces the paper's programmable latency-insertion
+/// module, which Fig. 11 sweeps. A barrier receive completes when *all*
+/// peers' `s`-th message on the channel has arrived.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Deadlock`] if every unfinished machine is
+/// blocked and no new message can unblock any of them.
+pub fn co_simulate_timing(
+    machines: &mut [CycleSim],
+    link: LinkParams,
+    added_latency: SimTime,
+) -> Result<ScaleOutTiming, RuntimeError> {
+    let n = machines.len();
+    let mut finish: Vec<Option<SimTime>> = vec![None; n];
+
+    loop {
+        let mut progressed = false;
+        let mut blocked = 0usize;
+        for m in 0..n {
+            if finish[m].is_some() {
+                continue;
+            }
+            // Arrival of the seq-th message on chan at machine m: latest
+            // over all peers.
+            let arrivals: Vec<Vec<(u32, u64, SimTime, usize)>> = (0..n)
+                .map(|p| {
+                    machines[p]
+                        .sends()
+                        .iter()
+                        .map(|s| (s.chan, s.seq, s.at, s.len))
+                        .collect()
+                })
+                .collect();
+            let mut recv_ready = |chan: u32, seq: u64| -> Option<SimTime> {
+                let mut latest = SimTime::ZERO;
+                for (p, peer) in arrivals.iter().enumerate() {
+                    if p == m {
+                        continue;
+                    }
+                    let sent = peer
+                        .iter()
+                        .find(|&&(c, s, _, _)| c == chan && s == seq)?;
+                    let bytes = sent.3 as u64 * 2; // f16 payload
+                    let arrival =
+                        sent.2 + link.serialization_time(bytes) + link.latency + added_latency;
+                    latest = latest.max(arrival);
+                }
+                Some(latest)
+            };
+            let sends_before = machines[m].sends().len();
+            match machines[m].poll(&mut recv_ready) {
+                Poll::Done(t) => {
+                    finish[m] = Some(t);
+                    progressed = true;
+                }
+                Poll::Blocked { .. } => {
+                    blocked += 1;
+                    if machines[m].sends().len() > sends_before {
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        if finish.iter().all(Option::is_some) {
+            break;
+        }
+        if !progressed {
+            return Err(RuntimeError::Deadlock { blocked });
+        }
+    }
+
+    let finish: Vec<SimTime> = finish.into_iter().map(Option::unwrap).collect();
+    let makespan = finish.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    Ok(ScaleOutTiming { finish, makespan })
+}
+
+/// Co-simulates the *functional* execution of communicating machines: each
+/// machine's sends are delivered to every peer's inbox; barrier receives
+/// block until all peers delivered. On success every machine has halted
+/// and its architectural state (DRAM, registers) holds the results.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Sim`] on semantic errors and
+/// [`RuntimeError::Deadlock`] if no machine can make progress.
+pub fn co_simulate_functional(
+    sims: &mut [FuncSim],
+    programs: &[Program],
+) -> Result<(), RuntimeError> {
+    assert_eq!(sims.len(), programs.len(), "one program per machine");
+    let n = sims.len();
+    for (sim, program) in sims.iter_mut().zip(programs) {
+        sim.start(program)
+            .map_err(|e| RuntimeError::Sim(Box::new(e)))?;
+    }
+    let mut halted = vec![false; n];
+    loop {
+        let mut progressed = false;
+        for m in 0..n {
+            if halted[m] {
+                continue;
+            }
+            // Run machine m until it halts or blocks.
+            loop {
+                match sims[m].step().map_err(|e| RuntimeError::Sim(Box::new(e)))? {
+                    StepOutcome::Executed => {
+                        progressed = true;
+                    }
+                    StepOutcome::Halted => {
+                        halted[m] = true;
+                        progressed = true;
+                        break;
+                    }
+                    StepOutcome::NeedsRemote { .. } => break,
+                }
+            }
+            // Deliver everything machine m sent to all peers.
+            let sends = sims[m].take_sends();
+            if !sends.is_empty() {
+                progressed = true;
+            }
+            for (chan, data) in sends {
+                for (p, sim) in sims.iter_mut().enumerate() {
+                    if p != m {
+                        sim.inject_remote(chan, m, data.clone());
+                    }
+                }
+            }
+        }
+        if halted.iter().all(|&h| h) {
+            return Ok(());
+        }
+        if !progressed {
+            let blocked = halted.iter().filter(|&&h| !h).count();
+            return Err(RuntimeError::Deadlock { blocked });
+        }
+    }
+}

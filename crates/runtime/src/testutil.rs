@@ -1,0 +1,35 @@
+//! Shared helpers for the runtime crate's unit tests.
+
+#![cfg(test)]
+
+use vfpga_accel::{
+    generate_rtl, leaf_resource_estimator, AcceleratorConfig, CONTROL_PATH_MODULE,
+    MOVED_TO_CONTROL, TOP_MODULE,
+};
+use vfpga_core::{decompose, partition, DecomposeOptions, MappingDatabase};
+use vfpga_fabric::Cluster;
+use vfpga_hsabs::HsCompiler;
+
+/// Builds a database with one small instance (`"tiny"`, 4 tiles) and one
+/// large instance (`"big"`, 16 tiles) registered against the paper
+/// cluster's device types.
+pub fn small_db() -> (Cluster, MappingDatabase) {
+    let cluster = Cluster::paper_cluster();
+    let types = cluster.device_types();
+    let compiler = HsCompiler::default();
+    let mut db = MappingDatabase::new();
+    for (name, tiles, weight_mb) in [("tiny", 4usize, 20u64), ("big", 16, 180)] {
+        let config = AcceleratorConfig::new(name, tiles)
+            .with_weight_memory_kb(weight_mb * 1024)
+            .with_memory_kind(vfpga_fabric::MemoryKind::Uram);
+        let design = generate_rtl(&config);
+        let mut opts = DecomposeOptions::new(CONTROL_PATH_MODULE);
+        opts.move_to_control = MOVED_TO_CONTROL.iter().map(|s| s.to_string()).collect();
+        let est = leaf_resource_estimator(&config);
+        let d = decompose(&design, TOP_MODULE, &opts, &est).unwrap();
+        let plan = partition(&d.tree, 2);
+        db.register(name, &d, &plan, &types, &compiler, true)
+            .unwrap();
+    }
+    (cluster, db)
+}

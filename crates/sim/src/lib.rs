@@ -1,0 +1,36 @@
+//! # vfpga-sim — discrete-event simulation substrate
+//!
+//! A small, deterministic discrete-event simulation (DES) engine used by the
+//! vfpga runtime system to model the custom-built FPGA cluster of the paper:
+//! task arrivals, accelerator service times, inter-FPGA ring transfers and
+//! host PCIe transfers.
+//!
+//! The engine is deliberately single-threaded and fully deterministic: events
+//! scheduled at the same timestamp are delivered in scheduling order, so every
+//! experiment in the benchmark harness is exactly reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use vfpga_sim::{EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Arrive(u32), Finish(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_us(5.0), Ev::Arrive(1));
+//! q.schedule(SimTime::from_us(2.0), Ev::Arrive(0));
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(t, SimTime::from_us(2.0));
+//! assert_eq!(ev, Ev::Arrive(0));
+//! ```
+
+mod engine;
+mod link;
+mod stats;
+mod time;
+
+pub use engine::EventQueue;
+pub use link::{Link, LinkParams};
+pub use stats::{Histogram, Summary, ThroughputMeter};
+pub use time::SimTime;

@@ -1,0 +1,162 @@
+//! A serialized communication link with latency and bandwidth.
+
+use crate::SimTime;
+
+/// Static parameters of a point-to-point link.
+///
+/// The paper's cluster has two kinds of links: PCIe attachments from the host
+/// to each FPGA, and a secondary bidirectional ring between FPGAs. Both are
+/// modeled as a propagation latency plus a serialization rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// One-way propagation latency applied to every transfer.
+    pub latency: SimTime,
+    /// Serialization bandwidth in gigabits per second.
+    pub bandwidth_gbps: f64,
+}
+
+impl LinkParams {
+    /// Creates link parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_gbps` is not strictly positive.
+    pub fn new(latency: SimTime, bandwidth_gbps: f64) -> Self {
+        assert!(
+            bandwidth_gbps > 0.0,
+            "invalid bandwidth: {bandwidth_gbps} Gb/s"
+        );
+        LinkParams {
+            latency,
+            bandwidth_gbps,
+        }
+    }
+
+    /// Time to serialize `bytes` onto the wire (excluding propagation).
+    pub fn serialization_time(&self, bytes: u64) -> SimTime {
+        let bits = bytes as f64 * 8.0;
+        SimTime::from_ns(bits / self.bandwidth_gbps)
+    }
+}
+
+/// A stateful link that serializes transfers one at a time.
+///
+/// Each transfer occupies the transmitter for its serialization time; the
+/// payload then arrives one propagation latency after serialization finishes.
+/// Back-to-back transfers queue behind one another, which is what makes the
+/// limited inter-FPGA bandwidth of the paper's ring visible to the scale-out
+/// experiments (Fig. 11).
+///
+/// ```
+/// use vfpga_sim::{Link, LinkParams, SimTime};
+///
+/// // 100ns latency, 100 Gb/s ring link.
+/// let mut link = Link::new(LinkParams::new(SimTime::from_ns(100.0), 100.0));
+/// // 1250 bytes = 10000 bits = 100ns serialization.
+/// let first = link.transfer(SimTime::ZERO, 1250);
+/// assert_eq!(first, SimTime::from_ns(200.0));
+/// // A second transfer issued at t=0 queues behind the first.
+/// let second = link.transfer(SimTime::ZERO, 1250);
+/// assert_eq!(second, SimTime::from_ns(300.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    params: LinkParams,
+    busy_until: SimTime,
+    transfers: u64,
+    bytes: u64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(params: LinkParams) -> Self {
+        Link {
+            params,
+            busy_until: SimTime::ZERO,
+            transfers: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The link's static parameters.
+    pub fn params(&self) -> LinkParams {
+        self.params
+    }
+
+    /// Submits a transfer of `bytes` at time `now`; returns the arrival time
+    /// of the last byte at the far end.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done_serializing = start + self.params.serialization_time(bytes);
+        self.busy_until = done_serializing;
+        self.transfers += 1;
+        self.bytes += bytes;
+        done_serializing + self.params.latency
+    }
+
+    /// Time at which the transmitter becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total number of transfers submitted.
+    pub fn transfer_count(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes submitted.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_link() -> Link {
+        Link::new(LinkParams::new(SimTime::from_ns(50.0), 100.0))
+    }
+
+    #[test]
+    fn single_transfer_latency_plus_serialization() {
+        let mut link = test_link();
+        // 125 bytes = 1000 bits = 10ns at 100 Gb/s.
+        let arrival = link.transfer(SimTime::ZERO, 125);
+        assert_eq!(arrival, SimTime::from_ns(60.0));
+    }
+
+    #[test]
+    fn transfers_serialize() {
+        let mut link = test_link();
+        let a = link.transfer(SimTime::ZERO, 125);
+        let b = link.transfer(SimTime::ZERO, 125);
+        // Second waits for the first's serialization (10ns), then 10ns + 50ns.
+        assert_eq!(a, SimTime::from_ns(60.0));
+        assert_eq!(b, SimTime::from_ns(70.0));
+        assert_eq!(link.transfer_count(), 2);
+        assert_eq!(link.bytes_transferred(), 250);
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut link = test_link();
+        link.transfer(SimTime::ZERO, 125);
+        // Issued long after the link went idle: no queueing delay.
+        let late = link.transfer(SimTime::from_us(1.0), 125);
+        assert_eq!(late, SimTime::from_us(1.0) + SimTime::from_ns(60.0));
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_only_latency() {
+        let mut link = test_link();
+        let arrival = link.transfer(SimTime::ZERO, 0);
+        assert_eq!(arrival, SimTime::from_ns(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkParams::new(SimTime::ZERO, 0.0);
+    }
+}

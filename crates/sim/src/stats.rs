@@ -1,0 +1,366 @@
+//! Streaming statistics collected during simulations.
+
+use std::fmt;
+
+/// Streaming summary statistics (count, mean, min, max, standard deviation)
+/// using Welford's online algorithm.
+///
+/// ```
+/// use vfpga_sim::Summary;
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; zero if empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observations were recorded.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty summary");
+        self.min
+    }
+
+    /// Largest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observations were recorded.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty summary");
+        self.max
+    }
+
+    /// Sample standard deviation; zero with fewer than two observations.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.mean = (n1 * self.mean + n2 * other.mean) / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.4} min={:.4} max={:.4} sd={:.4}",
+                self.count,
+                self.mean,
+                self.min,
+                self.max,
+                self.stddev()
+            )
+        }
+    }
+}
+
+/// A fixed-width bucket histogram over `[lo, hi)` with overflow/underflow
+/// buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.buckets.len() as f64) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Approximate `q`-quantile (0..=1) from the bucket midpoints.
+    /// Underflow counts as the range minimum, overflow as the maximum.
+    /// Returns `None` if nothing was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+/// Counts completed items over a known span to produce a rate, e.g. the
+/// paper's "tasks per second" aggregated system throughput (Fig. 12).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThroughputMeter {
+    completed: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter with zero completions.
+    pub fn new() -> Self {
+        ThroughputMeter { completed: 0 }
+    }
+
+    /// Records one completed item.
+    pub fn record_completion(&mut self) {
+        self.completed += 1;
+    }
+
+    /// Number of completions recorded.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Completions per second over `elapsed`; zero if `elapsed` is zero.
+    pub fn per_second(&self, elapsed: crate::SimTime) -> f64 {
+        let secs = elapsed.as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimTime;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic dataset is sqrt(32/7).
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_merge_matches_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &data[..33] {
+            left.record(x);
+        }
+        for &x in &data[33..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.stddev() - whole.stddev()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        let b = Summary::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Summary::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.min(), 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-0.1);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(10.0);
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.buckets()[5], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for x in 0..100 {
+            h.record(x as f64);
+        }
+        // Median lands in the middle bucket.
+        let median = h.quantile(0.5).unwrap();
+        assert!((40.0..60.0).contains(&median), "median {median}");
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 90.0, "p99 {p99}");
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_with_out_of_range_mass() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for _ in 0..10 {
+            h.record(-1.0);
+        }
+        h.record(100.0);
+        assert_eq!(h.quantile(0.5), Some(0.0)); // underflow mass
+        assert_eq!(h.quantile(1.0), Some(10.0)); // overflow mass
+    }
+
+    #[test]
+    fn throughput_rate() {
+        let mut m = ThroughputMeter::new();
+        for _ in 0..250 {
+            m.record_completion();
+        }
+        assert_eq!(m.per_second(SimTime::from_secs(2.0)), 125.0);
+        assert_eq!(m.per_second(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! AS ISA code generation for GRU/LSTM inference.
+//!
+//! Programs are generated per machine slice: the single-FPGA program is
+//! simply the `1 of 1` slice. The layout keeps every element-wise
+//! operation on the machine's own row slice and routes only the hidden
+//! state through the exchanged state slot, so the scale-out tools
+//! ([`vfpga_core::scaleout`]) can turn the same program into a
+//! communicating one purely by rewriting that slot's accesses.
+
+use std::collections::HashMap;
+
+use vfpga_isa::{Instruction as I, MReg, Program, VReg};
+
+use crate::models::{RnnKind, RnnTask};
+
+/// DRAM slot holding the *exchanged* hidden state (full vector). The
+/// scale-out insertion tool designates this slot for send/receive.
+pub const H_STATE_SLOT: u32 = 1;
+/// DRAM slot holding the machine's own hidden-state row slice.
+pub const H_LOCAL_SLOT: u32 = 2;
+/// DRAM slot holding the machine's cell-state row slice (LSTM only).
+pub const C_LOCAL_SLOT: u32 = 3;
+/// First DRAM slot of the input sequence; `x_t` lives at `X_BASE_SLOT + t`.
+pub const X_BASE_SLOT: u32 = 100;
+
+/// Which row slice of the task a machine executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceSpec {
+    /// This machine's index.
+    pub machine: usize,
+    /// Total cooperating machines.
+    pub num_machines: usize,
+}
+
+impl SliceSpec {
+    /// The whole task on one machine.
+    pub const FULL: SliceSpec = SliceSpec {
+        machine: 0,
+        num_machines: 1,
+    };
+
+    /// Creates a slice spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine >= num_machines` or `num_machines == 0`.
+    pub fn new(machine: usize, num_machines: usize) -> Self {
+        assert!(num_machines > 0 && machine < num_machines, "bad slice spec");
+        SliceSpec {
+            machine,
+            num_machines,
+        }
+    }
+
+    /// The row range `[start, end)` this machine owns out of `rows` rows,
+    /// split as evenly as possible.
+    pub fn row_range(&self, rows: usize) -> (usize, usize) {
+        let base = rows / self.num_machines;
+        let extra = rows % self.num_machines;
+        let start = self.machine * base + self.machine.min(extra);
+        let len = base + usize::from(self.machine < extra);
+        (start, start + len)
+    }
+}
+
+/// A generated program plus the metadata simulators need.
+#[derive(Debug, Clone)]
+pub struct RnnProgram {
+    /// The task this program computes.
+    pub task: RnnTask,
+    /// The slice it computes.
+    pub slice: SliceSpec,
+    /// The instructions.
+    pub program: Program,
+    /// Matrix register shapes, for the timing simulator.
+    pub mat_shapes: HashMap<u16, (usize, usize)>,
+    /// Initial DRAM slot lengths, for the timing simulator.
+    pub dram_lens: HashMap<u32, usize>,
+    /// The exchanged state slots (input to the scale-out insertion tool).
+    pub state_slots: Vec<u32>,
+}
+
+/// Generates the AS ISA program computing `task`'s row slice.
+///
+/// Matrix registers: `MReg(k)` holds the k-th matrix (W per gate, then U
+/// per gate), sliced to this machine's rows. Register allocation:
+///
+/// | reg | holds |
+/// |-----|-------|
+/// | v0  | x_t (full) |
+/// | v1  | h_{t-1} (full) |
+/// | v2.. | gate values and temporaries (slice length) |
+pub fn generate_program(task: RnnTask, slice: SliceSpec) -> RnnProgram {
+    let (r0, r1) = slice.row_range(task.hidden);
+    let slice_rows = r1 - r0;
+    let gates = task.kind.gates();
+
+    let mut p = Program::default();
+    let x = VReg(0);
+    let h = VReg(1);
+
+    for t in 0..task.timesteps {
+        p.push(I::VLoad {
+            dst: x,
+            addr: X_BASE_SLOT + t as u32,
+        });
+        p.push(I::VLoad {
+            dst: h,
+            addr: H_STATE_SLOT,
+        });
+        match task.kind {
+            RnnKind::Gru => gru_step(&mut p, x, h),
+            RnnKind::Lstm => lstm_step(&mut p, x, h),
+        }
+    }
+    p.push(I::Halt);
+
+    let mut mat_shapes = HashMap::new();
+    for k in 0..2 * gates {
+        mat_shapes.insert(k as u16, (slice_rows, task.hidden));
+    }
+    let mut dram_lens = HashMap::new();
+    dram_lens.insert(H_STATE_SLOT, task.hidden);
+    dram_lens.insert(H_LOCAL_SLOT, slice_rows);
+    dram_lens.insert(C_LOCAL_SLOT, slice_rows);
+    for t in 0..task.timesteps {
+        dram_lens.insert(X_BASE_SLOT + t as u32, task.hidden);
+    }
+
+    RnnProgram {
+        task,
+        slice,
+        program: p,
+        mat_shapes,
+        dram_lens,
+        state_slots: vec![H_STATE_SLOT],
+    }
+}
+
+/// One GRU timestep (reset-after / cuDNN formulation):
+///
+/// ```text
+/// z  = sigmoid(Wz x + Uz h)
+/// r  = sigmoid(Wr x + Ur h)
+/// h~ = tanh(Wh x + r * (Uh h))
+/// h' = (1 - z) * h_slice + z * h~  =  h_slice - z*h_slice + z*h~
+/// ```
+///
+/// All the x-side products are issued before the first use of `h`: this
+/// contiguous h-independent phase is exactly what the scale-out
+/// reordering tool sinks the `h` receive below, overlapping the transfer
+/// of `h_t` with "the matrix multiplication related to x_t" (Section 4.3).
+fn gru_step(p: &mut Program, x: VReg, h: VReg) {
+    let (wz, wr, wh) = (MReg(0), MReg(1), MReg(2));
+    let (uz, ur, uh) = (MReg(3), MReg(4), MReg(5));
+    let wzx = VReg(2);
+    let wrx = VReg(3);
+    let whx = VReg(4);
+    let z = VReg(5);
+    let r = VReg(6);
+    let cand = VReg(7);
+    let t0 = VReg(8);
+    let hloc = VReg(9);
+    let t1 = VReg(10);
+
+    // x-side phase (independent of h).
+    p.push(I::MvMul { dst: wzx, mat: wz, src: x });
+    p.push(I::MvMul { dst: wrx, mat: wr, src: x });
+    p.push(I::MvMul { dst: whx, mat: wh, src: x });
+    // h-side phase.
+    p.push(I::MvMul { dst: t0, mat: uz, src: h });
+    p.push(I::VAdd { dst: z, a: wzx, b: t0 });
+    p.push(I::Sigmoid { dst: z, src: z });
+    p.push(I::MvMul { dst: t0, mat: ur, src: h });
+    p.push(I::VAdd { dst: r, a: wrx, b: t0 });
+    p.push(I::Sigmoid { dst: r, src: r });
+    p.push(I::MvMul { dst: t0, mat: uh, src: h });
+    p.push(I::VMul { dst: t0, a: r, b: t0 });
+    p.push(I::VAdd { dst: cand, a: whx, b: t0 });
+    p.push(I::Tanh { dst: cand, src: cand });
+    // Blend with the local slice of h.
+    p.push(I::VLoad {
+        dst: hloc,
+        addr: H_LOCAL_SLOT,
+    });
+    p.push(I::VMul { dst: t1, a: z, b: hloc });
+    p.push(I::VSub { dst: t1, a: hloc, b: t1 });
+    p.push(I::VMul { dst: t0, a: z, b: cand });
+    p.push(I::VAdd { dst: t1, a: t1, b: t0 });
+    p.push(I::VStore {
+        src: t1,
+        addr: H_LOCAL_SLOT,
+    });
+    p.push(I::VStore {
+        src: t1,
+        addr: H_STATE_SLOT,
+    });
+}
+
+/// One LSTM timestep:
+///
+/// ```text
+/// i = sigmoid(Wi x + Ui h)     f = sigmoid(Wf x + Uf h)
+/// g = tanh(Wg x + Ug h)        o = sigmoid(Wo x + Uo h)
+/// c' = f * c + i * g
+/// h' = o * tanh(c')
+/// ```
+fn lstm_step(p: &mut Program, x: VReg, h: VReg) {
+    let w = |k: u16| MReg(k);
+    let u = |k: u16| MReg(4 + k);
+    let i = VReg(2);
+    let f = VReg(3);
+    let g = VReg(4);
+    let o = VReg(5);
+    let t0 = VReg(7);
+    let c = VReg(8);
+    let t1 = VReg(9);
+
+    // x-side phase first (independent of h), so the h transfer can hide
+    // behind it on scaled-out deployments.
+    for (idx, dst) in [(0u16, i), (1, f), (2, g), (3, o)] {
+        p.push(I::MvMul {
+            dst,
+            mat: w(idx),
+            src: x,
+        });
+    }
+    // h-side phase.
+    for (idx, dst) in [(0u16, i), (1, f), (2, g), (3, o)] {
+        p.push(I::MvMul {
+            dst: t0,
+            mat: u(idx),
+            src: h,
+        });
+        p.push(I::VAdd { dst, a: dst, b: t0 });
+        if idx == 2 {
+            p.push(I::Tanh { dst, src: dst });
+        } else {
+            p.push(I::Sigmoid { dst, src: dst });
+        }
+    }
+    p.push(I::VLoad {
+        dst: c,
+        addr: C_LOCAL_SLOT,
+    });
+    p.push(I::VMul { dst: c, a: f, b: c });
+    p.push(I::VMul { dst: t1, a: i, b: g });
+    p.push(I::VAdd { dst: c, a: c, b: t1 });
+    p.push(I::VStore {
+        src: c,
+        addr: C_LOCAL_SLOT,
+    });
+    p.push(I::Tanh { dst: t1, src: c });
+    p.push(I::VMul { dst: t1, a: o, b: t1 });
+    p.push(I::VStore {
+        src: t1,
+        addr: H_LOCAL_SLOT,
+    });
+    p.push(I::VStore {
+        src: t1,
+        addr: H_STATE_SLOT,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfpga_isa::IsaConfig;
+
+    #[test]
+    fn row_ranges_cover_and_partition() {
+        for rows in [7usize, 8, 1024, 1536] {
+            for n in [1usize, 2, 3, 4] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for m in 0..n {
+                    let (s, e) = SliceSpec::new(m, n).row_range(rows);
+                    assert_eq!(s, prev_end, "contiguous");
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, rows, "rows={rows} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn programs_validate_and_scale_with_timesteps() {
+        let short = generate_program(
+            RnnTask::new(RnnKind::Gru, 128, 1),
+            SliceSpec::FULL,
+        );
+        let long = generate_program(
+            RnnTask::new(RnnKind::Gru, 128, 10),
+            SliceSpec::FULL,
+        );
+        short.program.validate(&IsaConfig::default()).unwrap();
+        long.program.validate(&IsaConfig::default()).unwrap();
+        // 22 instructions per GRU step plus halt.
+        assert_eq!(short.program.len(), 23);
+        assert_eq!(long.program.len(), 10 * 22 + 1);
+    }
+
+    #[test]
+    fn lstm_program_references_eight_matrices() {
+        let p = generate_program(
+            RnnTask::new(RnnKind::Lstm, 64, 2),
+            SliceSpec::FULL,
+        );
+        assert_eq!(p.mat_shapes.len(), 8);
+        let mats: std::collections::HashSet<u16> = p
+            .program
+            .iter()
+            .filter_map(|i| i.matrix())
+            .map(|m| m.0)
+            .collect();
+        assert_eq!(mats.len(), 8);
+    }
+
+    #[test]
+    fn sliced_matrices_have_sliced_rows() {
+        let p = generate_program(
+            RnnTask::new(RnnKind::Gru, 100, 1),
+            SliceSpec::new(1, 3),
+        );
+        // 100 rows over 3 machines: machine 1 owns 33.
+        assert_eq!(p.mat_shapes[&0], (33, 100));
+        assert_eq!(p.dram_lens[&H_LOCAL_SLOT], 33);
+        assert_eq!(p.dram_lens[&H_STATE_SLOT], 100);
+    }
+
+    #[test]
+    fn state_slot_is_stored_every_timestep() {
+        let p = generate_program(
+            RnnTask::new(RnnKind::Lstm, 64, 4),
+            SliceSpec::FULL,
+        );
+        let stores = p
+            .program
+            .iter()
+            .filter(|i| i.mem_write() == Some(H_STATE_SLOT))
+            .count();
+        assert_eq!(stores, 4);
+    }
+}

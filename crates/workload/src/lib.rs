@@ -1,0 +1,35 @@
+//! # vfpga-workload — DeepBench-style benchmarks and cloud workload sets
+//!
+//! The paper evaluates with two benchmark sets (Section 4.1):
+//!
+//! 1. **Application level** — GRU/LSTM inference layers from DeepBench,
+//!    batch size one, measuring latency. This crate provides those layer
+//!    shapes ([`RnnTask`], [`table4_tasks`]), a code generator that compiles
+//!    each layer to a real AS ISA program ([`generate_program`]) — including
+//!    the *row-sliced* programs scaled-down accelerators run — plus
+//!    deterministic weights ([`RnnWeights`]) and f32 reference
+//!    implementations ([`reference_run`]) to validate the accelerator's
+//!    numerics.
+//! 2. **System level** — synthetically generated workload sets mixing
+//!    small/medium/large tasks in the ten compositions of Table 1
+//!    ([`Composition::TABLE1`], [`generate_workload`]), arriving at random
+//!    intervals.
+//!
+//! The GRU uses the "reset-after" formulation (`h~ = tanh(Wh x + r * (Uh
+//! h))`, as in cuDNN): with row-sliced gates this keeps every element-wise
+//! operation machine-local, so only the hidden state itself crosses FPGAs —
+//! the same property the paper's template module exploits.
+
+mod codegen;
+mod models;
+mod reference;
+mod sets;
+mod weights;
+
+pub use codegen::{
+    generate_program, RnnProgram, SliceSpec, C_LOCAL_SLOT, H_LOCAL_SLOT, H_STATE_SLOT, X_BASE_SLOT,
+};
+pub use models::{RnnKind, RnnTask, SizeClass};
+pub use reference::reference_run;
+pub use sets::{deepbench_tasks, fig11_tasks, generate_workload, table4_tasks, Composition, TaskArrival};
+pub use weights::RnnWeights;

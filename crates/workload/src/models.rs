@@ -1,0 +1,153 @@
+//! RNN layer shapes and size classes.
+
+use std::fmt;
+
+/// The recurrent cell kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RnnKind {
+    /// Gated recurrent unit (3 gates, reset-after formulation).
+    Gru,
+    /// Long short-term memory (4 gates).
+    Lstm,
+}
+
+impl RnnKind {
+    /// Number of gate matrix pairs (W, U).
+    pub fn gates(self) -> usize {
+        match self {
+            RnnKind::Gru => 3,
+            RnnKind::Lstm => 4,
+        }
+    }
+}
+
+impl fmt::Display for RnnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RnnKind::Gru => write!(f, "GRU"),
+            RnnKind::Lstm => write!(f, "LSTM"),
+        }
+    }
+}
+
+/// One batch-1 RNN inference task: the unit of work in both benchmark
+/// sets. The input dimension equals the hidden dimension, as in the
+/// DeepBench RNN layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RnnTask {
+    /// Cell kind.
+    pub kind: RnnKind,
+    /// Hidden (and input) dimension.
+    pub hidden: usize,
+    /// Number of timesteps.
+    pub timesteps: usize,
+}
+
+impl RnnTask {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` or `timesteps` is zero.
+    pub fn new(kind: RnnKind, hidden: usize, timesteps: usize) -> Self {
+        assert!(hidden > 0 && timesteps > 0, "degenerate task");
+        RnnTask {
+            kind,
+            hidden,
+            timesteps,
+        }
+    }
+
+    /// The weight matrix shapes `(rows, cols)` of this task (W then U per
+    /// gate, all `hidden x hidden`).
+    pub fn matrix_shapes(&self) -> Vec<(usize, usize)> {
+        vec![(self.hidden, self.hidden); 2 * self.kind.gates()]
+    }
+
+    /// Total floating-point operations of the inference (2 FLOPs per MAC
+    /// over all gate matrices and timesteps).
+    pub fn flops(&self) -> u64 {
+        let per_step = 2 * (2 * self.kind.gates() as u64) * (self.hidden as u64).pow(2);
+        per_step * self.timesteps as u64
+    }
+
+    /// This task's size class per the paper's Table 1 footnote.
+    pub fn size_class(&self) -> SizeClass {
+        SizeClass::of_hidden(self.hidden)
+    }
+}
+
+impl fmt::Display for RnnTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} h={} t={}", self.kind, self.hidden, self.timesteps)
+    }
+}
+
+/// Task size classes (Table 1): S up to 1024 hidden units, M up to 2048,
+/// L beyond.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// `hidden <= 1024`.
+    Small,
+    /// `1024 < hidden <= 2048`.
+    Medium,
+    /// `hidden > 2048`.
+    Large,
+}
+
+impl SizeClass {
+    /// Classifies a hidden dimension.
+    pub fn of_hidden(hidden: usize) -> SizeClass {
+        if hidden <= 1024 {
+            SizeClass::Small
+        } else if hidden <= 2048 {
+            SizeClass::Medium
+        } else {
+            SizeClass::Large
+        }
+    }
+}
+
+impl fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizeClass::Small => write!(f, "S"),
+            SizeClass::Medium => write!(f, "M"),
+            SizeClass::Large => write!(f, "L"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_class_boundaries() {
+        assert_eq!(SizeClass::of_hidden(1024), SizeClass::Small);
+        assert_eq!(SizeClass::of_hidden(1025), SizeClass::Medium);
+        assert_eq!(SizeClass::of_hidden(2048), SizeClass::Medium);
+        assert_eq!(SizeClass::of_hidden(2049), SizeClass::Large);
+    }
+
+    #[test]
+    fn flops_scale_with_shape() {
+        let small = RnnTask::new(RnnKind::Gru, 512, 1);
+        let big = RnnTask::new(RnnKind::Gru, 1024, 1);
+        assert_eq!(big.flops(), 4 * small.flops());
+        let lstm = RnnTask::new(RnnKind::Lstm, 512, 1);
+        assert_eq!(lstm.flops() * 3, small.flops() * 4);
+    }
+
+    #[test]
+    fn matrix_shapes_per_kind() {
+        assert_eq!(RnnTask::new(RnnKind::Gru, 64, 1).matrix_shapes().len(), 6);
+        assert_eq!(RnnTask::new(RnnKind::Lstm, 64, 1).matrix_shapes().len(), 8);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let t = RnnTask::new(RnnKind::Gru, 1024, 1500);
+        assert_eq!(t.to_string(), "GRU h=1024 t=1500");
+    }
+}

@@ -1,0 +1,101 @@
+//! f32 reference implementations for validating the accelerator's
+//! numerics.
+
+use crate::models::RnnKind;
+use crate::weights::RnnWeights;
+
+/// Runs the task in plain f32 arithmetic and returns the final hidden
+/// state. Implements exactly the formulations the code generator emits
+/// (reset-after GRU, standard LSTM), so differences against the
+/// accelerator are purely quantization (BFP matrices, f16 element-wise).
+pub fn reference_run(weights: &RnnWeights) -> Vec<f32> {
+    let task = weights.task();
+    let h_dim = task.hidden;
+    let mats = weights.matrices();
+    let mut h = weights.h0().to_vec();
+    let mut c = vec![0.0f32; h_dim];
+
+    let mv = |m: &[f32], v: &[f32]| -> Vec<f32> {
+        (0..h_dim)
+            .map(|r| (0..h_dim).map(|cx| m[r * h_dim + cx] * v[cx]).sum())
+            .collect()
+    };
+    let sigmoid = |x: f32| 1.0 / (1.0 + (-x).exp());
+
+    for x in weights.inputs() {
+        match task.kind {
+            RnnKind::Gru => {
+                let (wz, wr, wh) = (&mats[0], &mats[1], &mats[2]);
+                let (uz, ur, uh) = (&mats[3], &mats[4], &mats[5]);
+                let z: Vec<f32> = mv(wz, x)
+                    .iter()
+                    .zip(mv(uz, &h))
+                    .map(|(a, b)| sigmoid(a + b))
+                    .collect();
+                let r: Vec<f32> = mv(wr, x)
+                    .iter()
+                    .zip(mv(ur, &h))
+                    .map(|(a, b)| sigmoid(a + b))
+                    .collect();
+                let uh_h = mv(uh, &h);
+                let cand: Vec<f32> = mv(wh, x)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| (a + r[i] * uh_h[i]).tanh())
+                    .collect();
+                h = (0..h_dim)
+                    .map(|i| (1.0 - z[i]) * h[i] + z[i] * cand[i])
+                    .collect();
+            }
+            RnnKind::Lstm => {
+                let gate = |k: usize, act_tanh: bool| -> Vec<f32> {
+                    mv(&mats[k], x)
+                        .iter()
+                        .zip(mv(&mats[4 + k], &h))
+                        .map(|(a, b)| {
+                            let s = a + b;
+                            if act_tanh {
+                                s.tanh()
+                            } else {
+                                sigmoid(s)
+                            }
+                        })
+                        .collect()
+                };
+                let i = gate(0, false);
+                let f = gate(1, false);
+                let g = gate(2, true);
+                let o = gate(3, false);
+                c = (0..h_dim).map(|k| f[k] * c[k] + i[k] * g[k]).collect();
+                h = (0..h_dim).map(|k| o[k] * c[k].tanh()).collect();
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::RnnTask;
+
+    #[test]
+    fn reference_is_deterministic_and_bounded() {
+        let task = RnnTask::new(RnnKind::Gru, 32, 5);
+        let w = RnnWeights::generate(task, 3);
+        let a = reference_run(&w);
+        let b = reference_run(&w);
+        assert_eq!(a, b);
+        // GRU output is a convex blend of tanh values: magnitudes <= ~1.
+        assert!(a.iter().all(|v| v.abs() <= 1.01));
+    }
+
+    #[test]
+    fn lstm_reference_bounded() {
+        let task = RnnTask::new(RnnKind::Lstm, 16, 8);
+        let w = RnnWeights::generate(task, 5);
+        let h = reference_run(&w);
+        assert_eq!(h.len(), 16);
+        assert!(h.iter().all(|v| v.abs() <= 1.01));
+    }
+}

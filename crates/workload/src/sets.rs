@@ -1,0 +1,180 @@
+//! Benchmark catalogs and the synthetic cloud workload sets of Table 1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vfpga_sim::SimTime;
+
+use crate::models::{RnnKind, RnnTask, SizeClass};
+
+/// The GRU/LSTM layer shapes of the paper's Table 4 (the first benchmark
+/// set, from DeepBench).
+pub fn table4_tasks() -> Vec<RnnTask> {
+    vec![
+        RnnTask::new(RnnKind::Gru, 512, 1),
+        RnnTask::new(RnnKind::Gru, 1024, 1500),
+        RnnTask::new(RnnKind::Gru, 1536, 375),
+        RnnTask::new(RnnKind::Lstm, 256, 150),
+        RnnTask::new(RnnKind::Lstm, 512, 25),
+        RnnTask::new(RnnKind::Lstm, 1024, 25),
+        RnnTask::new(RnnKind::Lstm, 1536, 50),
+    ]
+}
+
+/// The tasks of the Fig. 11 scale-out experiment: an LSTM whose transfer
+/// hides fully, a small GRU that hides up to ~0.6 us of added latency, and
+/// a large GRU that cannot hide the transfer.
+pub fn fig11_tasks() -> Vec<RnnTask> {
+    vec![
+        RnnTask::new(RnnKind::Lstm, 1024, 25),
+        RnnTask::new(RnnKind::Gru, 1024, 64),
+        RnnTask::new(RnnKind::Gru, 2560, 64),
+    ]
+}
+
+/// The full benchmark pool used to synthesize workload sets: Table 4 plus
+/// the large models exercised by the scale-out experiments.
+pub fn deepbench_tasks() -> Vec<RnnTask> {
+    let mut tasks = table4_tasks();
+    tasks.push(RnnTask::new(RnnKind::Gru, 2560, 64));
+    tasks.push(RnnTask::new(RnnKind::Lstm, 2560, 25));
+    tasks
+}
+
+/// One workload-set composition from Table 1: fractions of small, medium,
+/// and large tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Composition {
+    /// Fraction of small tasks.
+    pub s: f64,
+    /// Fraction of medium tasks.
+    pub m: f64,
+    /// Fraction of large tasks.
+    pub l: f64,
+}
+
+impl Composition {
+    /// The ten compositions of Table 1, in order (set index 1..=10).
+    pub const TABLE1: [Composition; 10] = [
+        Composition { s: 1.0, m: 0.0, l: 0.0 },
+        Composition { s: 0.0, m: 1.0, l: 0.0 },
+        Composition { s: 0.0, m: 0.0, l: 1.0 },
+        Composition { s: 0.5, m: 0.5, l: 0.0 },
+        Composition { s: 0.5, m: 0.0, l: 0.5 },
+        Composition { s: 0.0, m: 0.5, l: 0.5 },
+        Composition { s: 0.33, m: 0.33, l: 0.34 },
+        Composition { s: 0.1, m: 0.3, l: 0.6 },
+        Composition { s: 0.3, m: 0.6, l: 0.1 },
+        Composition { s: 0.6, m: 0.1, l: 0.3 },
+    ];
+}
+
+/// One arriving task of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskArrival {
+    /// Arrival time.
+    pub at: SimTime,
+    /// The task.
+    pub task: RnnTask,
+}
+
+/// Synthesizes a workload: `count` tasks drawn from the benchmark pool
+/// according to `composition`, arriving with exponentially distributed
+/// interarrival times of the given mean (the paper's "sequence of GRU/LSTM
+/// inference tasks that arrives at a random time interval").
+///
+/// # Panics
+///
+/// Panics if `count == 0` or the composition selects a class with no tasks
+/// in the pool.
+pub fn generate_workload(
+    composition: Composition,
+    count: usize,
+    mean_interarrival: SimTime,
+    seed: u64,
+) -> Vec<TaskArrival> {
+    assert!(count > 0, "empty workload");
+    let pool = deepbench_tasks();
+    let class_pool = |c: SizeClass| -> Vec<RnnTask> {
+        pool.iter().copied().filter(|t| t.size_class() == c).collect()
+    };
+    let small = class_pool(SizeClass::Small);
+    let medium = class_pool(SizeClass::Medium);
+    let large = class_pool(SizeClass::Large);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = SimTime::ZERO;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let u: f64 = rng.gen();
+        let class = if u < composition.s {
+            &small
+        } else if u < composition.s + composition.m {
+            &medium
+        } else {
+            &large
+        };
+        assert!(!class.is_empty(), "composition selects an empty size class");
+        let task = class[rng.gen_range(0..class.len())];
+        // Exponential interarrival.
+        let x: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = -x.ln() * mean_interarrival.as_secs();
+        now += SimTime::from_secs(gap);
+        out.push(TaskArrival { at: now, task });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_matches_paper_rows() {
+        let tasks = table4_tasks();
+        assert_eq!(tasks.len(), 7);
+        assert!(tasks.contains(&RnnTask::new(RnnKind::Gru, 1024, 1500)));
+        assert!(tasks.contains(&RnnTask::new(RnnKind::Lstm, 1536, 50)));
+    }
+
+    #[test]
+    fn compositions_sum_to_one() {
+        for c in Composition::TABLE1 {
+            assert!((c.s + c.m + c.l - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_ordered() {
+        let w1 = generate_workload(Composition::TABLE1[6], 100, SimTime::from_ms(1.0), 42);
+        let w2 = generate_workload(Composition::TABLE1[6], 100, SimTime::from_ms(1.0), 42);
+        assert_eq!(w1, w2);
+        assert!(w1.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(w1.len(), 100);
+    }
+
+    #[test]
+    fn pure_compositions_draw_one_class() {
+        let all_small = generate_workload(Composition::TABLE1[0], 50, SimTime::from_ms(1.0), 1);
+        assert!(all_small
+            .iter()
+            .all(|a| a.task.size_class() == SizeClass::Small));
+        let all_large = generate_workload(Composition::TABLE1[2], 50, SimTime::from_ms(1.0), 1);
+        assert!(all_large
+            .iter()
+            .all(|a| a.task.size_class() == SizeClass::Large));
+    }
+
+    #[test]
+    fn mixed_composition_draws_multiple_classes() {
+        let mixed = generate_workload(Composition::TABLE1[6], 300, SimTime::from_ms(1.0), 7);
+        let smalls = mixed
+            .iter()
+            .filter(|a| a.task.size_class() == SizeClass::Small)
+            .count();
+        let larges = mixed
+            .iter()
+            .filter(|a| a.task.size_class() == SizeClass::Large)
+            .count();
+        assert!(smalls > 50 && larges > 50);
+    }
+}

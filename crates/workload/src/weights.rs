@@ -1,0 +1,135 @@
+//! Deterministic weight and input generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vfpga_accel::FuncSim;
+use vfpga_isa::{F16, MReg};
+
+use crate::codegen::{SliceSpec, H_LOCAL_SLOT, H_STATE_SLOT, X_BASE_SLOT};
+use crate::models::RnnTask;
+
+/// The weights and inputs of one RNN task, generated deterministically
+/// from a seed. Matrices are ordered `W_gate0..W_gateN, U_gate0..U_gateN`
+/// and match the matrix registers the code generator references.
+#[derive(Debug, Clone)]
+pub struct RnnWeights {
+    task: RnnTask,
+    /// Per gate: W then U, each `hidden x hidden` row-major.
+    matrices: Vec<Vec<f32>>,
+    /// Input vectors x_0..x_{t-1}.
+    inputs: Vec<Vec<f32>>,
+    /// Initial hidden state.
+    h0: Vec<f32>,
+}
+
+impl RnnWeights {
+    /// Generates weights, inputs, and initial state for `task`.
+    ///
+    /// Values are scaled by `1/sqrt(hidden)` so activations stay in the
+    /// well-conditioned range of f16/BFP arithmetic, like trained RNN
+    /// weights do.
+    pub fn generate(task: RnnTask, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = task.hidden;
+        let scale = 1.0 / (h as f32).sqrt();
+        let gates = task.kind.gates();
+        let matrices = (0..2 * gates)
+            .map(|_| (0..h * h).map(|_| rng.gen_range(-scale..scale)).collect())
+            .collect();
+        let inputs = (0..task.timesteps)
+            .map(|_| (0..h).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let h0 = (0..h).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        RnnWeights {
+            task,
+            matrices,
+            inputs,
+            h0,
+        }
+    }
+
+    /// The task these weights belong to.
+    pub fn task(&self) -> RnnTask {
+        self.task
+    }
+
+    /// All matrices (W per gate, then U per gate), row-major.
+    pub fn matrices(&self) -> &[Vec<f32>] {
+        &self.matrices
+    }
+
+    /// The input vectors.
+    pub fn inputs(&self) -> &[Vec<f32>] {
+        &self.inputs
+    }
+
+    /// The initial hidden state.
+    pub fn h0(&self) -> &[f32] {
+        &self.h0
+    }
+
+    /// The row range `[start, end)` of `slice` for this task's hidden
+    /// dimension: rows are split as evenly as possible across machines.
+    pub fn row_range(&self, slice: SliceSpec) -> (usize, usize) {
+        slice.row_range(self.task.hidden)
+    }
+
+    /// Loads this task's (row-sliced) matrices, inputs, and initial state
+    /// into a functional simulator, matching the code generator's layout:
+    /// matrix register `k` holds the k-th matrix's row slice; `x_t` sits at
+    /// DRAM slot `X_BASE_SLOT + t` (full length); the hidden-state slots
+    /// hold `h0` (full for the exchanged slot, sliced for the local slot).
+    pub fn load_into(&self, sim: &mut FuncSim, slice: SliceSpec) {
+        let h = self.task.hidden;
+        let (r0, r1) = self.row_range(slice);
+        for (k, m) in self.matrices.iter().enumerate() {
+            let rows: Vec<f32> = m[r0 * h..r1 * h].to_vec();
+            sim.load_matrix(MReg(k as u16), r1 - r0, h, &rows);
+        }
+        for (t, x) in self.inputs.iter().enumerate() {
+            let v: Vec<F16> = x.iter().map(|&f| F16::from_f32(f)).collect();
+            sim.write_dram(X_BASE_SLOT + t as u32, &v);
+        }
+        let h0_full: Vec<F16> = self.h0.iter().map(|&f| F16::from_f32(f)).collect();
+        sim.write_dram(H_STATE_SLOT, &h0_full);
+        sim.write_dram(H_LOCAL_SLOT, &h0_full[r0..r1]);
+        // c0 = 0 for LSTM.
+        sim.write_dram(crate::codegen::C_LOCAL_SLOT, &vec![F16::ZERO; r1 - r0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::RnnKind;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t = RnnTask::new(RnnKind::Gru, 64, 3);
+        let a = RnnWeights::generate(t, 7);
+        let b = RnnWeights::generate(t, 7);
+        assert_eq!(a.matrices()[0], b.matrices()[0]);
+        assert_eq!(a.inputs()[2], b.inputs()[2]);
+        let c = RnnWeights::generate(t, 8);
+        assert_ne!(a.matrices()[0], c.matrices()[0]);
+    }
+
+    #[test]
+    fn shapes_match_task() {
+        let t = RnnTask::new(RnnKind::Lstm, 32, 5);
+        let w = RnnWeights::generate(t, 0);
+        assert_eq!(w.matrices().len(), 8);
+        assert_eq!(w.matrices()[0].len(), 32 * 32);
+        assert_eq!(w.inputs().len(), 5);
+        assert_eq!(w.h0().len(), 32);
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let t = RnnTask::new(RnnKind::Gru, 256, 1);
+        let w = RnnWeights::generate(t, 1);
+        let scale = 1.0 / (256f32).sqrt();
+        assert!(w.matrices()[0].iter().all(|v| v.abs() <= scale));
+        assert!(w.inputs()[0].iter().all(|v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Scale-out acceleration across two FPGAs (the Section 2.3 optimization).
+//!
+//! ```text
+//! cargo run --release --example scale_out
+//! ```
+//!
+//! Scales a GRU accelerator down into two half-size accelerators, inserts
+//! the inter-FPGA send/receive instructions the synchronization template
+//! module intercepts, reorders for communication/computation overlap, then
+//!
+//! * co-simulates the two machines *functionally* and checks the result
+//!   bit-for-bit against a single-machine run, and
+//! * co-simulates them at cycle level while sweeping an artificial link
+//!   latency, showing how the overlap optimization hides it.
+
+use vfpga::accel::{AcceleratorConfig, CycleSim, FuncSim, TimingModel};
+use vfpga::core::scaleout::{insert_communication, remote_window, reorder_for_overlap};
+use vfpga::runtime::{co_simulate_functional, co_simulate_timing};
+use vfpga::sim::{LinkParams, SimTime};
+use vfpga::workload::{
+    generate_program, reference_run, RnnKind, RnnTask, RnnWeights, SliceSpec, H_LOCAL_SLOT,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = RnnTask::new(RnnKind::Gru, 128, 8);
+    let weights = RnnWeights::generate(task, 42);
+    let machines = 2usize;
+    let full = AcceleratorConfig::new("scaleout-demo", 4);
+    let scaled = full.scaled_down(machines);
+    println!(
+        "task {task}; scaling {} tiles down to {} tiles x {machines} machines",
+        full.tiles, scaled.tiles
+    );
+
+    // Per-machine programs: row-sliced codegen, then the two custom tools.
+    let mut programs = Vec::new();
+    let mut rnns = Vec::new();
+    for m in 0..machines {
+        let rnn = generate_program(task, SliceSpec::new(m, machines));
+        let window = remote_window(&scaled.isa, m, machines);
+        let with_comm = insert_communication(&rnn.program, &rnn.state_slots, &window)?;
+        let reordered = reorder_for_overlap(&with_comm, &window)?;
+        println!(
+            "machine {m}: {} -> {} instructions after communication insertion",
+            rnn.program.len(),
+            reordered.len()
+        );
+        programs.push(reordered);
+        rnns.push(rnn);
+    }
+
+    // ---- functional co-simulation --------------------------------------
+    let mut sims: Vec<FuncSim> = (0..machines)
+        .map(|m| {
+            let mut sim = FuncSim::new(&scaled);
+            sim.set_remote_window(Some(remote_window(&scaled.isa, m, machines)));
+            weights.load_into(&mut sim, SliceSpec::new(m, machines));
+            sim
+        })
+        .collect();
+    co_simulate_functional(&mut sims, &programs)?;
+
+    // Gather each machine's final h slice and compare with the reference.
+    let mut h = Vec::new();
+    for sim in &sims {
+        h.extend_from_slice(sim.read_dram(H_LOCAL_SLOT).expect("h slice"));
+    }
+    let reference = reference_run(&weights);
+    let max_err = h
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a.to_f32() - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("2-FPGA result vs f32 reference: max error {max_err:.4}");
+    assert!(max_err < 0.05);
+
+    // Bit-exactness vs a single-machine run of the same numerics.
+    let single_rnn = generate_program(task, SliceSpec::FULL);
+    let mut single = FuncSim::new(&full);
+    weights.load_into(&mut single, SliceSpec::FULL);
+    single.run(&single_rnn.program)?;
+    let single_h = single.read_dram(H_LOCAL_SLOT).unwrap();
+    let exact = h
+        .iter()
+        .zip(single_h)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!("bit-exact match with single-FPGA execution: {exact}");
+    assert!(exact, "row-sliced execution must be bit-exact");
+
+    // ---- timing co-simulation: sweep added link latency ----------------
+    let link = LinkParams::new(SimTime::from_ns(500.0), 25.0);
+    println!("\nadded-latency sweep (2 FPGAs, overlap optimization ON):");
+    for added_ns in [0.0, 250.0, 500.0, 1000.0] {
+        let mut cycle_sims: Vec<CycleSim> = (0..machines)
+            .map(|m| {
+                let mut s = CycleSim::new(
+                    TimingModel::for_config(&scaled, 400.0),
+                    &programs[m],
+                    rnns[m].mat_shapes.clone(),
+                    rnns[m].dram_lens.clone(),
+                );
+                s.set_remote_window(Some(remote_window(&scaled.isa, m, machines)));
+                s
+            })
+            .collect();
+        let result = co_simulate_timing(&mut cycle_sims, link, SimTime::from_ns(added_ns))?;
+        println!(
+            "  +{added_ns:6.0} ns link latency -> inference latency {:.3} us",
+            result.makespan.as_us()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # vfpga — a multi-layer virtualization framework for heterogeneous cloud FPGAs
+//!
+//! Umbrella crate re-exporting the full vfpga workspace, a from-scratch Rust
+//! reproduction of:
+//!
+//! > Yue Zha and Jing Li. *When Application-Specific ISA Meets FPGAs: A
+//! > Multi-layer Virtualization Framework for Heterogeneous Cloud FPGAs.*
+//! > ASPLOS 2021.
+//!
+//! The layers, bottom to top:
+//!
+//! * [`fabric`] — FPGA device and cluster models (XCVU37P, XCKU115, ring).
+//! * [`rtl`] — structural RTL IR that accelerators are decomposed from.
+//! * [`hls`] — a parallel-pattern dataflow DSL lowering to that RTL (the
+//!   high-level entry point the paper's extensibility argument enables).
+//! * [`isa`] — the BrainWave-like application-specific ISA and its numerics
+//!   (IEEE half precision and block floating point).
+//! * [`accel`] — the parameterized BrainWave-like accelerator: RTL generator,
+//!   resource/timing estimation, and a bit-accurate functional simulator.
+//! * [`hsabs`] — the ViTAL-like hardware-specific abstraction (virtual
+//!   blocks, latency-insensitive interfaces, low-level controller).
+//! * [`core`] — **the paper's contribution**: the soft-block system
+//!   abstraction, decomposing and partitioning tools, and the scale-out
+//!   optimization (scale-down, instruction insertion, reordering).
+//! * [`runtime`] — the system controller, runtime policies, and the
+//!   discrete-event cloud simulation.
+//! * [`workload`] — DeepBench-style GRU/LSTM benchmarks and the synthetic
+//!   cloud workload sets of Table 1.
+//! * [`sim`] — the deterministic discrete-event simulation engine.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use vfpga_accel as accel;
+pub use vfpga_core as core;
+pub use vfpga_fabric as fabric;
+pub use vfpga_hls as hls;
+pub use vfpga_hsabs as hsabs;
+pub use vfpga_isa as isa;
+pub use vfpga_rtl as rtl;
+pub use vfpga_runtime as runtime;
+pub use vfpga_sim as sim;
+pub use vfpga_workload as workload;
