@@ -106,8 +106,8 @@ impl AcceleratorConfig {
     /// 8-bit exponent per block.
     pub fn matrix_storage_kb(&self, rows: usize, cols: usize) -> u64 {
         let blocks_per_row = cols.div_ceil(self.bfp.block_size) as u64;
-        let bits = rows as u64
-            * (cols as u64 * u64::from(self.bfp.mantissa_bits) + blocks_per_row * 8);
+        let bits =
+            rows as u64 * (cols as u64 * u64::from(self.bfp.mantissa_bits) + blocks_per_row * 8);
         bits.div_ceil(1024)
     }
 

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use vfpga_isa::{BfpFormat, F16, Instruction, IsaConfig, MReg, Program, VReg};
+use vfpga_isa::{BfpFormat, Instruction, IsaConfig, MReg, Program, VReg, F16};
 
 use crate::config::AcceleratorConfig;
 use crate::matrix::{MatrixMemory, QuantizedMatrix};
@@ -45,7 +45,10 @@ impl fmt::Display for SimError {
             }
             SimError::NoProgram => write!(f, "no program started"),
             SimError::RemoteNotConfigured(a) => {
-                write!(f, "remote access to slot {a} outside a scale-out simulation")
+                write!(
+                    f,
+                    "remote access to slot {a} outside a scale-out simulation"
+                )
             }
             SimError::MissingHalt => write!(f, "program ended without halt"),
         }
@@ -266,7 +269,10 @@ impl FuncSim {
     /// Delivers one vector from peer `from_machine` on `chan` (FIFO per
     /// channel/peer pair).
     pub fn inject_remote(&mut self, chan: u32, from_machine: usize, data: Vec<F16>) {
-        self.inbox.entry((chan, from_machine)).or_default().push(data);
+        self.inbox
+            .entry((chan, from_machine))
+            .or_default()
+            .push(data);
     }
 
     /// Drains the outgoing sends produced since the last call.
@@ -296,15 +302,13 @@ impl FuncSim {
             VLoad { dst, addr } => {
                 let access = self.remote.and_then(|w| w.classify(addr));
                 match access {
-                    Some(RemoteAccess::Recv(chan)) => {
-                        match self.combine_recv(chan) {
-                            Some(v) => {
-                                self.stats.recvs += 1;
-                                self.set_vreg(dst, v);
-                            }
-                            None => return Ok(StepOutcome::NeedsRemote { chan }),
+                    Some(RemoteAccess::Recv(chan)) => match self.combine_recv(chan) {
+                        Some(v) => {
+                            self.stats.recvs += 1;
+                            self.set_vreg(dst, v);
                         }
-                    }
+                        None => return Ok(StepOutcome::NeedsRemote { chan }),
+                    },
                     Some(RemoteAccess::Send(_)) | None => {
                         let v = self
                             .dram
@@ -335,10 +339,7 @@ impl FuncSim {
             }
             MvMul { dst, mat, src } => {
                 self.stats.mvm += 1;
-                let m = self
-                    .matmem
-                    .get(mat)
-                    .ok_or(SimError::UnloadedMatrix(mat))?;
+                let m = self.matmem.get(mat).ok_or(SimError::UnloadedMatrix(mat))?;
                 let x = self.get_vreg(src)?;
                 if x.len() != m.cols() {
                     return Err(SimError::LengthMismatch {
@@ -394,10 +395,7 @@ impl FuncSim {
         for m in 0..window.num_machines {
             if m == window.machine_index {
                 combined.extend_from_slice(
-                    self.sent_local
-                        .get(&chan)
-                        .map(Vec::as_slice)
-                        .unwrap_or(&[]),
+                    self.sent_local.get(&chan).map(Vec::as_slice).unwrap_or(&[]),
                 );
             } else {
                 let part = self
@@ -480,10 +478,8 @@ mod tests {
         // W = [[1, 2], [3, 4]] scaled by 1/8 to stay accurate in BFP.
         s.load_matrix(MReg(0), 2, 2, &[0.125, 0.25, 0.375, 0.5]);
         s.write_dram(0, &f16v(&[1.0, 1.0]));
-        let p = assemble(
-            "vload v0, 0\nmvmul v1, m0, v0\nvadd v2, v1, v1\nvstore v2, 1\nhalt\n",
-        )
-        .unwrap();
+        let p = assemble("vload v0, 0\nmvmul v1, m0, v0\nvadd v2, v1, v1\nvstore v2, 1\nhalt\n")
+            .unwrap();
         s.run(&p).unwrap();
         let y = s.read_dram(1).unwrap();
         assert!((y[0].to_f32() - 0.75).abs() < 0.01);
@@ -535,8 +531,8 @@ mod tests {
         let mut m0 = sim();
         m0.set_remote_window(Some(window0));
         // Machine 0 sends its half, then receives the combined vector.
-        let p = assemble("vload v0, 0\nvstore v0, 1000\nvload v1, 2000\nvstore v1, 5\nhalt\n")
-            .unwrap();
+        let p =
+            assemble("vload v0, 0\nvstore v0, 1000\nvload v1, 2000\nvstore v1, 5\nhalt\n").unwrap();
         m0.write_dram(0, &f16v(&[1.0, 2.0]));
         m0.start(&p).unwrap();
         // Step until blocked on the receive.

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use vfpga_isa::{BfpFormat, BfpVector, F16, MReg};
+use vfpga_isa::{BfpFormat, BfpVector, MReg, F16};
 
 /// A matrix quantized row-by-row into BFP blocks, as the tile engines
 /// consume it. Weights are quantized once at load time, mirroring the
@@ -103,7 +103,10 @@ impl MatrixMemory {
 
     /// Total storage used by all loaded matrices, in kilobits.
     pub fn used_kb(&self) -> u64 {
-        self.matrices.values().map(QuantizedMatrix::storage_kb).sum()
+        self.matrices
+            .values()
+            .map(QuantizedMatrix::storage_kb)
+            .sum()
     }
 
     /// Number of loaded matrices.
@@ -146,7 +149,9 @@ mod tests {
         let data: Vec<f32> = (0..rows * cols)
             .map(|i| ((i * 31 % 97) as f32 / 97.0) - 0.5)
             .collect();
-        let x: Vec<f32> = (0..cols).map(|i| ((i * 17 % 13) as f32 / 13.0) - 0.5).collect();
+        let x: Vec<f32> = (0..cols)
+            .map(|i| ((i * 17 % 13) as f32 / 13.0) - 0.5)
+            .collect();
         let m = QuantizedMatrix::quantize(BfpFormat::MS_FP9, rows, cols, &data);
         let y = m.mvmul(&f16v(&x));
         for r in 0..rows {
@@ -161,12 +166,7 @@ mod tests {
 
     #[test]
     fn storage_matches_config_formula() {
-        let m = QuantizedMatrix::quantize(
-            BfpFormat::MS_FP9,
-            64,
-            64,
-            &vec![0.1; 64 * 64],
-        );
+        let m = QuantizedMatrix::quantize(BfpFormat::MS_FP9, 64, 64, &vec![0.1; 64 * 64]);
         // 64 rows * (64*9 + 4 blocks * 8) bits = 64*608 = 38912 bits = 38 Kb.
         assert_eq!(m.storage_kb(), 38912u64.div_ceil(1024));
     }

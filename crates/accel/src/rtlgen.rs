@@ -66,7 +66,10 @@ pub fn generate_rtl(config: &AcceleratorConfig) -> Design {
             &mut d,
             ModuleDecl::leaf(
                 "bw_ibuf",
-                vec![Port::input("fill", ctrl_bus), Port::output("instr", ctrl_bus)],
+                vec![
+                    Port::input("fill", ctrl_bus),
+                    Port::output("instr", ctrl_bus),
+                ],
                 "instruction_buffer",
             ),
         );
@@ -75,7 +78,10 @@ pub fn generate_rtl(config: &AcceleratorConfig) -> Design {
         &mut d,
         ModuleDecl::leaf(
             "bw_ifetch",
-            vec![Port::input("instr_in", ctrl_bus), Port::output("instr", ctrl_bus)],
+            vec![
+                Port::input("instr_in", ctrl_bus),
+                Port::output("instr", ctrl_bus),
+            ],
             "instruction_fetch",
         ),
     );
@@ -83,7 +89,10 @@ pub fn generate_rtl(config: &AcceleratorConfig) -> Design {
         &mut d,
         ModuleDecl::leaf(
             "bw_idecode",
-            vec![Port::input("instr", ctrl_bus), Port::output("uops", ctrl_bus)],
+            vec![
+                Port::input("instr", ctrl_bus),
+                Port::output("uops", ctrl_bus),
+            ],
             "instruction_decode",
         ),
     );
@@ -225,7 +234,11 @@ pub fn generate_rtl(config: &AcceleratorConfig) -> Design {
         tile.add_wire("yf", slice_bus);
         tile.add_wire("s", slice_bus);
         tile.add_wire("m", slice_bus);
-        tile.add_instance(Instance::new("u_wbank", "bw_wbank", [("x", "x"), ("xw", "xw")]));
+        tile.add_instance(Instance::new(
+            "u_wbank",
+            "bw_wbank",
+            [("x", "x"), ("xw", "xw")],
+        ));
         tile.add_instance(Instance::new("u_dpu", "bw_dpu", [("xw", "xw"), ("p", "p")]));
         tile.add_instance(Instance::new("u_acc", "bw_acc", [("p", "p"), ("y", "yq")]));
         tile.add_instance(Instance::new(
@@ -233,8 +246,16 @@ pub fn generate_rtl(config: &AcceleratorConfig) -> Design {
             "bw_bfp_to_fp16",
             [("x", "yq"), ("y", "yf")],
         ));
-        tile.add_instance(Instance::new("u_addsub", "bw_addsub", [("a", "yf"), ("y", "s")]));
-        tile.add_instance(Instance::new("u_mulew", "bw_mulew", [("a", "s"), ("y", "m")]));
+        tile.add_instance(Instance::new(
+            "u_addsub",
+            "bw_addsub",
+            [("a", "yf"), ("y", "s")],
+        ));
+        tile.add_instance(Instance::new(
+            "u_mulew",
+            "bw_mulew",
+            [("a", "s"), ("y", "m")],
+        ));
         tile.add_instance(Instance::new("u_act", "bw_act", [("x", "m"), ("y", "y")]));
         add(&mut d, tile);
     }
@@ -290,7 +311,11 @@ pub fn generate_rtl(config: &AcceleratorConfig) -> Design {
         top.add_instance(Instance::new(
             "u_datapath",
             DATA_PATH_MODULE,
-            [("data_in", "data_in"), ("ctl", "ctl"), ("data_out", "data_out")],
+            [
+                ("data_in", "data_in"),
+                ("ctl", "ctl"),
+                ("data_out", "data_out"),
+            ],
         ));
         add(&mut d, top);
     }

@@ -340,7 +340,10 @@ impl CycleSim {
                     self.reg_ready[usize::from(dst.0)] = done;
                     done
                 }
-                VMov { dst, src } | Sigmoid { dst, src } | Tanh { dst, src } | Relu { dst, src } => {
+                VMov { dst, src }
+                | Sigmoid { dst, src }
+                | Tanh { dst, src }
+                | Relu { dst, src } => {
                     let len = self.vreg_len[usize::from(src.0)];
                     self.vreg_len[usize::from(dst.0)] = len;
                     let done = self.mfu_issue(issue, len);
@@ -470,7 +473,10 @@ mod tests {
     #[test]
     fn independent_ops_pipeline_dependent_ops_serialize() {
         // Two independent MVMs overlap; two dependent ones serialize.
-        let shapes = [(0u16, (1024usize, 1024usize)), (1u16, (1024usize, 1024usize))];
+        let shapes = [
+            (0u16, (1024usize, 1024usize)),
+            (1u16, (1024usize, 1024usize)),
+        ];
         let independent = time_of(
             "vload v0, 0\nmvmul v1, m0, v0\nmvmul v2, m1, v0\nhalt\n",
             4,

@@ -1,45 +1,29 @@
-//! Criterion benchmarks of the experiment kernels themselves: one bench
-//! per table/figure of the evaluation (the `repro` binary prints the
-//! results; these track the cost of regenerating them).
+//! Benchmarks of the experiment kernels themselves: one bench per
+//! table/figure of the evaluation (the `repro` binary prints the results;
+//! these track the cost of regenerating them).
+//!
+//! Run with `cargo bench -p vfpga-bench --bench experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use vfpga_bench::harness::bench;
 use vfpga_bench::{fig11, fig12, tables, Catalog};
 use vfpga_runtime::Policy;
 use vfpga_sim::SimTime;
 use vfpga_workload::{RnnKind, RnnTask};
 
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2/implementations", |b| b.iter(tables::table2));
-}
+fn main() {
+    bench("table2/implementations", tables::table2);
+    bench("table3/virtual_blocks", tables::table3);
 
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3/virtual_blocks", |b| b.iter(tables::table3));
-}
-
-fn bench_table4(c: &mut Criterion) {
     let catalog = Catalog::build();
-    c.bench_function("table4/latency_rows", |b| b.iter(|| tables::table4(&catalog)));
-}
+    bench("table4/latency_rows", || tables::table4(&catalog));
 
-fn bench_fig11_point(c: &mut Criterion) {
     let task = RnnTask::new(RnnKind::Lstm, 1024, 8);
     let added = [SimTime::from_ns(500.0)];
-    c.bench_function("fig11/one_point_lstm1024", |b| {
-        b.iter(|| fig11::sweep(task, 2, &added, true))
+    bench("fig11/one_point_lstm1024", || {
+        fig11::sweep(task, 2, &added, true)
+    });
+
+    bench("fig12/one_set_full_policy", || {
+        fig12::run_set(&catalog, 7, Policy::Full, 40, 1)
     });
 }
-
-fn bench_fig12_set(c: &mut Criterion) {
-    let catalog = Catalog::build();
-    c.bench_function("fig12/one_set_full_policy", |b| {
-        b.iter(|| fig12::run_set(&catalog, 7, Policy::Full, 40, 1))
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table2, bench_table3, bench_table4, bench_fig11_point, bench_fig12_set
-}
-criterion_main!(benches);

@@ -1,9 +1,10 @@
-//! Criterion microbenchmarks of the framework's offline tools and runtime
-//! hot paths: the costs Section 4.3 argues are negligible or amortizable.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Microbenchmarks of the framework's offline tools and runtime hot
+//! paths: the costs Section 4.3 argues are negligible or amortizable.
+//!
+//! Run with `cargo bench -p vfpga-bench --bench tools`.
 
 use vfpga_accel::{generate_rtl, leaf_resource_estimator, AcceleratorConfig};
+use vfpga_bench::harness::bench;
 use vfpga_bench::Catalog;
 use vfpga_core::scaleout::{insert_communication, remote_window, reorder_for_overlap};
 use vfpga_core::{decompose, partition, DecomposeOptions};
@@ -12,8 +13,7 @@ use vfpga_runtime::{Policy, SystemController};
 use vfpga_workload::{generate_program, RnnKind, RnnTask, SliceSpec};
 
 /// The decomposing tool over growing accelerator sizes (Section 2.2.1).
-fn bench_decompose(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decompose");
+fn bench_decompose() {
     for tiles in [4usize, 12, 21] {
         let config = AcceleratorConfig::new("bench", tiles);
         let design = generate_rtl(&config);
@@ -25,61 +25,54 @@ fn bench_decompose(c: &mut Criterion) {
         opts.intra_parallelism
             .insert("dpu_array".into(), config.rows_per_cycle);
         let est = leaf_resource_estimator(&config);
-        group.bench_with_input(BenchmarkId::from_parameter(tiles), &tiles, |b, _| {
-            b.iter(|| decompose(&design, vfpga_accel::TOP_MODULE, &opts, &est).unwrap())
+        bench(&format!("decompose/{tiles}"), || {
+            decompose(&design, vfpga_accel::TOP_MODULE, &opts, &est).unwrap()
         });
     }
-    group.finish();
 }
 
 /// The partitioning tool (Section 2.2.2) at increasing iteration depth.
-fn bench_partition(c: &mut Criterion) {
+fn bench_partition() {
     let config = AcceleratorConfig::new("bench", 21);
     let (decomp, _) = Catalog::compile_instance(&config, 1);
-    let mut group = c.benchmark_group("partition");
     for iters in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &i| {
-            b.iter(|| partition(&decomp.tree, i))
+        bench(&format!("partition/{iters}"), || {
+            partition(&decomp.tree, iters)
         });
     }
-    group.finish();
 }
 
 /// The scale-out instruction tools over a real GRU program.
-fn bench_scaleout_tools(c: &mut Criterion) {
+fn bench_scaleout_tools() {
     let task = RnnTask::new(RnnKind::Gru, 1024, 64);
     let rnn = generate_program(task, SliceSpec::new(0, 2));
     let window = remote_window(&vfpga_isa::IsaConfig::default(), 0, 2);
-    c.bench_function("insert_communication/gru1024_t64", |b| {
-        b.iter(|| insert_communication(&rnn.program, &rnn.state_slots, &window).unwrap())
+    bench("insert_communication/gru1024_t64", || {
+        insert_communication(&rnn.program, &rnn.state_slots, &window).unwrap()
     });
     let with_comm = insert_communication(&rnn.program, &rnn.state_slots, &window).unwrap();
-    c.bench_function("reorder_for_overlap/gru1024_t64", |b| {
-        b.iter(|| reorder_for_overlap(&with_comm, &window).unwrap())
+    bench("reorder_for_overlap/gru1024_t64", || {
+        reorder_for_overlap(&with_comm, &window).unwrap()
     });
-    c.bench_function("encode/gru1024_t64", |b| b.iter(|| encode(&with_comm)));
+    bench("encode/gru1024_t64", || encode(&with_comm));
 }
 
 /// Runtime allocation: a deploy/release cycle through the system
 /// controller (the paper argues the greedy policy's overhead is
 /// negligible).
-fn bench_allocation(c: &mut Criterion) {
+fn bench_allocation() {
     let catalog = Catalog::build();
     let mut controller =
         SystemController::new(catalog.cluster.clone(), catalog.db.clone(), Policy::Full);
-    c.bench_function("deploy_release/bw-s", |b| {
-        b.iter(|| {
-            let d = controller.try_deploy("bw-s").unwrap().unwrap();
-            controller.release(&d).unwrap();
-        })
+    bench("deploy_release/bw-s", || {
+        let d = controller.try_deploy("bw-s").unwrap().unwrap();
+        controller.release(&d).unwrap();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_decompose,
-    bench_partition,
-    bench_scaleout_tools,
-    bench_allocation
-);
-criterion_main!(benches);
+fn main() {
+    bench_decompose();
+    bench_partition();
+    bench_scaleout_tools();
+    bench_allocation();
+}

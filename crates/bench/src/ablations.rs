@@ -72,7 +72,12 @@ pub fn instruction_buffer() -> BufferAblation {
     let rnn = generate_program(task, SliceSpec::FULL);
     let run = |config: &AcceleratorConfig| {
         let model = TimingModel::for_config(config, 400.0);
-        let mut sim = CycleSim::new(model, &rnn.program, rnn.mat_shapes.clone(), rnn.dram_lens.clone());
+        let mut sim = CycleSim::new(
+            model,
+            &rnn.program,
+            rnn.mat_shapes.clone(),
+            rnn.dram_lens.clone(),
+        );
         sim.run_local()
     };
     let with = AcceleratorConfig::new("d4", 8).with_bfp(storage_bfp());

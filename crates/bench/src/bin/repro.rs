@@ -1,16 +1,45 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|all]
+//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|all] [--json PATH]
 //! ```
+//!
+//! Runs covering Fig. 11 or Fig. 12 also write a machine-readable metrics
+//! artifact (per-run throughput, latency percentiles, occupancy time
+//! series, rejection-reason counts) to `target/repro-metrics.json`, or to
+//! the path given with `--json`.
 
-use vfpga_bench::{ablations, catalog::Catalog, density, fig11, fig12, isolation, overhead, tables};
-use vfpga_sim::SimTime;
+use vfpga_bench::{
+    ablations, catalog::Catalog, density, fig11, fig12, isolation, overhead, tables,
+};
+use vfpga_sim::{Json, SimTime};
 use vfpga_workload::fig11_tasks;
 
+/// Default location of the metrics artifact.
+const DEFAULT_ARTIFACT: &str = "target/repro-metrics.json";
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut json_path = DEFAULT_ARTIFACT.to_string();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            match args.get(i + 1) {
+                Some(p) => json_path = p.clone(),
+                None => {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            which = args[i].clone();
+            i += 1;
+        }
+    }
     let all = which == "all";
+    let mut artifact: Vec<(&str, Json)> = Vec::new();
     if all || which == "table2" {
         print_table2();
     }
@@ -21,10 +50,10 @@ fn main() {
         print_table4();
     }
     if all || which == "fig11" {
-        print_fig11();
+        artifact.push(("fig11", print_fig11()));
     }
     if all || which == "fig12" {
-        print_fig12();
+        artifact.push(("fig12", print_fig12()));
     }
     if all || which == "overhead" {
         print_overhead();
@@ -39,12 +68,38 @@ fn main() {
         print_isolation();
     }
     if !all
-        && !["table2", "table3", "table4", "fig11", "fig12", "overhead", "ablations", "density", "isolation"]
-            .contains(&which.as_str())
+        && ![
+            "table2",
+            "table3",
+            "table4",
+            "fig11",
+            "fig12",
+            "overhead",
+            "ablations",
+            "density",
+            "isolation",
+        ]
+        .contains(&which.as_str())
     {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|all]");
+        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|all] [--json PATH]");
         std::process::exit(2);
+    }
+    if !artifact.is_empty() {
+        let mut root = Json::obj().field("experiment", which.as_str());
+        for (key, value) in artifact {
+            root = root.field(key, value);
+        }
+        if let Some(parent) = std::path::Path::new(&json_path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&json_path, root.pretty()) {
+            Ok(()) => eprintln!("wrote metrics artifact to {json_path}"),
+            Err(e) => {
+                eprintln!("failed to write metrics artifact {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -163,9 +218,10 @@ fn print_table4() {
     println!();
 }
 
-fn print_fig11() {
+fn print_fig11() -> Json {
     println!("== Fig 11: impact of inter-FPGA communication latency (2 FPGAs) ==");
     let added = fig11::default_sweep_points();
+    let mut series_json = Vec::new();
     for task in fig11_tasks() {
         for optimized in [true, false] {
             let series = fig11::sweep(task, 2, &added, optimized);
@@ -186,15 +242,18 @@ fn print_fig11() {
                     series.single_fpga.as_ms()
                 );
             }
+            series_json.push(series.to_json());
         }
     }
     println!();
+    Json::obj().field("series", Json::Arr(series_json))
 }
 
-fn print_fig12() {
+fn print_fig12() -> Json {
     println!("== Fig 12: aggregated system throughput (tasks/s) ==");
     let catalog = Catalog::build();
-    let rows = fig12::run_all_sets(&catalog, 120, 2024);
+    let reports = fig12::run_all_sets_detailed(&catalog, 120, 2024);
+    let rows: Vec<fig12::Fig12Row> = reports.iter().map(fig12::Fig12SetReport::row).collect();
     println!(
         "{:>4} {:>12} {:>12} {:>12} {:>9}",
         "set", "baseline", "restricted", "this work", "speedup"
@@ -202,7 +261,11 @@ fn print_fig12() {
     for r in &rows {
         println!(
             "{:>4} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x",
-            r.set, r.baseline, r.restricted, r.full, r.speedup()
+            r.set,
+            r.baseline,
+            r.restricted,
+            r.full,
+            r.speedup()
         );
     }
     println!(
@@ -219,6 +282,7 @@ fn print_fig12() {
         100.0 * (restricted_gain - 1.0)
     );
     println!();
+    fig12::to_json(&reports)
 }
 
 fn print_overhead() {

@@ -8,7 +8,9 @@ use vfpga_accel::{
     generate_rtl, leaf_resource_estimator, AcceleratorConfig, CycleSim, TimingModel,
     CONTROL_PATH_MODULE, MOVED_TO_CONTROL, TOP_MODULE,
 };
-use vfpga_core::{decompose, partition, DecomposeOptions, Decomposition, MappingDatabase, PartitionTree};
+use vfpga_core::{
+    decompose, partition, DecomposeOptions, Decomposition, MappingDatabase, PartitionTree,
+};
 use vfpga_fabric::{Cluster, DeviceType, MemoryKind};
 use vfpga_hsabs::{HsCompiler, InterfaceModel};
 use vfpga_runtime::{Deployment, Policy};
@@ -246,12 +248,7 @@ impl Catalog {
     ///   with the unit count), and
     /// * partially-overlapped inter-FPGA traffic for multi-unit
     ///   deployments.
-    pub fn service_time(
-        &self,
-        task: &RnnTask,
-        deployment: &Deployment,
-        policy: Policy,
-    ) -> SimTime {
+    pub fn service_time(&self, task: &RnnTask, deployment: &Deployment, policy: Policy) -> SimTime {
         // The baseline system runs every task on the accelerator that was
         // statically compiled onto its device offline (the paper's "low
         // elasticity"); the framework runs the demand-sized instance.
@@ -295,8 +292,7 @@ impl Catalog {
 
         // Weight-streaming penalty on capacity deficit.
         let needed = self.task_weight_kb(task, &instance) as f64;
-        let capacity =
-            (spec.config.weight_memory_kb * deployment.num_units() as u64) as f64;
+        let capacity = (spec.config.weight_memory_kb * deployment.num_units() as u64) as f64;
         let stream_factor = if needed <= capacity {
             1.0
         } else {
@@ -367,12 +363,7 @@ mod tests {
         ] {
             let name = c.instance_for(&task);
             let base = c.task_latency(&task, &name, 400.0, 0);
-            let virt = c.task_latency(
-                &task,
-                &name,
-                400.0,
-                vfpga_core::PATTERN_AWARE_CROSSINGS,
-            );
+            let virt = c.task_latency(&task, &name, 400.0, vfpga_core::PATTERN_AWARE_CROSSINGS);
             let overhead = (virt.as_secs() - base.as_secs()) / base.as_secs();
             assert!(
                 (0.005..0.12).contains(&overhead),

@@ -4,7 +4,7 @@
 use vfpga_accel::{AcceleratorConfig, CycleSim, TimingModel};
 use vfpga_core::scaleout::{insert_communication, remote_window, reorder_for_overlap};
 use vfpga_runtime::co_simulate_timing;
-use vfpga_sim::SimTime;
+use vfpga_sim::{Json, SimTime};
 use vfpga_workload::{generate_program, RnnTask, SliceSpec};
 
 use crate::catalog::{ring_link, storage_bfp};
@@ -44,6 +44,32 @@ impl Fig11Series {
             .last()
             .map(|p| p.added_latency)
     }
+
+    /// Serializes the series: points as `[added_ns, latency_ms]` pairs.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("task", self.task.to_string())
+            .field("optimized", self.optimized)
+            .field("single_fpga_ms", self.single_fpga.as_ms())
+            .field(
+                "hidden_up_to_ns",
+                self.hidden_up_to(0.02).map(|t| t.as_ns()),
+            )
+            .field(
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::Arr(vec![
+                                Json::from(p.added_latency.as_ns()),
+                                Json::from(p.latency.as_ms()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+    }
 }
 
 /// The scaled-down accelerator configuration used for one machine of a
@@ -70,12 +96,7 @@ fn scaled_config(task: &RnnTask, machines: usize) -> AcceleratorConfig {
 /// latency, with or without the overlap optimization (instruction
 /// reordering). Both FPGAs are XCVU37P-class (400 MHz), as in the paper's
 /// setup.
-pub fn sweep(
-    task: RnnTask,
-    machines: usize,
-    added: &[SimTime],
-    optimized: bool,
-) -> Fig11Series {
+pub fn sweep(task: RnnTask, machines: usize, added: &[SimTime], optimized: bool) -> Fig11Series {
     let cfg = scaled_config(&task, machines);
     let mut points = Vec::with_capacity(added.len());
     for &added_latency in added {
@@ -104,8 +125,8 @@ pub fn sweep(
     }
 
     // Single-FPGA reference: the full-size accelerator, no communication.
-    let full = AcceleratorConfig::new("fig11-full", scaled_config(&task, 1).tiles)
-        .with_bfp(storage_bfp());
+    let full =
+        AcceleratorConfig::new("fig11-full", scaled_config(&task, 1).tiles).with_bfp(storage_bfp());
     let rnn = generate_program(task, SliceSpec::FULL);
     let mut single = CycleSim::new(
         TimingModel::for_config(&full, 400.0),
@@ -127,7 +148,9 @@ pub fn sweep(
 /// paper sweeps to ~1 us; we extend the range so the small GRU's
 /// crossover point is visible inside the plot).
 pub fn default_sweep_points() -> Vec<SimTime> {
-    (0..=10).map(|i| SimTime::from_ns(i as f64 * 200.0)).collect()
+    (0..=10)
+        .map(|i| SimTime::from_ns(i as f64 * 200.0))
+        .collect()
 }
 
 #[cfg(test)]
@@ -160,7 +183,10 @@ mod tests {
         let (l, gs, gl) = (hidden(&lstm), hidden(&gru_small), hidden(&gru_large));
         assert!(l > gs, "lstm hides {l}, small gru hides {gs}");
         assert!(gs > gl, "small gru hides {gs}, large gru hides {gl}");
-        assert!(gl <= SimTime::from_ns(200.0), "large gru should hide ~none, hides {gl}");
+        assert!(
+            gl <= SimTime::from_ns(200.0),
+            "large gru should hide ~none, hides {gl}"
+        );
         // The small GRU's crossover sits well inside the sweep (paper:
         // ~0.6 us).
         assert!(gs >= SimTime::from_ns(400.0) && gs <= SimTime::from_ns(1600.0));

@@ -1,8 +1,8 @@
 //! Regeneration of Fig. 12: aggregated system throughput over the ten
 //! synthetic workload sets, under the three runtime systems.
 
-use vfpga_runtime::{run_cloud_sim, Policy, SystemController};
-use vfpga_sim::SimTime;
+use vfpga_runtime::{run_cloud_sim, CloudReport, Policy, SystemController};
+use vfpga_sim::{Json, SimTime};
 use vfpga_workload::{generate_workload, Composition};
 
 use crate::catalog::Catalog;
@@ -31,8 +31,52 @@ impl Fig12Row {
     }
 }
 
-/// Runs one workload set under one policy and returns tasks/second.
-pub fn run_set(catalog: &Catalog, set_index: usize, policy: Policy, tasks: usize, seed: u64) -> f64 {
+/// The full observability reports of one workload set under all three
+/// systems — everything [`Fig12Row`] summarizes, plus time series,
+/// rejection breakdowns, and the scheduler trace per policy.
+#[derive(Debug, Clone)]
+pub struct Fig12SetReport {
+    /// Workload set index (1-based, Table 1).
+    pub set: usize,
+    /// Baseline system report.
+    pub baseline: CloudReport,
+    /// Restricted-policy system report.
+    pub restricted: CloudReport,
+    /// This work's report.
+    pub full: CloudReport,
+}
+
+impl Fig12SetReport {
+    /// The throughput summary row (the bar heights of Fig. 12).
+    pub fn row(&self) -> Fig12Row {
+        Fig12Row {
+            set: self.set,
+            baseline: self.baseline.throughput_per_s,
+            restricted: self.restricted.throughput_per_s,
+            full: self.full.throughput_per_s,
+        }
+    }
+
+    /// Serializes the three per-policy reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("set", self.set)
+            .field("baseline", self.baseline.to_json())
+            .field("restricted", self.restricted.to_json())
+            .field("full", self.full.to_json())
+    }
+}
+
+/// Runs one workload set under one policy, returning the full report
+/// (throughput, latency percentiles, occupancy/queue-depth series,
+/// rejection reasons, scheduler trace).
+pub fn run_set_report(
+    catalog: &Catalog,
+    set_index: usize,
+    policy: Policy,
+    tasks: usize,
+    seed: u64,
+) -> CloudReport {
     let composition = Composition::TABLE1[set_index - 1];
     let arrivals = generate_workload(
         composition,
@@ -40,31 +84,61 @@ pub fn run_set(catalog: &Catalog, set_index: usize, policy: Policy, tasks: usize
         SimTime::from_us(50.0),
         seed + set_index as u64,
     );
-    let mut controller =
-        SystemController::new(catalog.cluster.clone(), catalog.db.clone(), policy);
+    let mut controller = SystemController::new(catalog.cluster.clone(), catalog.db.clone(), policy);
     if policy == Policy::Baseline {
         controller = controller.with_provisioning(catalog.baseline_provisioning());
     }
-    let report = run_cloud_sim(
+    run_cloud_sim(
         &mut controller,
         &arrivals,
         &|task| catalog.instance_for(task),
         &|task, deployment| catalog.service_time(task, deployment, policy),
     )
-    .expect("cloud simulation completes");
-    report.throughput_per_s
+    .expect("cloud simulation completes")
+}
+
+/// Runs one workload set under one policy and returns tasks/second.
+pub fn run_set(
+    catalog: &Catalog,
+    set_index: usize,
+    policy: Policy,
+    tasks: usize,
+    seed: u64,
+) -> f64 {
+    run_set_report(catalog, set_index, policy, tasks, seed).throughput_per_s
+}
+
+/// Runs all ten workload sets under all three systems, keeping the full
+/// per-policy reports.
+pub fn run_all_sets_detailed(catalog: &Catalog, tasks: usize, seed: u64) -> Vec<Fig12SetReport> {
+    (1..=Composition::TABLE1.len())
+        .map(|set| Fig12SetReport {
+            set,
+            baseline: run_set_report(catalog, set, Policy::Baseline, tasks, seed),
+            restricted: run_set_report(catalog, set, Policy::Restricted, tasks, seed),
+            full: run_set_report(catalog, set, Policy::Full, tasks, seed),
+        })
+        .collect()
 }
 
 /// Runs all ten workload sets under all three systems.
 pub fn run_all_sets(catalog: &Catalog, tasks: usize, seed: u64) -> Vec<Fig12Row> {
-    (1..=Composition::TABLE1.len())
-        .map(|set| Fig12Row {
-            set,
-            baseline: run_set(catalog, set, Policy::Baseline, tasks, seed),
-            restricted: run_set(catalog, set, Policy::Restricted, tasks, seed),
-            full: run_set(catalog, set, Policy::Full, tasks, seed),
-        })
+    run_all_sets_detailed(catalog, tasks, seed)
+        .iter()
+        .map(Fig12SetReport::row)
         .collect()
+}
+
+/// Serializes the whole experiment: per-set reports plus the aggregate
+/// speedup the paper reports.
+pub fn to_json(reports: &[Fig12SetReport]) -> Json {
+    let rows: Vec<Fig12Row> = reports.iter().map(Fig12SetReport::row).collect();
+    Json::obj()
+        .field("mean_speedup", mean_speedup(&rows))
+        .field(
+            "sets",
+            Json::Arr(reports.iter().map(Fig12SetReport::to_json).collect()),
+        )
 }
 
 /// Geometric-mean speedup of the full system over the baseline across

@@ -1,0 +1,70 @@
+//! A small wall-clock microbenchmark harness.
+//!
+//! The workspace builds in offline containers with no access to criterion,
+//! so the `benches/` targets use this dependency-free harness instead:
+//! warm up, pick an iteration count targeting a fixed measurement window,
+//! run several samples, and report the median time per iteration.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark.
+const SAMPLES: usize = 7;
+/// Target wall-clock duration of one sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(50);
+
+/// Runs `f` repeatedly and prints `name: <median> per iter (n=...)`.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimizer cannot delete the measured work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up and calibration: time one call, derive an iteration count
+    // that fills the target sample window.
+    let start = Instant::now();
+    black_box(f());
+    let once = start.elapsed().max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(start.elapsed() / iters as u32);
+    }
+    samples.sort();
+    let median = samples[SAMPLES / 2];
+    println!(
+        "{name:<44} {:>12} per iter  (iters/sample: {iters})",
+        fmt_duration(median)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_formats() {
+        // Smoke: must not panic and must format all magnitudes.
+        bench("noop", || 1 + 1);
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.000 us");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.000 s");
+    }
+}

@@ -13,14 +13,16 @@
 //! | Fig. 12 | [`fig12::run_all_sets`] | `repro -- fig12` |
 //! | §4.3 overhead | [`overhead::report`] | `repro -- overhead` |
 //!
-//! Criterion benches over the framework's tools (decompose, partition,
-//! allocation, reorder) live in `benches/`.
+//! Wall-clock benches over the framework's tools (decompose, partition,
+//! allocation, reorder) live in `benches/`, built on the dependency-free
+//! [`harness`] module.
 
 pub mod ablations;
 pub mod catalog;
 pub mod density;
 pub mod fig11;
 pub mod fig12;
+pub mod harness;
 pub mod isolation;
 pub mod overhead;
 pub mod tables;

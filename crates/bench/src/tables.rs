@@ -177,7 +177,11 @@ mod tests {
         let v37 = &rows[0];
         assert_eq!(v37.tiles, 21);
         assert_eq!(v37.freq_mhz, 400.0);
-        assert!((30.0..40.0).contains(&v37.peak_tflops), "{}", v37.peak_tflops);
+        assert!(
+            (30.0..40.0).contains(&v37.peak_tflops),
+            "{}",
+            v37.peak_tflops
+        );
         let k115 = &rows[1];
         assert_eq!(k115.tiles, 13);
         assert_eq!(k115.freq_mhz, 300.0);
@@ -206,7 +210,11 @@ mod tests {
         // LSTM h=1536 must not fit the KU115 (the paper's "-").
         let lstm1536_ku = rows
             .iter()
-            .find(|r| r.task.hidden == 1536 && r.task.kind == vfpga_workload::RnnKind::Lstm && r.device == "XCKU115")
+            .find(|r| {
+                r.task.hidden == 1536
+                    && r.task.kind == vfpga_workload::RnnKind::Lstm
+                    && r.device == "XCKU115"
+            })
             .unwrap();
         assert!(lstm1536_ku.baseline.is_none());
         // Every fitting row shows single-digit-percent overhead and the

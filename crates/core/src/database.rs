@@ -178,6 +178,14 @@ impl MappingDatabase {
         Ok(&self.entries[name])
     }
 
+    /// Registers a pre-built mapping entry directly, replacing any entry
+    /// with the same name. A hook for tools and tests that need entries
+    /// the compile pipeline would not produce on its own (e.g. an instance
+    /// offering only multi-FPGA deployment options).
+    pub fn register_entry(&mut self, entry: MappingEntry) {
+        self.entries.insert(entry.name.clone(), entry);
+    }
+
     /// The entry for an instance, if registered.
     pub fn entry(&self, name: &str) -> Option<&MappingEntry> {
         self.entries.get(name)

@@ -126,8 +126,8 @@ pub fn decompose(
     let mut control_leaves = 0usize;
     let mut data_nodes: Vec<NodeId> = Vec::new();
     for (id, node) in graph.nodes() {
-        let in_ctrl = node.path == ctrl_instance
-            || node.path.starts_with(&format!("{ctrl_instance}/"));
+        let in_ctrl =
+            node.path == ctrl_instance || node.path.starts_with(&format!("{ctrl_instance}/"));
         let moved = options.move_to_control.iter().any(|m| m == &node.module);
         if in_ctrl || moved {
             control_resources += leaf_resources(node);
@@ -314,7 +314,10 @@ fn neighbors_of(edges: &BTreeMap<(usize, usize), u64>, i: usize) -> Vec<(usize, 
 
 /// Undirected neighbor set of `i`.
 fn undirected_neighbors(edges: &BTreeMap<(usize, usize), u64>, i: usize) -> Vec<usize> {
-    let mut out: Vec<usize> = neighbors_of(edges, i).into_iter().map(|(n, _, _)| n).collect();
+    let mut out: Vec<usize> = neighbors_of(edges, i)
+        .into_iter()
+        .map(|(n, _, _)| n)
+        .collect();
     out.sort_unstable();
     out.dedup();
     out
@@ -590,10 +593,7 @@ fn group_pipelines(
         }
         // A component where every node has two pathable neighbors is a
         // cycle; skip it (no linear pipeline exists).
-        let Some(&endpoint) = component
-            .iter()
-            .find(|&&i| path_adj[i].len() <= 1)
-        else {
+        let Some(&endpoint) = component.iter().find(|&&i| path_adj[i].len() <= 1) else {
             continue;
         };
         // Walk the path from the endpoint.

@@ -168,13 +168,13 @@ fn build(tree: &SoftBlockTree, cluster: Cluster, depth: usize) -> PartitionNode 
     let split = if depth == 0 {
         None
     } else {
-        cluster.split(tree).map(|(left, right, cut_bandwidth)| {
-            PartitionSplit {
+        cluster
+            .split(tree)
+            .map(|(left, right, cut_bandwidth)| PartitionSplit {
                 cut_bandwidth,
                 left: Box::new(build(tree, left, depth - 1)),
                 right: Box::new(build(tree, right, depth - 1)),
-            }
-        })
+            })
     };
     PartitionNode {
         blocks: cluster.blocks,

@@ -158,11 +158,7 @@ fn fnv(s: &str) -> u64 {
 /// # Panics
 ///
 /// Panics if `width` is not a power of two greater than 1.
-pub fn reduction(
-    width: usize,
-    combine_resources: ResourceVec,
-    element_bits: u64,
-) -> SoftBlockTree {
+pub fn reduction(width: usize, combine_resources: ResourceVec, element_bits: u64) -> SoftBlockTree {
     assert!(
         width.is_power_of_two() && width > 1,
         "reduction width must be a power of two > 1"

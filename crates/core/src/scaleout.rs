@@ -21,7 +21,6 @@
 //!   computation (e.g. the transfer of `h_t` with the matrix
 //!   multiplications on `x_{t+1}`).
 
-
 use vfpga_accel::RemoteWindow;
 use vfpga_isa::{Instruction, IsaConfig, Program};
 
@@ -312,10 +311,8 @@ mod tests {
     #[test]
     fn reorder_preserves_dependencies() {
         let w = window();
-        let p = assemble(
-            "vload v0, 0\nmvmul v1, m0, v0\nvadd v2, v1, v0\nvstore v2, 3\nhalt\n",
-        )
-        .unwrap();
+        let p = assemble("vload v0, 0\nmvmul v1, m0, v0\nvadd v2, v1, v0\nvstore v2, 3\nhalt\n")
+            .unwrap();
         let q = reorder_for_overlap(&p, &w).unwrap();
         // No comm instructions: order must be unchanged (stable tie-break).
         assert_eq!(p, q);

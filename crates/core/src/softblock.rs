@@ -127,7 +127,11 @@ impl SoftBlockTree {
                 pattern,
             } = &b.kind
             {
-                assert!(!children.is_empty(), "composite block {} has no children", id.0);
+                assert!(
+                    !children.is_empty(),
+                    "composite block {} has no children",
+                    id.0
+                );
                 match pattern {
                     Pattern::Pipeline => assert_eq!(
                         link_widths.len(),
@@ -136,7 +140,11 @@ impl SoftBlockTree {
                         id.0
                     ),
                     Pattern::Data => {
-                        assert!(link_widths.is_empty(), "data block {} has link widths", id.0)
+                        assert!(
+                            link_widths.is_empty(),
+                            "data block {} has link widths",
+                            id.0
+                        )
                     }
                 }
                 for c in children {
@@ -228,7 +236,8 @@ impl SoftBlockTree {
     /// nodes as chains of ordered edges. Pipe the output through `dot
     /// -Tsvg` to visualize a decomposition.
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph softblocks {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
+        let mut out =
+            String::from("digraph softblocks {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
         for b in self.iter() {
             match &b.kind {
                 SoftBlockKind::Leaf { module, .. } => {
@@ -355,10 +364,7 @@ mod tests {
         assert_eq!(t.depth(), 3);
         assert_eq!(t.root_block().pattern(), Some(Pattern::Pipeline));
         let leaves = t.leaves_under(t.root());
-        assert_eq!(
-            leaves,
-            vec![SoftBlockId(0), SoftBlockId(2), SoftBlockId(3)]
-        );
+        assert_eq!(leaves, vec![SoftBlockId(0), SoftBlockId(2), SoftBlockId(3)]);
     }
 
     #[test]

@@ -87,7 +87,13 @@ fn lower(
     let mut children = Vec::with_capacity(module.instances.len());
     for inst in &module.instances {
         let child_path = format!("{path}/{}", inst.name);
-        children.push(lower(design, &inst.module, &child_path, leaf_resources, arena)?);
+        children.push(lower(
+            design,
+            &inst.module,
+            &child_path,
+            leaf_resources,
+            arena,
+        )?);
     }
     let resources: ResourceVec = children.iter().map(|&c| arena[c.0].resources).sum();
 
@@ -155,10 +161,7 @@ fn lower(
 /// Orders a module's children along the dataflow if they form a chain;
 /// otherwise returns declaration order. Also returns the inter-child link
 /// widths.
-fn chain_order(
-    module: &ModuleDecl,
-    children: &[SoftBlockId],
-) -> (Vec<SoftBlockId>, Vec<u64>) {
+fn chain_order(module: &ModuleDecl, children: &[SoftBlockId]) -> (Vec<SoftBlockId>, Vec<u64>) {
     let n = module.instances.len();
     // Undirected inter-instance edges via shared internal wires (module
     // ports lead outside the module and do not connect siblings); chain
@@ -194,8 +197,7 @@ fn chain_order(
     }
     // A chain has exactly two endpoints of degree 1 and the rest degree 2.
     let endpoints: Vec<usize> = (0..n).filter(|&i| degree[i] == 1).collect();
-    let is_chain =
-        endpoints.len() == 2 && (0..n).all(|i| degree[i] == 1 || degree[i] == 2);
+    let is_chain = endpoints.len() == 2 && (0..n).all(|i| degree[i] == 1 || degree[i] == 2);
     if !is_chain {
         let widths = (0..n.saturating_sub(1))
             .map(|i| edges.get(&(i, i + 1)).copied().unwrap_or(0))
@@ -335,10 +337,7 @@ mod tests {
         let bu_tile = bottom_up
             .tree
             .block(bottom_up.tree.root_block().children()[0]);
-        assert_eq!(
-            bu_tile.children().len(),
-            tile.root_block().children().len()
-        );
+        assert_eq!(bu_tile.children().len(), tile.root_block().children().len());
     }
 
     #[test]

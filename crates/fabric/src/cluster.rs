@@ -70,7 +70,10 @@ impl RingTopology {
     ///
     /// Panics if either position is out of range.
     pub fn hops(&self, a: usize, b: usize) -> usize {
-        assert!(a < self.nodes && b < self.nodes, "ring position out of range");
+        assert!(
+            a < self.nodes && b < self.nodes,
+            "ring position out of range"
+        );
         let d = a.abs_diff(b);
         d.min(self.nodes - d)
     }
@@ -93,7 +96,10 @@ impl Cluster {
     ///
     /// Panics if `types` is empty.
     pub fn new(types: Vec<DeviceType>) -> Self {
-        assert!(!types.is_empty(), "cluster must contain at least one device");
+        assert!(
+            !types.is_empty(),
+            "cluster must contain at least one device"
+        );
         let ring = RingTopology::new(types.len());
         let devices = types
             .into_iter()

@@ -45,7 +45,10 @@ impl RegionGrid {
     ///
     /// Panics if any dimension or the capacity is zero.
     pub fn new(rows: usize, cols: usize, capacity_per_region: usize) -> Self {
-        assert!(rows > 0 && cols > 0 && capacity_per_region > 0, "degenerate grid");
+        assert!(
+            rows > 0 && cols > 0 && capacity_per_region > 0,
+            "degenerate grid"
+        );
         RegionGrid {
             rows,
             cols,

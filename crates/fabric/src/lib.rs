@@ -33,6 +33,6 @@ mod floorplan;
 mod resources;
 
 pub use cluster::{Cluster, DeviceId, DeviceInstance, RingTopology};
-pub use floorplan::{Placement, RegionGrid};
 pub use device::{DeviceType, MemoryKind};
+pub use floorplan::{Placement, RegionGrid};
 pub use resources::ResourceVec;

@@ -192,10 +192,10 @@ impl Dataflow {
         );
         let mut declared: Vec<String> = Vec::new();
         let declare_kernel = |d: &mut Design,
-                                  declared: &mut Vec<String>,
-                                  kernel: &str,
-                                  in_w: u32,
-                                  out_w: u32|
+                              declared: &mut Vec<String>,
+                              kernel: &str,
+                              in_w: u32,
+                              out_w: u32|
          -> Result<String, RtlError> {
             let mod_name = format!("{n}_{kernel}_{in_w}x{out_w}");
             if !declared.contains(&mod_name) {
@@ -243,7 +243,13 @@ impl Dataflow {
                     from,
                     width,
                 } => {
-                    let m = declare_kernel(&mut d, &mut declared, kernel, self.width_of(*from), *width)?;
+                    let m = declare_kernel(
+                        &mut d,
+                        &mut declared,
+                        kernel,
+                        self.width_of(*from),
+                        *width,
+                    )?;
                     dp.add_instance(Instance::new(
                         format!("u{i}"),
                         m,
@@ -256,7 +262,13 @@ impl Dataflow {
                     n: workers,
                     width,
                 } => {
-                    let m = declare_kernel(&mut d, &mut declared, kernel, self.width_of(*from), *width)?;
+                    let m = declare_kernel(
+                        &mut d,
+                        &mut declared,
+                        kernel,
+                        self.width_of(*from),
+                        *width,
+                    )?;
                     for k in 0..*workers {
                         dp.add_instance(Instance::new(
                             format!("u{i}_{k}"),
@@ -270,7 +282,13 @@ impl Dataflow {
                     from,
                     width,
                 } => {
-                    let m = declare_kernel(&mut d, &mut declared, kernel, self.width_of(*from), *width)?;
+                    let m = declare_kernel(
+                        &mut d,
+                        &mut declared,
+                        kernel,
+                        self.width_of(*from),
+                        *width,
+                    )?;
                     dp.add_instance(Instance::new(
                         format!("u{i}"),
                         m,
@@ -402,7 +420,9 @@ mod tests {
         let d = g.lower().unwrap();
         // One kernel module, two instances.
         assert_eq!(
-            d.modules().filter(|m| m.behavior.as_deref() == Some("same")).count(),
+            d.modules()
+                .filter(|m| m.behavior.as_deref() == Some("same"))
+                .count(),
             1
         );
         assert_eq!(d.leaf_instance_count("d_top").unwrap(), 3);

@@ -54,10 +54,12 @@ impl HsCompiler {
     ) -> Result<VirtualBlockImage, HsError> {
         let demand = Self::rebind_memory(demand, device_type);
         let spec = VirtualBlockSpec::for_device(device_type);
-        let blocks = spec.blocks_for(&demand).ok_or_else(|| HsError::DoesNotFit {
-            name: name.to_string(),
-            device_type: device_type.name().to_string(),
-        })?;
+        let blocks = spec
+            .blocks_for(&demand)
+            .ok_or_else(|| HsError::DoesNotFit {
+                name: name.to_string(),
+                device_type: device_type.name().to_string(),
+            })?;
         Ok(VirtualBlockImage::new(
             name.to_string(),
             device_type.name().to_string(),
@@ -130,7 +132,9 @@ mod tests {
     fn compile_rejects_oversize() {
         let c = HsCompiler::default();
         let ku = DeviceType::xcku115();
-        let err = c.compile("huge", &demand(10_000_000, 100), &ku).unwrap_err();
+        let err = c
+            .compile("huge", &demand(10_000_000, 100), &ku)
+            .unwrap_err();
         assert!(matches!(err, HsError::DoesNotFit { .. }));
     }
 

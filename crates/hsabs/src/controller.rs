@@ -18,6 +18,22 @@ struct Allocation {
     blocks: usize,
 }
 
+/// Lifetime counters of one [`LowLevelController`]: every configuration
+/// request it has served or rejected, plus the occupancy high-water mark.
+/// Updated unconditionally — cheap enough for the cloud simulator's inner
+/// loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LlcStats {
+    /// Successful configurations.
+    pub configures: u64,
+    /// Releases performed.
+    pub releases: u64,
+    /// Configuration requests rejected (type mismatch or too few slots).
+    pub rejected: u64,
+    /// Highest cluster-wide occupancy ever reached (0..=1).
+    pub peak_occupancy: f64,
+}
+
 /// The HS abstraction's runtime controller (Fig. 7's "low-level
 /// controller"): receives configuration requests from the system controller
 /// and tracks which virtual blocks of which device are occupied.
@@ -31,6 +47,7 @@ pub struct LowLevelController {
     allocations: HashMap<u64, Allocation>,
     device_type_names: Vec<String>,
     next_id: u64,
+    stats: LlcStats,
 }
 
 impl LowLevelController {
@@ -50,7 +67,14 @@ impl LowLevelController {
             allocations: HashMap::new(),
             device_type_names,
             next_id: 0,
+            stats: LlcStats::default(),
         }
+    }
+
+    /// Lifetime configuration/release counters and the occupancy
+    /// high-water mark.
+    pub fn stats(&self) -> &LlcStats {
+        &self.stats
     }
 
     /// Free virtual blocks on a device.
@@ -82,12 +106,14 @@ impl LowLevelController {
         image: &VirtualBlockImage,
     ) -> Result<AllocationId, HsError> {
         if self.device_type_names[device.0] != image.device_type_name() {
+            self.stats.rejected += 1;
             return Err(HsError::DeviceTypeMismatch {
                 image: image.device_type_name().to_string(),
                 device: self.device_type_names[device.0].clone(),
             });
         }
         if self.free_slots[device.0] < image.blocks() {
+            self.stats.rejected += 1;
             return Err(HsError::InsufficientSlots {
                 device,
                 requested: image.blocks(),
@@ -104,6 +130,8 @@ impl LowLevelController {
                 blocks: image.blocks(),
             },
         );
+        self.stats.configures += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupancy());
         Ok(AllocationId(id))
     }
 
@@ -119,6 +147,7 @@ impl LowLevelController {
             .remove(&id.0)
             .ok_or(HsError::UnknownAllocation(id.0))?;
         self.free_slots[alloc.device.0] += alloc.blocks;
+        self.stats.releases += 1;
         Ok(())
     }
 
@@ -206,6 +235,27 @@ mod tests {
         assert!(matches!(err, HsError::DeviceTypeMismatch { .. }));
         assert!(!ctl.can_configure(DeviceId(3), &img));
         assert!(ctl.can_configure(DeviceId(0), &img));
+    }
+
+    #[test]
+    fn stats_track_configures_releases_and_peak() {
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        let img = image_for(&DeviceType::xcvu37p(), 100);
+        let a = ctl.configure(DeviceId(0), &img).unwrap();
+        let b = ctl.configure(DeviceId(0), &img).unwrap();
+        let peak = ctl.occupancy();
+        ctl.release(a).unwrap();
+        ctl.release(b).unwrap();
+        // A rejected request (wrong device type) counts too.
+        assert!(ctl.configure(DeviceId(3), &img).is_err());
+        let stats = ctl.stats();
+        assert_eq!(stats.configures, 2);
+        assert_eq!(stats.releases, 2);
+        assert_eq!(stats.rejected, 1);
+        // Peak persists after everything is freed.
+        assert_eq!(ctl.occupancy(), 0.0);
+        assert_eq!(ctl.stats().peak_occupancy, peak);
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod interface;
 mod vblock;
 
 pub use compiler::HsCompiler;
-pub use controller::{AllocationId, LowLevelController};
+pub use controller::{AllocationId, LlcStats, LowLevelController};
 pub use interface::InterfaceModel;
 pub use vblock::{VirtualBlockImage, VirtualBlockSpec};
 

@@ -26,11 +26,7 @@ pub fn assemble(source: &str) -> Result<Program, IsaError> {
     let mut insts = Vec::new();
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
-        let text = raw
-            .split([';', '#'])
-            .next()
-            .unwrap_or("")
-            .trim();
+        let text = raw.split([';', '#']).next().unwrap_or("").trim();
         if text.is_empty() {
             continue;
         }

@@ -264,8 +264,12 @@ mod tests {
     #[test]
     fn dot_product_close_to_f64_reference() {
         let fmt = BfpFormat::MS_FP9;
-        let a: Vec<f32> = (0..64).map(|i| ((i * 37) % 17) as f32 / 17.0 - 0.5).collect();
-        let b: Vec<f32> = (0..64).map(|i| ((i * 53) % 13) as f32 / 13.0 - 0.5).collect();
+        let a: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 17) as f32 / 17.0 - 0.5)
+            .collect();
+        let b: Vec<f32> = (0..64)
+            .map(|i| ((i * 53) % 13) as f32 / 13.0 - 0.5)
+            .collect();
         let va = BfpVector::from_f32(fmt, &a);
         let vb = BfpVector::from_f32(fmt, &b);
         let reference: f64 = a

@@ -199,9 +199,7 @@ impl DepGraph {
             }
             position[idx] = pos;
         }
-        self.edges
-            .iter()
-            .all(|e| position[e.from] < position[e.to])
+        self.edges.iter().all(|e| position[e.from] < position[e.to])
     }
 }
 
@@ -328,12 +326,10 @@ mod tests {
         let g = DepGraph::build(&insts);
         assert!(g.edges().iter().all(|e| e.from != e.to));
         // But the RAW edge from the vzero is present.
-        assert!(g
-            .edges()
-            .contains(&DepEdge {
-                from: 0,
-                to: 1,
-                kind: DepKind::Raw
-            }));
+        assert!(g.edges().contains(&DepEdge {
+            from: 0,
+            to: 1,
+            kind: DepKind::Raw
+        }));
     }
 }

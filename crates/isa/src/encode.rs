@@ -355,10 +355,7 @@ mod tests {
     #[test]
     fn leb128_boundaries() {
         for addr in [0u32, 0x7F, 0x80, 0x3FFF, 0x4000, u32::MAX] {
-            let p = Program::new(vec![I::VLoad {
-                dst: VReg(0),
-                addr,
-            }]);
+            let p = Program::new(vec![I::VLoad { dst: VReg(0), addr }]);
             let q = decode(&encode(&p)).unwrap();
             assert_eq!(p, q, "addr {addr:#x}");
         }

@@ -248,7 +248,10 @@ mod tests {
         // (mantissa 0).
         assert_eq!(F16::from_f32(1.0 + 2.0f32.powi(-11)).to_bits(), 0x3C00);
         // 1 + 3*2^-11 is halfway between odd and even: ties up to even.
-        assert_eq!(F16::from_f32(1.0 + 3.0 * 2.0f32.powi(-11)).to_bits(), 0x3C02);
+        assert_eq!(
+            F16::from_f32(1.0 + 3.0 * 2.0f32.powi(-11)).to_bits(),
+            0x3C02
+        );
         // Slightly above halfway rounds up.
         assert_eq!(
             F16::from_f32(1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20)).to_bits(),
@@ -273,7 +276,11 @@ mod tests {
             if h.is_nan() {
                 assert!(F16::from_f32(h.to_f32()).is_nan());
             } else {
-                assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+                assert_eq!(
+                    F16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#06x}"
+                );
             }
         }
     }

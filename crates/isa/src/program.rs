@@ -103,7 +103,10 @@ impl Program {
                 if m.0 >= config.num_mtiles {
                     return Err(IsaError::Validation {
                         index,
-                        message: format!("matrix tile {m} out of range (have {})", config.num_mtiles),
+                        message: format!(
+                            "matrix tile {m} out of range (have {})",
+                            config.num_mtiles
+                        ),
                     });
                 }
             }

@@ -217,7 +217,10 @@ impl Design {
         fl.visit(top_module, "")?;
 
         let Flattener {
-            nodes, mut nets, pins, ..
+            nodes,
+            mut nets,
+            pins,
+            ..
         } = fl;
         let externals: Vec<(usize, String, PortDir, u32)> = externals
             .into_iter()
@@ -282,7 +285,8 @@ impl<'a> Flattener<'a> {
                 });
                 for p in &child.ports {
                     let net = self.net_id(&child_ctx, &p.name);
-                    self.pins.push((node_id, p.name.clone(), net, p.width, p.dir));
+                    self.pins
+                        .push((node_id, p.name.clone(), net, p.width, p.dir));
                 }
             } else {
                 self.visit(child, &child_ctx)?;
@@ -333,7 +337,11 @@ mod tests {
     fn pe() -> ModuleDecl {
         ModuleDecl::leaf(
             "pe",
-            vec![Port::input("a", 16), Port::input("b", 16), Port::output("y", 16)],
+            vec![
+                Port::input("a", 16),
+                Port::input("b", 16),
+                Port::output("y", 16),
+            ],
             "mac",
         )
     }
@@ -341,13 +349,18 @@ mod tests {
     fn chain_design() -> Design {
         let mut d = Design::new();
         d.add_module(pe()).unwrap();
-        let mut top = ModuleDecl::new(
-            "top",
-            vec![Port::input("x", 16), Port::output("y", 16)],
-        );
+        let mut top = ModuleDecl::new("top", vec![Port::input("x", 16), Port::output("y", 16)]);
         top.add_wire("t", 16);
-        top.add_instance(Instance::new("u0", "pe", [("a", "x"), ("b", "x"), ("y", "t")]));
-        top.add_instance(Instance::new("u1", "pe", [("a", "t"), ("b", "t"), ("y", "y")]));
+        top.add_instance(Instance::new(
+            "u0",
+            "pe",
+            [("a", "x"), ("b", "x"), ("y", "t")],
+        ));
+        top.add_instance(Instance::new(
+            "u1",
+            "pe",
+            [("a", "t"), ("b", "t"), ("y", "y")],
+        ));
         d.add_module(top).unwrap();
         d
     }
@@ -379,7 +392,10 @@ mod tests {
     fn add_module_rejects_duplicates() {
         let mut d = Design::new();
         d.add_module(pe()).unwrap();
-        assert_eq!(d.add_module(pe()), Err(RtlError::DuplicateModule("pe".into())));
+        assert_eq!(
+            d.add_module(pe()),
+            Err(RtlError::DuplicateModule("pe".into()))
+        );
     }
 
     #[test]
@@ -387,7 +403,10 @@ mod tests {
         let mut d = Design::new();
         let mut m = ModuleDecl::new("m", vec![]);
         m.add_instance(Instance::new("u", "m", [] as [(&str, &str); 0]));
-        assert_eq!(d.add_module(m), Err(RtlError::RecursiveHierarchy("m".into())));
+        assert_eq!(
+            d.add_module(m),
+            Err(RtlError::RecursiveHierarchy("m".into()))
+        );
     }
 
     #[test]

@@ -178,10 +178,7 @@ mod tests {
     use super::*;
 
     fn sample() -> ModuleDecl {
-        let mut m = ModuleDecl::new(
-            "top",
-            vec![Port::input("a", 16), Port::output("y", 8)],
-        );
+        let mut m = ModuleDecl::new("top", vec![Port::input("a", 16), Port::output("y", 8)]);
         m.add_wire("t", 4);
         m.add_instance(Instance::new("u0", "pe", [("x", "a"), ("y", "t")]));
         m

@@ -153,13 +153,12 @@ fn lex(source: &str) -> Result<Vec<Token>, RtlError> {
                 let mut v: u32 = 0;
                 while let Some(&d) = chars.peek() {
                     if let Some(digit) = d.to_digit(10) {
-                        v = v
-                            .checked_mul(10)
-                            .and_then(|v| v.checked_add(digit))
-                            .ok_or(RtlError::Parse {
+                        v = v.checked_mul(10).and_then(|v| v.checked_add(digit)).ok_or(
+                            RtlError::Parse {
                                 line,
                                 message: "integer literal overflow".into(),
-                            })?;
+                            },
+                        )?;
                         chars.next();
                     } else {
                         break;
@@ -325,7 +324,9 @@ impl Parser {
                 let dir = match self.expect_ident()?.as_str() {
                     "input" => PortDir::Input,
                     "output" => PortDir::Output,
-                    other => return Err(self.err(format!("expected port direction, found `{other}`"))),
+                    other => {
+                        return Err(self.err(format!("expected port direction, found `{other}`")))
+                    }
                 };
                 let width = self.range()?;
                 let pname = self.expect_ident()?;
@@ -386,7 +387,9 @@ impl Parser {
                     self.expect_punct(';')?;
                     module.add_instance(Instance::new(inst_name, mod_name, conns));
                 }
-                other => return Err(self.err(format!("expected module body item, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected module body item, found {other:?}")))
+                }
             }
         }
         Ok(module)
@@ -472,10 +475,8 @@ mod tests {
 
     #[test]
     fn unknown_instantiated_module_detected() {
-        let err = parse(
-            "module top (input x, output y); ghost u (.a(x), .y(y)); endmodule",
-        )
-        .unwrap_err();
+        let err =
+            parse("module top (input x, output y); ghost u (.a(x), .y(y)); endmodule").unwrap_err();
         assert_eq!(err, RtlError::UnknownModule("ghost".into()));
     }
 

@@ -58,7 +58,13 @@ fn write_module(out: &mut String, m: &ModuleDecl) {
             .iter()
             .map(|(port, net)| format!(".{port}({net})"))
             .collect();
-        let _ = writeln!(out, "  {} {} ({});", inst.module, inst.name, conns.join(", "));
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            inst.module,
+            inst.name,
+            conns.join(", ")
+        );
     }
     let _ = writeln!(out, "endmodule");
 }
@@ -89,7 +95,10 @@ mod tests {
         let d = parse(SRC).unwrap();
         let text = d.to_source();
         let d2 = parse(&text).unwrap();
-        assert!(designs_equal(&d, &d2), "round trip changed the design:\n{text}");
+        assert!(
+            designs_equal(&d, &d2),
+            "round trip changed the design:\n{text}"
+        );
     }
 
     #[test]

@@ -2,17 +2,38 @@
 
 use std::collections::VecDeque;
 
-use vfpga_sim::{EventQueue, SimTime, Summary, ThroughputMeter};
+use vfpga_sim::{
+    EventQueue, Json, MetricsRegistry, SimTime, Summary, ThroughputMeter, TimeSeries,
+    TraceEventKind, TraceRing,
+};
 use vfpga_workload::{RnnTask, TaskArrival};
 
-use crate::controller::{Deployment, SystemController};
+use crate::controller::{Deployment, RejectReason, SystemController};
 use crate::RuntimeError;
 
-/// Results of one cloud simulation run.
+/// Default capacity of the scheduler-event trace ring kept by
+/// [`run_cloud_sim`]. Sized so a full Fig. 12 workload set traces without
+/// evictions while bounding memory for longer runs.
+pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
+
+/// Results of one cloud simulation run, including the observability
+/// artifacts the run accumulated: streaming summaries, tail percentiles,
+/// occupancy/queue-depth time series, the rejection-reason breakdown, the
+/// full metrics registry, and the scheduler-event trace.
+///
+/// Accounting invariant: every arrival either completed or is reported in
+/// [`never_deployed`](CloudReport::never_deployed) — the simulator never
+/// silently drops a queued task.
 #[derive(Debug, Clone)]
 pub struct CloudReport {
+    /// Tasks that arrived.
+    pub arrivals: u64,
     /// Tasks completed.
     pub completed: u64,
+    /// Tasks still waiting in the queue when the simulation drained: they
+    /// could never be deployed (e.g. the policy excludes every mapping
+    /// option, or capacity never freed up).
+    pub never_deployed: u64,
     /// Time of the last completion.
     pub elapsed: SimTime,
     /// Aggregated system throughput in tasks per second (Fig. 12's
@@ -20,18 +41,113 @@ pub struct CloudReport {
     pub throughput_per_s: f64,
     /// End-to-end latency statistics (arrival to completion).
     pub latency: Summary,
+    /// Median end-to-end latency in seconds; `None` if nothing completed.
+    pub latency_p50: Option<f64>,
+    /// 95th-percentile end-to-end latency in seconds.
+    pub latency_p95: Option<f64>,
+    /// 99th-percentile end-to-end latency in seconds.
+    pub latency_p99: Option<f64>,
     /// Queueing delay statistics (arrival to deployment).
     pub queue_wait: Summary,
+    /// Time-weighted mean cluster occupancy over the run (utilization).
+    pub mean_occupancy: f64,
+    /// Highest sampled cluster occupancy.
+    pub peak_occupancy: f64,
+    /// Deepest the admission queue ever got.
+    pub peak_queue_depth: u64,
+    /// Rejected deployment attempts, indexed by
+    /// [`RejectReason::index`]; one task retried many times counts each
+    /// attempt.
+    pub rejections: [u64; 3],
+    /// Cluster occupancy over time (step function, coalesced).
+    pub occupancy_series: TimeSeries,
+    /// Queue depth over time (step function, coalesced).
+    pub queue_depth_series: TimeSeries,
+    /// Every metric the run recorded, exportable via
+    /// [`MetricsRegistry::to_json`].
+    pub metrics: MetricsRegistry,
+    /// The most recent scheduler events (ring buffer).
+    pub trace: TraceRing,
+}
+
+impl CloudReport {
+    /// Rejected attempts for one reason.
+    pub fn rejections_for(&self, reason: RejectReason) -> u64 {
+        self.rejections[reason.index()]
+    }
+
+    /// Total rejected attempts across all reasons.
+    pub fn total_rejections(&self) -> u64 {
+        self.rejections.iter().sum()
+    }
+
+    /// Whether every arrival is accounted for (completed or reported as
+    /// never deployed) — the invariant all cloudsim tests pin.
+    pub fn accounts_for_all_arrivals(&self) -> bool {
+        self.completed + self.never_deployed == self.arrivals
+    }
+
+    /// Serializes the report (without raw trace events; those stay
+    /// available programmatically via [`CloudReport::trace`]).
+    pub fn to_json(&self) -> Json {
+        let mut rejections = Json::obj();
+        for reason in RejectReason::ALL {
+            rejections = rejections.field(reason.as_str(), self.rejections_for(reason));
+        }
+        Json::obj()
+            .field("arrivals", self.arrivals)
+            .field("completed", self.completed)
+            .field("never_deployed", self.never_deployed)
+            .field("elapsed_s", self.elapsed.as_secs())
+            .field("throughput_per_s", self.throughput_per_s)
+            .field(
+                "latency_s",
+                Json::obj()
+                    .field("count", self.latency.count())
+                    .field("mean", self.latency.mean())
+                    .field("p50", self.latency_p50)
+                    .field("p95", self.latency_p95)
+                    .field("p99", self.latency_p99)
+                    .field("min", self.latency.min())
+                    .field("max", self.latency.max()),
+            )
+            .field(
+                "queue_wait_s",
+                Json::obj()
+                    .field("count", self.queue_wait.count())
+                    .field("mean", self.queue_wait.mean())
+                    .field("min", self.queue_wait.min())
+                    .field("max", self.queue_wait.max()),
+            )
+            .field(
+                "occupancy",
+                Json::obj()
+                    .field("mean", self.mean_occupancy)
+                    .field("peak", self.peak_occupancy)
+                    .field("series", self.occupancy_series.to_json()),
+            )
+            .field(
+                "queue_depth",
+                Json::obj()
+                    .field("peak", self.peak_queue_depth)
+                    .field("series", self.queue_depth_series.to_json()),
+            )
+            .field("rejections", rejections)
+            .field(
+                "trace",
+                Json::obj()
+                    .field("retained", self.trace.len())
+                    .field("dropped", self.trace.dropped()),
+            )
+    }
 }
 
 enum Event {
     Arrival(usize),
-    Completion {
-        task_index: usize,
-    },
+    Completion { task_index: usize },
 }
 
-/// Runs a workload through the controller.
+/// Runs a workload through the controller with the default trace capacity.
 ///
 /// * `instance_for` names the accelerator instance (a mapping-database key)
 ///   serving a task — the deployment catalog is sized per model class.
@@ -39,7 +155,9 @@ enum Event {
 ///   deployment (built from the cycle-level timing simulations).
 ///
 /// Tasks that cannot deploy on arrival wait in a FIFO queue; every
-/// completion retries the queue head.
+/// completion retries the queue head. Tasks that never fit (policy
+/// exclusion, permanent capacity shortfall) are reported in
+/// [`CloudReport::never_deployed`] rather than silently dropped.
 ///
 /// # Errors
 ///
@@ -50,14 +168,54 @@ pub fn run_cloud_sim(
     instance_for: &dyn Fn(&RnnTask) -> String,
     service_time: &dyn Fn(&RnnTask, &Deployment) -> SimTime,
 ) -> Result<CloudReport, RuntimeError> {
+    run_cloud_sim_traced(
+        controller,
+        arrivals,
+        instance_for,
+        service_time,
+        DEFAULT_TRACE_CAPACITY,
+    )
+}
+
+/// [`run_cloud_sim`] with an explicit trace-ring capacity.
+///
+/// # Errors
+///
+/// Propagates controller errors ([`RuntimeError::UnknownInstance`] etc.).
+pub fn run_cloud_sim_traced(
+    controller: &mut SystemController,
+    arrivals: &[TaskArrival],
+    instance_for: &dyn Fn(&RnnTask) -> String,
+    service_time: &dyn Fn(&RnnTask, &Deployment) -> SimTime,
+    trace_capacity: usize,
+) -> Result<CloudReport, RuntimeError> {
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut events: EventQueue<Event> = EventQueue::new();
     let mut running: Vec<Option<Deployment>> = vec![None; arrivals.len()];
     let mut deployed_at: Vec<SimTime> = vec![SimTime::ZERO; arrivals.len()];
+    let mut traced_reject: Vec<bool> = vec![false; arrivals.len()];
     let mut meter = ThroughputMeter::new();
     let mut latency = Summary::new();
     let mut queue_wait = Summary::new();
     let mut last_completion = SimTime::ZERO;
+    let mut rejections = [0u64; 3];
+
+    let mut metrics = MetricsRegistry::new();
+    let m_arrivals = metrics.counter("arrivals");
+    let m_deploys = metrics.counter("deploys");
+    let m_completions = metrics.counter("completions");
+    let m_releases = metrics.counter("releases");
+    let m_rejects = [
+        metrics.counter("rejected.policy_excluded"),
+        metrics.counter("rejected.no_free_device"),
+        metrics.counter("rejected.insufficient_capacity"),
+    ];
+    let t_latency = metrics.timer("latency_s");
+    let t_queue_wait = metrics.timer("queue_wait_s");
+    let t_service = metrics.timer("service_s");
+    let g_depth = metrics.gauge("queue_depth");
+    let g_occupancy = metrics.gauge("occupancy");
+    let mut trace = TraceRing::new(trace_capacity);
 
     for (i, a) in arrivals.iter().enumerate() {
         events.schedule(a.at, Event::Arrival(i));
@@ -67,6 +225,8 @@ pub fn run_cloud_sim(
         match event {
             Event::Arrival(i) => {
                 queue.push_back(i);
+                metrics.inc(m_arrivals);
+                trace.push(now, TraceEventKind::Arrival { task: i as u64 });
             }
             Event::Completion { task_index } => {
                 let deployment = running[task_index]
@@ -74,46 +234,153 @@ pub fn run_cloud_sim(
                     .expect("completion for task not running");
                 controller.release(&deployment)?;
                 meter.record_completion();
-                latency.record((now.saturating_sub(arrivals[task_index].at)).as_secs());
+                let e2e = now.saturating_sub(arrivals[task_index].at).as_secs();
+                latency.record(e2e);
+                metrics.inc(m_completions);
+                metrics.inc(m_releases);
+                metrics.record_timer(t_latency, e2e);
+                metrics.record_timer(
+                    t_service,
+                    now.saturating_sub(deployed_at[task_index]).as_secs(),
+                );
+                trace.push(
+                    now,
+                    TraceEventKind::Completion {
+                        task: task_index as u64,
+                    },
+                );
+                trace.push(
+                    now,
+                    TraceEventKind::Release {
+                        task: task_index as u64,
+                    },
+                );
                 last_completion = now;
             }
         }
         // Admit as many queued tasks as capacity allows. Tasks request
         // deployment independently, so a blocked task does not block later
         // tasks that fit elsewhere; the scan window stays bounded to keep
-        // arrival order roughly fair.
+        // arrival order roughly fair. Each wave scans the window once and
+        // drains every admitted task with a single retain pass (no O(n)
+        // mid-deque removals), repeating until a wave admits nothing.
         const SCAN_WINDOW: usize = 64;
         loop {
-            let mut admitted = None;
-            for (pos, &idx) in queue.iter().take(SCAN_WINDOW).enumerate() {
+            let window = queue.len().min(SCAN_WINDOW);
+            let mut admitted_in_window = vec![false; window];
+            let mut admitted: Vec<(usize, Deployment)> = Vec::new();
+            for pos in 0..window {
+                let idx = queue[pos];
                 let task = arrivals[idx].task;
                 let name = instance_for(&task);
-                if let Some(deployment) = controller.try_deploy(&name)? {
-                    admitted = Some((pos, idx, deployment));
-                    break;
+                match controller.try_deploy_explained(&name)? {
+                    Ok(deployment) => {
+                        admitted_in_window[pos] = true;
+                        admitted.push((idx, deployment));
+                    }
+                    Err(reason) => {
+                        rejections[reason.index()] += 1;
+                        metrics.inc(m_rejects[reason.index()]);
+                        // Trace only a task's first rejection: under
+                        // saturation every task is re-tried per wave and
+                        // the ring would otherwise hold nothing else.
+                        if !traced_reject[idx] {
+                            traced_reject[idx] = true;
+                            trace.push(
+                                now,
+                                TraceEventKind::DeployRejected {
+                                    task: idx as u64,
+                                    reason: reason.as_str(),
+                                },
+                            );
+                        }
+                    }
                 }
             }
-            let Some((pos, idx, deployment)) = admitted else {
+            if admitted.is_empty() {
                 break;
-            };
-            queue.remove(pos);
-            deployed_at[idx] = now;
-            queue_wait.record(now.saturating_sub(arrivals[idx].at).as_secs());
-            let task = arrivals[idx].task;
-            let service = service_time(&task, &deployment);
-            running[idx] = Some(deployment);
-            events.schedule(now + service, Event::Completion { task_index: idx });
+            }
+            let mut pos = 0;
+            queue.retain(|_| {
+                let keep = pos >= window || !admitted_in_window[pos];
+                pos += 1;
+                keep
+            });
+            for (idx, deployment) in admitted {
+                deployed_at[idx] = now;
+                let wait = now.saturating_sub(arrivals[idx].at).as_secs();
+                queue_wait.record(wait);
+                metrics.inc(m_deploys);
+                metrics.record_timer(t_queue_wait, wait);
+                trace.push(
+                    now,
+                    TraceEventKind::Deploy {
+                        task: idx as u64,
+                        units: deployment.num_units() as u32,
+                    },
+                );
+                let task = arrivals[idx].task;
+                let service = service_time(&task, &deployment);
+                running[idx] = Some(deployment);
+                events.schedule(now + service, Event::Completion { task_index: idx });
+            }
         }
+        // Sample the cluster state after the admission wave settles; the
+        // series coalesce repeats, and the trace records changes only.
+        let depth = queue.len() as f64;
+        if metrics.gauge_series(g_depth).last() != Some(depth) {
+            trace.push(
+                now,
+                TraceEventKind::QueueDepth {
+                    depth: queue.len() as u64,
+                },
+            );
+        }
+        metrics.set_gauge(g_depth, now, depth);
+        let occupancy = controller.occupancy();
+        if metrics.gauge_series(g_occupancy).last() != Some(occupancy) {
+            trace.push(
+                now,
+                TraceEventKind::Occupancy {
+                    fraction: occupancy,
+                },
+            );
+        }
+        metrics.set_gauge(g_occupancy, now, occupancy);
     }
 
     let elapsed = last_completion;
-    Ok(CloudReport {
+    let never_deployed = queue.len() as u64;
+    let occupancy_series = metrics.gauge_series(g_occupancy).clone();
+    let queue_depth_series = metrics.gauge_series(g_depth).clone();
+    let report = CloudReport {
+        arrivals: arrivals.len() as u64,
         completed: meter.completed(),
+        never_deployed,
         elapsed,
         throughput_per_s: meter.per_second(elapsed),
         latency,
+        latency_p50: metrics.timer_quantile(t_latency, 0.50),
+        latency_p95: metrics.timer_quantile(t_latency, 0.95),
+        latency_p99: metrics.timer_quantile(t_latency, 0.99),
         queue_wait,
-    })
+        mean_occupancy: occupancy_series.mean_until(elapsed).unwrap_or(0.0),
+        peak_occupancy: occupancy_series.max().unwrap_or(0.0),
+        peak_queue_depth: queue_depth_series.max().unwrap_or(0.0) as u64,
+        rejections,
+        occupancy_series,
+        queue_depth_series,
+        metrics,
+        trace,
+    };
+    debug_assert!(
+        report.accounts_for_all_arrivals(),
+        "arrivals unaccounted for: {} completed + {} never deployed != {}",
+        report.completed,
+        report.never_deployed,
+        report.arrivals
+    );
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -121,6 +388,7 @@ mod tests {
     use super::*;
     use crate::controller::Policy;
     use crate::testutil::small_db;
+    use vfpga_core::{MappingDatabase, MappingEntry};
     use vfpga_workload::{RnnKind, RnnTask};
 
     fn arrivals(n: usize, gap_us: f64) -> Vec<TaskArrival> {
@@ -141,13 +409,16 @@ mod tests {
         let (cluster, db) = small_db();
         let mut c = SystemController::new(cluster, db, Policy::Full);
         let a = arrivals(50, 10.0);
-        let report =
-            run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        let report = run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
         assert_eq!(report.completed, 50);
+        assert_eq!(report.never_deployed, 0);
+        assert!(report.accounts_for_all_arrivals());
         assert!(report.throughput_per_s > 0.0);
         // Everything released at the end.
         assert_eq!(c.live_deployments(), 0);
         assert_eq!(c.occupancy(), 0.0);
+        assert_eq!(c.stats().deploys, 50);
+        assert_eq!(c.stats().releases, 50);
     }
 
     #[test]
@@ -157,14 +428,18 @@ mod tests {
         // the (light-load) service time.
         let mut c = SystemController::new(cluster, db, Policy::Baseline);
         let a = arrivals(80, 1.0);
-        let report =
-            run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        let report = run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
         assert_eq!(report.completed, 80);
+        assert!(report.accounts_for_all_arrivals());
         assert!(report.queue_wait.mean() > 100e-6);
         // Under saturation the baseline's throughput is bounded by 4
         // concurrent servers of 100us each: 40000/s.
         assert!(report.throughput_per_s <= 41_000.0);
         assert!(report.throughput_per_s > 30_000.0);
+        // Saturation means the controller turned down deploy attempts for
+        // capacity, and the queue visibly backed up.
+        assert!(report.rejections_for(RejectReason::InsufficientCapacity) > 0);
+        assert!(report.peak_queue_depth > 0);
     }
 
     #[test]
@@ -184,14 +459,122 @@ mod tests {
     }
 
     #[test]
+    fn restricted_policy_sits_between_baseline_and_full() {
+        // The paper's Fig. 12 ordering on the heterogeneous paper cluster:
+        // the restricted policy (spatial sharing, multi-FPGA confined to
+        // one device type) beats the whole-device baseline but cannot beat
+        // the full framework.
+        let (cluster, db) = small_db();
+        let a = arrivals(80, 1.0);
+        let run = |policy: Policy| {
+            let mut c = SystemController::new(cluster.clone(), db.clone(), policy);
+            run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap()
+        };
+        let base = run(Policy::Baseline);
+        let restricted = run(Policy::Restricted);
+        let full = run(Policy::Full);
+        assert!(base.accounts_for_all_arrivals());
+        assert!(restricted.accounts_for_all_arrivals());
+        assert!(full.accounts_for_all_arrivals());
+        assert!(
+            restricted.throughput_per_s > base.throughput_per_s,
+            "restricted {} should beat baseline {}",
+            restricted.throughput_per_s,
+            base.throughput_per_s
+        );
+        assert!(
+            full.throughput_per_s >= restricted.throughput_per_s,
+            "full {} should be at least restricted {}",
+            full.throughput_per_s,
+            restricted.throughput_per_s
+        );
+    }
+
+    #[test]
     fn latency_includes_queueing() {
         let (cluster, db) = small_db();
         let mut c = SystemController::new(cluster, db, Policy::Baseline);
         let a = arrivals(20, 1.0);
-        let report =
-            run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        let report = run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
         // End-to-end latency >= service time for every task.
-        assert!(report.latency.min() >= 100e-6 - 1e-9);
+        assert!(report.latency.min().unwrap() >= 100e-6 - 1e-9);
         assert!(report.latency.mean() > report.queue_wait.mean());
+        // Percentiles are ordered and at least the service time.
+        let (p50, p99) = (report.latency_p50.unwrap(), report.latency_p99.unwrap());
+        assert!(p50 >= 100e-6 - 1e-9);
+        assert!(p99 >= p50);
+    }
+
+    #[test]
+    fn undeployable_tasks_are_reported_not_dropped() {
+        // An instance offering only multi-FPGA options can never deploy
+        // under the baseline policy: the report must say so instead of
+        // under-reporting.
+        let (cluster, db) = small_db();
+        let big = db.entry("big").unwrap();
+        let multi_only: Vec<_> = big
+            .options
+            .iter()
+            .filter(|o| o.num_units() > 1)
+            .cloned()
+            .collect();
+        assert!(!multi_only.is_empty(), "test needs a multi-unit option");
+        let mut db2 = MappingDatabase::new();
+        db2.register_entry(MappingEntry {
+            name: "huge".to_string(),
+            options: multi_only,
+            total_resources: big.total_resources,
+            compile_seconds: big.compile_seconds,
+        });
+        let mut c = SystemController::new(cluster, db2, Policy::Baseline);
+        let a = arrivals(10, 1.0);
+        let report = run_cloud_sim(&mut c, &a, &|_| "huge".to_string(), &fixed_service).unwrap();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.never_deployed, 10);
+        assert!(report.accounts_for_all_arrivals());
+        assert!(report.rejections_for(RejectReason::PolicyExcluded) > 0);
+        // Empty run still yields a well-formed report.
+        assert_eq!(report.latency.min(), None);
+        assert_eq!(report.latency_p99, None);
+        assert_eq!(report.throughput_per_s, 0.0);
+        let json = report.to_json().compact();
+        assert!(json.contains(r#""never_deployed":10"#), "{json}");
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_report() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let report = run_cloud_sim(&mut c, &[], &|_| "tiny".to_string(), &fixed_service).unwrap();
+        assert_eq!(report.arrivals, 0);
+        assert_eq!(report.completed, 0);
+        assert!(report.accounts_for_all_arrivals());
+        assert_eq!(report.latency.min(), None);
+        assert_eq!(report.mean_occupancy, 0.0);
+    }
+
+    #[test]
+    fn report_exposes_time_series_and_trace() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let a = arrivals(30, 5.0);
+        let report = run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        // Occupancy rose and returned to zero.
+        assert!(report.peak_occupancy > 0.0);
+        assert_eq!(report.occupancy_series.last(), Some(0.0));
+        assert!(report.mean_occupancy > 0.0);
+        // The trace saw every lifecycle event kind.
+        let labels: std::collections::BTreeSet<&str> =
+            report.trace.iter().map(|e| e.kind.label()).collect();
+        for expect in ["arrival", "deploy", "completion", "release", "occupancy"] {
+            assert!(labels.contains(expect), "missing {expect} in {labels:?}");
+        }
+        // Metrics registry agrees with the report.
+        let mut m = report.metrics.clone();
+        let deploys = m.counter("deploys");
+        assert_eq!(m.counter_value(deploys), 30);
+        let json = report.to_json().compact();
+        assert!(json.contains(r#""throughput_per_s""#), "{json}");
+        assert!(json.contains(r#""series":[["#), "{json}");
     }
 }

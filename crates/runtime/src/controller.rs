@@ -24,6 +24,72 @@ pub enum Policy {
     Full,
 }
 
+/// Why a deployment attempt was turned down (as opposed to failing with a
+/// hard [`RuntimeError`]): the cluster can serve the instance in principle,
+/// just not right now or not under the active policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The active policy filters out every mapping option the database
+    /// offers (e.g. the baseline policy with a multi-FPGA-only entry).
+    PolicyExcluded,
+    /// Statically provisioned baseline: every provisioned device is busy.
+    NoFreeDevice,
+    /// No feasible placement: too few free virtual blocks under the
+    /// policy's placement constraints.
+    InsufficientCapacity,
+}
+
+impl RejectReason {
+    /// All reasons, in a stable order (for per-reason breakdowns).
+    pub const ALL: [RejectReason; 3] = [
+        RejectReason::PolicyExcluded,
+        RejectReason::NoFreeDevice,
+        RejectReason::InsufficientCapacity,
+    ];
+
+    /// Stable label for metrics and trace export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::PolicyExcluded => "policy_excluded",
+            RejectReason::NoFreeDevice => "no_free_device",
+            RejectReason::InsufficientCapacity => "insufficient_capacity",
+        }
+    }
+
+    /// Index into [`RejectReason::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            RejectReason::PolicyExcluded => 0,
+            RejectReason::NoFreeDevice => 1,
+            RejectReason::InsufficientCapacity => 2,
+        }
+    }
+}
+
+/// Lifetime counters of one [`SystemController`]: every deployment
+/// decision it has made, cheap enough to update unconditionally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerStats {
+    /// Successful deployments.
+    pub deploys: u64,
+    /// Releases performed.
+    pub releases: u64,
+    /// Rejected attempts, indexed by [`RejectReason::index`].
+    pub rejects: [u64; 3],
+}
+
+impl ControllerStats {
+    /// Total rejected attempts across all reasons.
+    pub fn total_rejects(&self) -> u64 {
+        self.rejects.iter().sum()
+    }
+
+    /// Rejections for one reason.
+    pub fn rejects_for(&self, reason: RejectReason) -> u64 {
+        self.rejects[reason.index()]
+    }
+}
+
 /// Identifies one live deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeploymentId(pub u64);
@@ -86,6 +152,7 @@ pub struct SystemController {
     provisioned: Option<Vec<String>>,
     live: HashMap<u64, Vec<AllocationId>>,
     next_id: u64,
+    stats: ControllerStats,
 }
 
 impl SystemController {
@@ -103,6 +170,7 @@ impl SystemController {
             provisioned: None,
             live: HashMap::new(),
             next_id: 0,
+            stats: ControllerStats::default(),
         }
     }
 
@@ -153,8 +221,26 @@ impl SystemController {
         &self.cluster
     }
 
+    /// Lifetime deployment/release/rejection counters.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
     /// Attempts to deploy an instance. Returns `Ok(None)` when the cluster
     /// currently lacks capacity (the caller queues the task).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownInstance`] for unregistered
+    /// instances.
+    pub fn try_deploy(&mut self, instance: &str) -> Result<Option<Deployment>, RuntimeError> {
+        self.try_deploy_explained(instance).map(|r| r.ok())
+    }
+
+    /// Attempts to deploy an instance, reporting *why* when turned down:
+    /// `Ok(Err(reason))` distinguishes policy exclusion, busy provisioned
+    /// devices, and capacity exhaustion — the rejection-reason breakdown
+    /// the cloud simulator's observability layer aggregates.
     ///
     /// The greedy policy scans the instance's mapping results sorted by
     /// ascending number of soft blocks, taking the first feasible
@@ -165,7 +251,22 @@ impl SystemController {
     ///
     /// Returns [`RuntimeError::UnknownInstance`] for unregistered
     /// instances.
-    pub fn try_deploy(&mut self, instance: &str) -> Result<Option<Deployment>, RuntimeError> {
+    pub fn try_deploy_explained(
+        &mut self,
+        instance: &str,
+    ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
+        let outcome = self.deploy_inner(instance)?;
+        match &outcome {
+            Ok(_) => self.stats.deploys += 1,
+            Err(reason) => self.stats.rejects[reason.index()] += 1,
+        }
+        Ok(outcome)
+    }
+
+    fn deploy_inner(
+        &mut self,
+        instance: &str,
+    ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
         let entry = self
             .db
             .entry(instance)
@@ -178,10 +279,12 @@ impl SystemController {
             return self.deploy_provisioned(instance);
         }
 
+        let mut any_policy_eligible = false;
         for option in &entry.options {
             if self.policy == Policy::Baseline && option.num_units() > 1 {
                 continue;
             }
+            any_policy_eligible = true;
             let Some(devices) = self.find_placement(option) else {
                 continue;
             };
@@ -222,7 +325,7 @@ impl SystemController {
             let id = DeploymentId(self.next_id);
             self.next_id += 1;
             self.live.insert(id.0, allocations);
-            return Ok(Some(Deployment {
+            return Ok(Ok(Deployment {
                 id,
                 instance: instance.to_string(),
                 installed_instance: None,
@@ -232,13 +335,24 @@ impl SystemController {
                 max_ring_hops,
             }));
         }
-        Ok(None)
+        Ok(Err(if any_policy_eligible {
+            RejectReason::InsufficientCapacity
+        } else {
+            RejectReason::PolicyExcluded
+        }))
     }
 
     /// Deploys a task onto a statically provisioned device (baseline): the
     /// device keeps the accelerator that was compiled onto it offline.
-    fn deploy_provisioned(&mut self, instance: &str) -> Result<Option<Deployment>, RuntimeError> {
-        let prov = self.provisioned.as_ref().expect("checked by caller").clone();
+    fn deploy_provisioned(
+        &mut self,
+        instance: &str,
+    ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
+        let prov = self
+            .provisioned
+            .as_ref()
+            .expect("checked by caller")
+            .clone();
         let mut candidates: Vec<DeviceId> = self
             .cluster
             .device_ids()
@@ -247,7 +361,7 @@ impl SystemController {
         // Prefer a device whose installed instance matches the request.
         candidates.sort_by_key(|d| (prov[d.0] != instance, d.0));
         let Some(&device) = candidates.first() else {
-            return Ok(None);
+            return Ok(Err(RejectReason::NoFreeDevice));
         };
         let installed = prov[device.0].clone();
         let entry = self
@@ -267,7 +381,7 @@ impl SystemController {
         let id = DeploymentId(self.next_id);
         self.next_id += 1;
         self.live.insert(id.0, vec![alloc]);
-        Ok(Some(Deployment {
+        Ok(Ok(Deployment {
             id,
             instance: instance.to_string(),
             installed_instance: Some(installed),
@@ -327,8 +441,7 @@ impl SystemController {
                 }
                 if self.policy == Policy::Baseline {
                     // Whole-device granularity: device must be untouched.
-                    if self.device_taken[device.0]
-                        || free[device.0] != self.llc.slots_total(device)
+                    if self.device_taken[device.0] || free[device.0] != self.llc.slots_total(device)
                     {
                         continue;
                     }
@@ -364,12 +477,9 @@ impl SystemController {
     ///
     /// Returns an HS error for unknown deployments.
     pub fn release(&mut self, deployment: &Deployment) -> Result<(), RuntimeError> {
-        let allocations = self
-            .live
-            .remove(&deployment.id.0)
-            .ok_or(RuntimeError::Hs(vfpga_hsabs::HsError::UnknownAllocation(
-                deployment.id.0,
-            )))?;
+        let allocations = self.live.remove(&deployment.id.0).ok_or(RuntimeError::Hs(
+            vfpga_hsabs::HsError::UnknownAllocation(deployment.id.0),
+        ))?;
         for a in allocations {
             self.llc.release(a)?;
         }
@@ -378,6 +488,7 @@ impl SystemController {
                 self.device_taken[p.device.0] = false;
             }
         }
+        self.stats.releases += 1;
         Ok(())
     }
 
@@ -461,6 +572,79 @@ mod tests {
             assert!(held.len() < 100);
         }
         assert!(held.len() > n, "sharing should beat one-per-device");
+    }
+
+    #[test]
+    fn full_policy_reports_capacity_exhaustion() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let mut held = Vec::new();
+        loop {
+            match c.try_deploy_explained("big").unwrap() {
+                Ok(d) => held.push(d),
+                Err(reason) => {
+                    // The full policy never excludes an option and has no
+                    // provisioning: only capacity can turn it down.
+                    assert_eq!(reason, RejectReason::InsufficientCapacity);
+                    break;
+                }
+            }
+            assert!(held.len() < 100);
+        }
+        assert_eq!(c.stats().deploys, held.len() as u64);
+        assert_eq!(c.stats().rejects_for(RejectReason::InsufficientCapacity), 1);
+        assert_eq!(c.stats().total_rejects(), 1);
+        for d in &held {
+            c.release(d).unwrap();
+        }
+        assert_eq!(c.stats().releases, held.len() as u64);
+        // Capacity is back.
+        assert!(c.try_deploy_explained("big").unwrap().is_ok());
+    }
+
+    #[test]
+    fn provisioned_baseline_reports_no_free_device() {
+        let (cluster, db) = small_db();
+        let n = cluster.len();
+        let prov = vec!["tiny".to_string(); n];
+        let mut c = SystemController::new(cluster, db, Policy::Baseline).with_provisioning(prov);
+        for _ in 0..n {
+            assert!(c.try_deploy_explained("tiny").unwrap().is_ok());
+        }
+        let rejected = c.try_deploy_explained("tiny").unwrap().unwrap_err();
+        assert_eq!(rejected, RejectReason::NoFreeDevice);
+        assert_eq!(c.stats().rejects_for(RejectReason::NoFreeDevice), 1);
+    }
+
+    #[test]
+    fn baseline_reports_policy_exclusion_for_multi_unit_only_entries() {
+        use vfpga_core::MappingEntry;
+
+        let (cluster, db) = small_db();
+        let big = db.entry("big").unwrap();
+        let multi_only: Vec<_> = big
+            .options
+            .iter()
+            .filter(|o| o.num_units() > 1)
+            .cloned()
+            .collect();
+        assert!(!multi_only.is_empty(), "test needs a multi-unit option");
+        let mut db2 = MappingDatabase::new();
+        db2.register_entry(MappingEntry {
+            name: "huge".to_string(),
+            options: multi_only,
+            total_resources: big.total_resources,
+            compile_seconds: big.compile_seconds,
+        });
+        // Baseline filters out every option — even on an idle cluster.
+        let mut base = SystemController::new(cluster.clone(), db2.clone(), Policy::Baseline);
+        let rejected = base.try_deploy_explained("huge").unwrap().unwrap_err();
+        assert_eq!(rejected, RejectReason::PolicyExcluded);
+        assert_eq!(base.stats().rejects_for(RejectReason::PolicyExcluded), 1);
+        // The full policy deploys the same entry fine.
+        let mut full = SystemController::new(cluster, db2, Policy::Full);
+        let d = full.try_deploy_explained("huge").unwrap().unwrap();
+        assert!(d.num_units() > 1);
     }
 
     #[test]

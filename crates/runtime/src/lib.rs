@@ -15,7 +15,12 @@
 //!   existing HS abstractions — the Fig. 12 middle bar).
 //! * [`run_cloud_sim`] — the discrete-event simulation of the cluster
 //!   serving a workload set: arrivals queue, deploy, run, release;
-//!   aggregated throughput in tasks/second is Fig. 12's metric.
+//!   aggregated throughput in tasks/second is Fig. 12's metric. Every run
+//!   returns a fully instrumented [`CloudReport`]: latency percentiles,
+//!   occupancy/queue-depth time series, rejection-reason breakdowns (see
+//!   [`RejectReason`]), a metrics registry, and a scheduler-event trace —
+//!   with the accounting invariant `completed + never_deployed ==
+//!   arrivals` (queued tasks are never silently dropped).
 //! * [`co_simulate_timing`]/[`co_simulate_functional`] — coupled simulation
 //!   of scaled-down accelerators exchanging state over the inter-FPGA ring,
 //!   with a configurable added link latency (the paper's programmable
@@ -27,8 +32,10 @@ mod scaleout_sim;
 #[cfg(test)]
 mod testutil;
 
-pub use cloudsim::{run_cloud_sim, CloudReport};
-pub use controller::{Deployment, DeploymentId, Placement, Policy, SystemController};
+pub use cloudsim::{run_cloud_sim, run_cloud_sim_traced, CloudReport, DEFAULT_TRACE_CAPACITY};
+pub use controller::{
+    ControllerStats, Deployment, DeploymentId, Placement, Policy, RejectReason, SystemController,
+};
 pub use scaleout_sim::{co_simulate_functional, co_simulate_timing, ScaleOutTiming};
 
 use std::fmt;

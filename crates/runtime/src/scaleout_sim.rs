@@ -3,17 +3,53 @@
 
 use vfpga_accel::{CycleSim, FuncSim, Poll, StepOutcome};
 use vfpga_isa::Program;
-use vfpga_sim::{LinkParams, SimTime};
+use vfpga_sim::{Json, LinkParams, SimTime};
 
 use crate::RuntimeError;
 
-/// Result of a timing co-simulation.
+/// Result of a timing co-simulation, including the communication counters
+/// the observability layer exports (message volume and scheduling rounds —
+/// the knobs Fig. 11's latency sweep stresses).
 #[derive(Debug, Clone)]
 pub struct ScaleOutTiming {
     /// Per-machine finish time.
     pub finish: Vec<SimTime>,
     /// The inference latency: the latest finish.
     pub makespan: SimTime,
+    /// Ring messages exchanged across all machines.
+    pub messages: u64,
+    /// Payload bytes put on the wire (f16 elements, 2 bytes each).
+    pub bytes_on_wire: u64,
+    /// Scheduler rounds the co-simulation needed to drain all machines
+    /// (each round polls every unfinished machine once).
+    pub poll_rounds: u64,
+}
+
+impl ScaleOutTiming {
+    /// Load imbalance: gap between the earliest and latest finisher.
+    pub fn imbalance(&self) -> SimTime {
+        let earliest = self.finish.iter().copied().min().unwrap_or(SimTime::ZERO);
+        self.makespan.saturating_sub(earliest)
+    }
+
+    /// Serializes the timing result (times in seconds).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("makespan_s", self.makespan.as_secs())
+            .field("imbalance_s", self.imbalance().as_secs())
+            .field(
+                "finish_s",
+                Json::Arr(
+                    self.finish
+                        .iter()
+                        .map(|t| Json::from(t.as_secs()))
+                        .collect(),
+                ),
+            )
+            .field("messages", self.messages)
+            .field("bytes_on_wire", self.bytes_on_wire)
+            .field("poll_rounds", self.poll_rounds)
+    }
 }
 
 /// Co-simulates the timing of communicating machines.
@@ -41,8 +77,10 @@ pub fn co_simulate_timing(
 ) -> Result<ScaleOutTiming, RuntimeError> {
     let n = machines.len();
     let mut finish: Vec<Option<SimTime>> = vec![None; n];
+    let mut poll_rounds = 0u64;
 
     loop {
+        poll_rounds += 1;
         let mut progressed = false;
         let mut blocked = 0usize;
         for m in 0..n {
@@ -66,9 +104,7 @@ pub fn co_simulate_timing(
                     if p == m {
                         continue;
                     }
-                    let sent = peer
-                        .iter()
-                        .find(|&&(c, s, _, _)| c == chan && s == seq)?;
+                    let sent = peer.iter().find(|&&(c, s, _, _)| c == chan && s == seq)?;
                     let bytes = sent.3 as u64 * 2; // f16 payload
                     let arrival =
                         sent.2 + link.serialization_time(bytes) + link.latency + added_latency;
@@ -100,7 +136,19 @@ pub fn co_simulate_timing(
 
     let finish: Vec<SimTime> = finish.into_iter().map(Option::unwrap).collect();
     let makespan = finish.iter().copied().fold(SimTime::ZERO, SimTime::max);
-    Ok(ScaleOutTiming { finish, makespan })
+    let mut messages = 0u64;
+    let mut bytes_on_wire = 0u64;
+    for m in machines.iter() {
+        messages += m.sends().len() as u64;
+        bytes_on_wire += m.sends().iter().map(|s| s.len as u64 * 2).sum::<u64>();
+    }
+    Ok(ScaleOutTiming {
+        finish,
+        makespan,
+        messages,
+        bytes_on_wire,
+        poll_rounds,
+    })
 }
 
 /// Co-simulates the *functional* execution of communicating machines: each

@@ -1,0 +1,240 @@
+//! A minimal JSON document builder.
+//!
+//! The benchmark harness exports machine-readable metrics artifacts; the
+//! container environment has no serde, so this module provides the small
+//! subset needed: a value tree with insertion-ordered objects and a
+//! serializer with correct string escaping and finite-number handling.
+
+use std::fmt::Write as _;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; pairs keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a field to an object and returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            _ => panic!("field() on non-object"),
+        }
+        self
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Serializes compactly.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, usize::MAX);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let compact = indent == usize::MAX;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if !compact {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    item.write(out, if compact { indent } else { indent + 1 });
+                }
+                if !compact {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if !compact {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    if !compact {
+                        out.push(' ');
+                    }
+                    v.write(out, if compact { indent } else { indent + 1 });
+                }
+                if !compact {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(x: bool) -> Json {
+        Json::Bool(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Option<f64>> for Json {
+    fn from(x: Option<f64>) -> Json {
+        x.map(Json::Num).unwrap_or(Json::Null)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_round() {
+        let j = Json::obj()
+            .field("a", 1u64)
+            .field("b", "x\"y")
+            .field("c", Json::Arr(vec![Json::from(1.5), Json::Null]));
+        assert_eq!(j.compact(), r#"{"a":1,"b":"x\"y","c":[1.5,null]}"#);
+    }
+
+    #[test]
+    fn non_finite_serializes_null() {
+        assert_eq!(Json::Num(f64::NAN).compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).compact(), "null");
+    }
+
+    #[test]
+    fn integers_have_no_fraction() {
+        assert_eq!(Json::Num(120.0).compact(), "120");
+        assert_eq!(Json::Num(0.25).compact(), "0.25");
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        assert_eq!(Json::from("a\u{1}b\nc").compact(), "\"a\\u0001b\\nc\"");
+    }
+
+    #[test]
+    fn pretty_is_indented() {
+        let j = Json::obj().field("k", Json::Arr(vec![Json::from(1u64)]));
+        let text = j.pretty();
+        assert!(text.contains("\n  \"k\": [\n    1\n  ]\n"), "{text}");
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::obj().pretty(), "{}\n");
+        assert_eq!(Json::Arr(vec![]).compact(), "[]");
+    }
+}

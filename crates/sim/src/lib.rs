@@ -26,11 +26,19 @@
 //! ```
 
 mod engine;
+mod json;
 mod link;
+mod metrics;
+mod rng;
 mod stats;
 mod time;
+mod trace;
 
 pub use engine::EventQueue;
+pub use json::Json;
 pub use link::{Link, LinkParams};
+pub use metrics::{CounterId, GaugeId, MetricsRegistry, TimeSeries, TimerId};
+pub use rng::Rng;
 pub use stats::{Histogram, Summary, ThroughputMeter};
 pub use time::SimTime;
+pub use trace::{TraceEvent, TraceEventKind, TraceRing};

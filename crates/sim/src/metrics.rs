@@ -1,0 +1,389 @@
+//! Runtime metrics: named counters, gauges, timers, and time series.
+//!
+//! The registry is the observability substrate for the system controller
+//! and the cloud simulator. It is designed for the simulator's hot loop:
+//! metric handles are plain indexes resolved once at registration, so a
+//! counter increment is one array access with no hashing or allocation.
+//!
+//! ```
+//! use vfpga_sim::{MetricsRegistry, SimTime};
+//! let mut m = MetricsRegistry::new();
+//! let deploys = m.counter("deploys");
+//! let depth = m.gauge("queue_depth");
+//! let latency = m.timer("latency_s");
+//! m.inc(deploys);
+//! m.set_gauge(depth, SimTime::from_us(3.0), 4.0);
+//! m.record_timer(latency, 120e-6);
+//! assert_eq!(m.counter_value(deploys), 1);
+//! assert_eq!(m.timer_summary(latency).count(), 1);
+//! ```
+
+use crate::json::Json;
+use crate::stats::Summary;
+use crate::time::SimTime;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId(usize);
+
+/// A time-stamped series of gauge observations, coalescing repeats.
+///
+/// Samples are `(time, value)` pairs; recording the same value twice in a
+/// row keeps only the first sample, so a gauge polled every event stays
+/// compact while still reconstructing the exact step function.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Records `value` at `at`. Out-of-order samples are rejected silently
+    /// (the simulator's clock is monotone); repeated values coalesce.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last_t, last_v)) = self.samples.last() {
+            if at < last_t {
+                return;
+            }
+            if last_v == value {
+                return;
+            }
+            if last_t == at {
+                // Same timestamp: the later write wins.
+                self.samples.pop();
+            }
+        }
+        self.samples.push((at, value));
+    }
+
+    /// The recorded `(time, value)` steps.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Time-weighted mean of the step function from the first sample up to
+    /// `end`. Returns `None` if empty or `end` precedes the first sample.
+    pub fn mean_until(&self, end: SimTime) -> Option<f64> {
+        let first = self.samples.first()?.0;
+        if end <= first {
+            return None;
+        }
+        let total = (end - first).as_secs();
+        let mut acc = 0.0;
+        for (i, &(t, v)) in self.samples.iter().enumerate() {
+            let next = self
+                .samples
+                .get(i + 1)
+                .map(|&(t2, _)| t2.min(end))
+                .unwrap_or(end);
+            if next > t {
+                acc += v * (next - t).as_secs();
+            }
+        }
+        Some(acc / total)
+    }
+
+    /// Serializes as `[[seconds, value], ...]`.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.samples
+                .iter()
+                .map(|&(t, v)| Json::Arr(vec![Json::Num(t.as_secs()), Json::Num(v)]))
+                .collect(),
+        )
+    }
+}
+
+/// Timer percentiles are computed from retained samples; past this many,
+/// the buffer is decimated (every other sample dropped, retention stride
+/// doubled) so memory stays bounded and the stream stays deterministic.
+const TIMER_SAMPLE_CAP: usize = 1 << 16;
+
+#[derive(Debug, Clone)]
+struct Timer {
+    summary: Summary,
+    samples: Vec<f64>,
+    stride: u64,
+    seen: u64,
+}
+
+impl Timer {
+    fn new() -> Self {
+        Timer {
+            summary: Summary::new(),
+            samples: Vec::new(),
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    fn record(&mut self, secs: f64) {
+        self.summary.record(secs);
+        if self.seen.is_multiple_of(self.stride) {
+            if self.samples.len() == TIMER_SAMPLE_CAP {
+                let mut keep = false;
+                self.samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride *= 2;
+            }
+            self.samples.push(secs);
+        }
+        self.seen += 1;
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timer samples are finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+/// A registry of named counters, gauges, and timers.
+///
+/// Registration interns by name: asking for an existing name returns the
+/// same handle, so independent components can share a metric.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counter_names: Vec<String>,
+    counters: Vec<u64>,
+    gauge_names: Vec<String>,
+    gauges: Vec<TimeSeries>,
+    timer_names: Vec<String>,
+    timers: Vec<Timer>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or looks up) a counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counter_names.iter().position(|n| n == name) {
+            return CounterId(i);
+        }
+        self.counter_names.push(name.to_string());
+        self.counters.push(0);
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or looks up) a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauge_names.iter().position(|n| n == name) {
+            return GaugeId(i);
+        }
+        self.gauge_names.push(name.to_string());
+        self.gauges.push(TimeSeries::new());
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or looks up) a timer.
+    pub fn timer(&mut self, name: &str) -> TimerId {
+        if let Some(i) = self.timer_names.iter().position(|n| n == name) {
+            return TimerId(i);
+        }
+        self.timer_names.push(name.to_string());
+        self.timers.push(Timer::new());
+        TimerId(self.timers.len() - 1)
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0] += 1;
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0] += n;
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Records a gauge observation at simulation time `at`.
+    pub fn set_gauge(&mut self, id: GaugeId, at: SimTime, value: f64) {
+        self.gauges[id.0].record(at, value);
+    }
+
+    /// The gauge's full time series.
+    pub fn gauge_series(&self, id: GaugeId) -> &TimeSeries {
+        &self.gauges[id.0]
+    }
+
+    /// Records a duration (in seconds) into a timer.
+    pub fn record_timer(&mut self, id: TimerId, secs: f64) {
+        self.timers[id.0].record(secs);
+    }
+
+    /// The timer's streaming summary.
+    pub fn timer_summary(&self, id: TimerId) -> &Summary {
+        &self.timers[id.0].summary
+    }
+
+    /// The timer's `q`-quantile over retained samples; `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn timer_quantile(&self, id: TimerId, q: f64) -> Option<f64> {
+        self.timers[id.0].quantile(q)
+    }
+
+    /// Serializes every metric: counters as numbers, gauges as time
+    /// series, timers as `{count, mean, p50, p95, p99, min, max}`.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, &v) in self.counter_names.iter().zip(&self.counters) {
+            counters = counters.field(name, v);
+        }
+        let mut gauges = Json::obj();
+        for (name, series) in self.gauge_names.iter().zip(&self.gauges) {
+            gauges = gauges.field(name, series.to_json());
+        }
+        let mut timers = Json::obj();
+        for (name, t) in self.timer_names.iter().zip(&self.timers) {
+            timers = timers.field(
+                name,
+                Json::obj()
+                    .field("count", t.summary.count())
+                    .field("mean", t.summary.mean())
+                    .field("p50", t.quantile(0.50))
+                    .field("p95", t.quantile(0.95))
+                    .field("p99", t.quantile(0.99))
+                    .field("min", t.summary.min())
+                    .field("max", t.summary.max()),
+            );
+        }
+        Json::obj()
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("timers", timers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_intern() {
+        let mut m = MetricsRegistry::new();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        assert_eq!(a, b);
+        m.inc(a);
+        m.add(b, 4);
+        assert_eq!(m.counter_value(a), 5);
+    }
+
+    #[test]
+    fn gauge_series_coalesces_repeats() {
+        let mut m = MetricsRegistry::new();
+        let g = m.gauge("depth");
+        m.set_gauge(g, SimTime::from_us(1.0), 2.0);
+        m.set_gauge(g, SimTime::from_us(2.0), 2.0);
+        m.set_gauge(g, SimTime::from_us(3.0), 5.0);
+        assert_eq!(m.gauge_series(g).samples().len(), 2);
+        assert_eq!(m.gauge_series(g).last(), Some(5.0));
+        assert_eq!(m.gauge_series(g).max(), Some(5.0));
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut s = TimeSeries::new();
+        // 0 for 1s, then 10 for 1s => mean 5 over [0, 2].
+        s.record(SimTime::ZERO, 0.0);
+        s.record(SimTime::from_secs(1.0), 10.0);
+        let mean = s.mean_until(SimTime::from_secs(2.0)).unwrap();
+        assert!((mean - 5.0).abs() < 1e-9, "mean {mean}");
+        assert_eq!(TimeSeries::new().mean_until(SimTime::from_secs(1.0)), None);
+    }
+
+    #[test]
+    fn timer_percentiles_exact_when_small() {
+        let mut m = MetricsRegistry::new();
+        let t = m.timer("lat");
+        for i in 1..=100 {
+            m.record_timer(t, i as f64);
+        }
+        assert_eq!(m.timer_quantile(t, 0.5), Some(50.0));
+        assert_eq!(m.timer_quantile(t, 0.95), Some(95.0));
+        assert_eq!(m.timer_quantile(t, 0.99), Some(99.0));
+        assert_eq!(m.timer_quantile(t, 1.0), Some(100.0));
+        assert_eq!(m.timer_summary(t).count(), 100);
+    }
+
+    #[test]
+    fn timer_decimation_stays_bounded_and_close() {
+        let mut m = MetricsRegistry::new();
+        let t = m.timer("lat");
+        let n = (TIMER_SAMPLE_CAP * 4) as u64;
+        for i in 0..n {
+            m.record_timer(t, i as f64);
+        }
+        assert_eq!(m.timer_summary(t).count(), n);
+        let p50 = m.timer_quantile(t, 0.5).unwrap();
+        let expect = n as f64 / 2.0;
+        assert!(
+            (p50 - expect).abs() / expect < 0.02,
+            "p50 {p50} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn empty_timer_has_no_quantiles() {
+        let mut m = MetricsRegistry::new();
+        let t = m.timer("lat");
+        assert_eq!(m.timer_quantile(t, 0.5), None);
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("deploys");
+        m.inc(c);
+        let g = m.gauge("occ");
+        m.set_gauge(g, SimTime::ZERO, 0.25);
+        let t = m.timer("lat");
+        m.record_timer(t, 1.0);
+        let text = m.to_json().compact();
+        assert!(text.contains(r#""deploys":1"#), "{text}");
+        assert!(text.contains(r#""occ":[[0,0.25]]"#), "{text}");
+        assert!(text.contains(r#""p99":1"#), "{text}");
+    }
+}

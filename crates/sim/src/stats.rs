@@ -13,8 +13,9 @@ use std::fmt;
 /// }
 /// assert_eq!(s.count(), 4);
 /// assert_eq!(s.mean(), 2.5);
-/// assert_eq!(s.min(), 1.0);
-/// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(4.0));
+/// assert_eq!(Summary::new().min(), None);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Summary {
@@ -65,24 +66,15 @@ impl Summary {
         self.sum
     }
 
-    /// Smallest observation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no observations were recorded.
-    pub fn min(&self) -> f64 {
-        assert!(self.count > 0, "min of empty summary");
-        self.min
+    /// Smallest observation; `None` if nothing was recorded, so an empty
+    /// simulation run still yields a well-formed report.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
     }
 
-    /// Largest observation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no observations were recorded.
-    pub fn max(&self) -> f64 {
-        assert!(self.count > 0, "max of empty summary");
-        self.max
+    /// Largest observation; `None` if nothing was recorded.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
     }
 
     /// Sample standard deviation; zero with fewer than two observations.
@@ -309,7 +301,7 @@ mod tests {
         let mut c = Summary::new();
         c.merge(&a);
         assert_eq!(c.count(), 1);
-        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.min(), Some(1.0));
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! A bounded ring buffer of timestamped scheduler events.
+//!
+//! The runtime emits one [`TraceEvent`] per scheduler decision; the ring
+//! keeps the most recent `capacity` events with O(1) push and no
+//! per-event allocation (reasons are static strings), so tracing can stay
+//! on in the simulator's hot loop.
+
+use crate::json::Json;
+use crate::time::SimTime;
+
+/// What happened at one trace point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// A task arrived and entered the queue.
+    Arrival {
+        /// Workload task index.
+        task: u64,
+    },
+    /// A task was deployed onto the cluster.
+    Deploy {
+        /// Workload task index.
+        task: u64,
+        /// Number of FPGAs the deployment spans.
+        units: u32,
+    },
+    /// A deployment attempt was rejected.
+    DeployRejected {
+        /// Workload task index.
+        task: u64,
+        /// Static reason label (e.g. `"insufficient_capacity"`).
+        reason: &'static str,
+    },
+    /// A task finished executing.
+    Completion {
+        /// Workload task index.
+        task: u64,
+    },
+    /// A deployment's resources were released.
+    Release {
+        /// Workload task index.
+        task: u64,
+    },
+    /// Sampled queue depth.
+    QueueDepth {
+        /// Number of tasks waiting.
+        depth: u64,
+    },
+    /// Sampled cluster-wide virtual-block occupancy.
+    Occupancy {
+        /// Occupied fraction, `0.0..=1.0`.
+        fraction: f64,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable label for export and filtering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::Arrival { .. } => "arrival",
+            TraceEventKind::Deploy { .. } => "deploy",
+            TraceEventKind::DeployRejected { .. } => "deploy_rejected",
+            TraceEventKind::Completion { .. } => "completion",
+            TraceEventKind::Release { .. } => "release",
+            TraceEventKind::QueueDepth { .. } => "queue_depth",
+            TraceEventKind::Occupancy { .. } => "occupancy",
+        }
+    }
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub kind: TraceEventKind,
+}
+
+/// Fixed-capacity event ring: pushing past capacity overwrites the oldest
+/// event and counts it as dropped.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    head: usize,
+    dropped: u64,
+    capacity: usize,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity");
+        TraceRing {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            dropped: 0,
+            capacity,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, at: SimTime, kind: TraceEventKind) {
+        let ev = TraceEvent { at, kind };
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Serializes as `{dropped, events: [{t, event, ...fields}]}`.
+    pub fn to_json(&self) -> Json {
+        let events = self
+            .iter()
+            .map(|ev| {
+                let base = Json::obj()
+                    .field("t", ev.at.as_secs())
+                    .field("event", ev.kind.label());
+                match ev.kind {
+                    TraceEventKind::Arrival { task }
+                    | TraceEventKind::Completion { task }
+                    | TraceEventKind::Release { task } => base.field("task", task),
+                    TraceEventKind::Deploy { task, units } => {
+                        base.field("task", task).field("units", units as u64)
+                    }
+                    TraceEventKind::DeployRejected { task, reason } => {
+                        base.field("task", task).field("reason", reason)
+                    }
+                    TraceEventKind::QueueDepth { depth } => base.field("depth", depth),
+                    TraceEventKind::Occupancy { fraction } => base.field("fraction", fraction),
+                }
+            })
+            .collect();
+        Json::obj()
+            .field("dropped", self.dropped)
+            .field("events", Json::Arr(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_in_order() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5u64 {
+            r.push(
+                SimTime::from_us(i as f64),
+                TraceEventKind::Arrival { task: i },
+            );
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let tasks: Vec<u64> = r
+            .iter()
+            .map(|e| match e.kind {
+                TraceEventKind::Arrival { task } => task,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tasks, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut r = TraceRing::new(8);
+        r.push(SimTime::ZERO, TraceEventKind::QueueDepth { depth: 1 });
+        r.push(
+            SimTime::from_us(1.0),
+            TraceEventKind::Occupancy { fraction: 0.5 },
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn json_includes_reason_fields() {
+        let mut r = TraceRing::new(4);
+        r.push(
+            SimTime::from_us(2.0),
+            TraceEventKind::DeployRejected {
+                task: 7,
+                reason: "insufficient_capacity",
+            },
+        );
+        r.push(
+            SimTime::from_us(3.0),
+            TraceEventKind::Deploy { task: 7, units: 2 },
+        );
+        let text = r.to_json().compact();
+        assert!(
+            text.contains(r#""reason":"insufficient_capacity""#),
+            "{text}"
+        );
+        assert!(text.contains(r#""units":2"#), "{text}");
+        assert!(text.contains(r#""dropped":0"#), "{text}");
+    }
+}

@@ -164,29 +164,88 @@ fn gru_step(p: &mut Program, x: VReg, h: VReg) {
     let t1 = VReg(10);
 
     // x-side phase (independent of h).
-    p.push(I::MvMul { dst: wzx, mat: wz, src: x });
-    p.push(I::MvMul { dst: wrx, mat: wr, src: x });
-    p.push(I::MvMul { dst: whx, mat: wh, src: x });
+    p.push(I::MvMul {
+        dst: wzx,
+        mat: wz,
+        src: x,
+    });
+    p.push(I::MvMul {
+        dst: wrx,
+        mat: wr,
+        src: x,
+    });
+    p.push(I::MvMul {
+        dst: whx,
+        mat: wh,
+        src: x,
+    });
     // h-side phase.
-    p.push(I::MvMul { dst: t0, mat: uz, src: h });
-    p.push(I::VAdd { dst: z, a: wzx, b: t0 });
+    p.push(I::MvMul {
+        dst: t0,
+        mat: uz,
+        src: h,
+    });
+    p.push(I::VAdd {
+        dst: z,
+        a: wzx,
+        b: t0,
+    });
     p.push(I::Sigmoid { dst: z, src: z });
-    p.push(I::MvMul { dst: t0, mat: ur, src: h });
-    p.push(I::VAdd { dst: r, a: wrx, b: t0 });
+    p.push(I::MvMul {
+        dst: t0,
+        mat: ur,
+        src: h,
+    });
+    p.push(I::VAdd {
+        dst: r,
+        a: wrx,
+        b: t0,
+    });
     p.push(I::Sigmoid { dst: r, src: r });
-    p.push(I::MvMul { dst: t0, mat: uh, src: h });
-    p.push(I::VMul { dst: t0, a: r, b: t0 });
-    p.push(I::VAdd { dst: cand, a: whx, b: t0 });
-    p.push(I::Tanh { dst: cand, src: cand });
+    p.push(I::MvMul {
+        dst: t0,
+        mat: uh,
+        src: h,
+    });
+    p.push(I::VMul {
+        dst: t0,
+        a: r,
+        b: t0,
+    });
+    p.push(I::VAdd {
+        dst: cand,
+        a: whx,
+        b: t0,
+    });
+    p.push(I::Tanh {
+        dst: cand,
+        src: cand,
+    });
     // Blend with the local slice of h.
     p.push(I::VLoad {
         dst: hloc,
         addr: H_LOCAL_SLOT,
     });
-    p.push(I::VMul { dst: t1, a: z, b: hloc });
-    p.push(I::VSub { dst: t1, a: hloc, b: t1 });
-    p.push(I::VMul { dst: t0, a: z, b: cand });
-    p.push(I::VAdd { dst: t1, a: t1, b: t0 });
+    p.push(I::VMul {
+        dst: t1,
+        a: z,
+        b: hloc,
+    });
+    p.push(I::VSub {
+        dst: t1,
+        a: hloc,
+        b: t1,
+    });
+    p.push(I::VMul {
+        dst: t0,
+        a: z,
+        b: cand,
+    });
+    p.push(I::VAdd {
+        dst: t1,
+        a: t1,
+        b: t0,
+    });
     p.push(I::VStore {
         src: t1,
         addr: H_LOCAL_SLOT,
@@ -244,14 +303,26 @@ fn lstm_step(p: &mut Program, x: VReg, h: VReg) {
         addr: C_LOCAL_SLOT,
     });
     p.push(I::VMul { dst: c, a: f, b: c });
-    p.push(I::VMul { dst: t1, a: i, b: g });
-    p.push(I::VAdd { dst: c, a: c, b: t1 });
+    p.push(I::VMul {
+        dst: t1,
+        a: i,
+        b: g,
+    });
+    p.push(I::VAdd {
+        dst: c,
+        a: c,
+        b: t1,
+    });
     p.push(I::VStore {
         src: c,
         addr: C_LOCAL_SLOT,
     });
     p.push(I::Tanh { dst: t1, src: c });
-    p.push(I::VMul { dst: t1, a: o, b: t1 });
+    p.push(I::VMul {
+        dst: t1,
+        a: o,
+        b: t1,
+    });
     p.push(I::VStore {
         src: t1,
         addr: H_LOCAL_SLOT,
@@ -286,14 +357,8 @@ mod tests {
 
     #[test]
     fn programs_validate_and_scale_with_timesteps() {
-        let short = generate_program(
-            RnnTask::new(RnnKind::Gru, 128, 1),
-            SliceSpec::FULL,
-        );
-        let long = generate_program(
-            RnnTask::new(RnnKind::Gru, 128, 10),
-            SliceSpec::FULL,
-        );
+        let short = generate_program(RnnTask::new(RnnKind::Gru, 128, 1), SliceSpec::FULL);
+        let long = generate_program(RnnTask::new(RnnKind::Gru, 128, 10), SliceSpec::FULL);
         short.program.validate(&IsaConfig::default()).unwrap();
         long.program.validate(&IsaConfig::default()).unwrap();
         // 22 instructions per GRU step plus halt.
@@ -303,10 +368,7 @@ mod tests {
 
     #[test]
     fn lstm_program_references_eight_matrices() {
-        let p = generate_program(
-            RnnTask::new(RnnKind::Lstm, 64, 2),
-            SliceSpec::FULL,
-        );
+        let p = generate_program(RnnTask::new(RnnKind::Lstm, 64, 2), SliceSpec::FULL);
         assert_eq!(p.mat_shapes.len(), 8);
         let mats: std::collections::HashSet<u16> = p
             .program
@@ -319,10 +381,7 @@ mod tests {
 
     #[test]
     fn sliced_matrices_have_sliced_rows() {
-        let p = generate_program(
-            RnnTask::new(RnnKind::Gru, 100, 1),
-            SliceSpec::new(1, 3),
-        );
+        let p = generate_program(RnnTask::new(RnnKind::Gru, 100, 1), SliceSpec::new(1, 3));
         // 100 rows over 3 machines: machine 1 owns 33.
         assert_eq!(p.mat_shapes[&0], (33, 100));
         assert_eq!(p.dram_lens[&H_LOCAL_SLOT], 33);
@@ -331,10 +390,7 @@ mod tests {
 
     #[test]
     fn state_slot_is_stored_every_timestep() {
-        let p = generate_program(
-            RnnTask::new(RnnKind::Lstm, 64, 4),
-            SliceSpec::FULL,
-        );
+        let p = generate_program(RnnTask::new(RnnKind::Lstm, 64, 4), SliceSpec::FULL);
         let stores = p
             .program
             .iter()

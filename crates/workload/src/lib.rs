@@ -31,5 +31,7 @@ pub use codegen::{
 };
 pub use models::{RnnKind, RnnTask, SizeClass};
 pub use reference::reference_run;
-pub use sets::{deepbench_tasks, fig11_tasks, generate_workload, table4_tasks, Composition, TaskArrival};
+pub use sets::{
+    deepbench_tasks, fig11_tasks, generate_workload, table4_tasks, Composition, TaskArrival,
+};
 pub use weights::RnnWeights;

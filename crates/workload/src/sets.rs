@@ -1,8 +1,6 @@
 //! Benchmark catalogs and the synthetic cloud workload sets of Table 1.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use vfpga_sim::SimTime;
+use vfpga_sim::{Rng, SimTime};
 
 use crate::models::{RnnKind, RnnTask, SizeClass};
 
@@ -55,16 +53,56 @@ pub struct Composition {
 impl Composition {
     /// The ten compositions of Table 1, in order (set index 1..=10).
     pub const TABLE1: [Composition; 10] = [
-        Composition { s: 1.0, m: 0.0, l: 0.0 },
-        Composition { s: 0.0, m: 1.0, l: 0.0 },
-        Composition { s: 0.0, m: 0.0, l: 1.0 },
-        Composition { s: 0.5, m: 0.5, l: 0.0 },
-        Composition { s: 0.5, m: 0.0, l: 0.5 },
-        Composition { s: 0.0, m: 0.5, l: 0.5 },
-        Composition { s: 0.33, m: 0.33, l: 0.34 },
-        Composition { s: 0.1, m: 0.3, l: 0.6 },
-        Composition { s: 0.3, m: 0.6, l: 0.1 },
-        Composition { s: 0.6, m: 0.1, l: 0.3 },
+        Composition {
+            s: 1.0,
+            m: 0.0,
+            l: 0.0,
+        },
+        Composition {
+            s: 0.0,
+            m: 1.0,
+            l: 0.0,
+        },
+        Composition {
+            s: 0.0,
+            m: 0.0,
+            l: 1.0,
+        },
+        Composition {
+            s: 0.5,
+            m: 0.5,
+            l: 0.0,
+        },
+        Composition {
+            s: 0.5,
+            m: 0.0,
+            l: 0.5,
+        },
+        Composition {
+            s: 0.0,
+            m: 0.5,
+            l: 0.5,
+        },
+        Composition {
+            s: 0.33,
+            m: 0.33,
+            l: 0.34,
+        },
+        Composition {
+            s: 0.1,
+            m: 0.3,
+            l: 0.6,
+        },
+        Composition {
+            s: 0.3,
+            m: 0.6,
+            l: 0.1,
+        },
+        Composition {
+            s: 0.6,
+            m: 0.1,
+            l: 0.3,
+        },
     ];
 }
 
@@ -95,17 +133,20 @@ pub fn generate_workload(
     assert!(count > 0, "empty workload");
     let pool = deepbench_tasks();
     let class_pool = |c: SizeClass| -> Vec<RnnTask> {
-        pool.iter().copied().filter(|t| t.size_class() == c).collect()
+        pool.iter()
+            .copied()
+            .filter(|t| t.size_class() == c)
+            .collect()
     };
     let small = class_pool(SizeClass::Small);
     let medium = class_pool(SizeClass::Medium);
     let large = class_pool(SizeClass::Large);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut now = SimTime::ZERO;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.next_f64();
         let class = if u < composition.s {
             &small
         } else if u < composition.s + composition.m {
@@ -114,10 +155,9 @@ pub fn generate_workload(
             &large
         };
         assert!(!class.is_empty(), "composition selects an empty size class");
-        let task = class[rng.gen_range(0..class.len())];
+        let task = class[rng.below(class.len())];
         // Exponential interarrival.
-        let x: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let gap = -x.ln() * mean_interarrival.as_secs();
+        let gap = rng.exp(mean_interarrival.as_secs());
         now += SimTime::from_secs(gap);
         out.push(TaskArrival { at: now, task });
     }

@@ -1,9 +1,8 @@
 //! Deterministic weight and input generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vfpga_accel::FuncSim;
-use vfpga_isa::{F16, MReg};
+use vfpga_isa::{MReg, F16};
+use vfpga_sim::Rng;
 
 use crate::codegen::{SliceSpec, H_LOCAL_SLOT, H_STATE_SLOT, X_BASE_SLOT};
 use crate::models::RnnTask;
@@ -29,17 +28,17 @@ impl RnnWeights {
     /// well-conditioned range of f16/BFP arithmetic, like trained RNN
     /// weights do.
     pub fn generate(task: RnnTask, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let h = task.hidden;
         let scale = 1.0 / (h as f32).sqrt();
         let gates = task.kind.gates();
         let matrices = (0..2 * gates)
-            .map(|_| (0..h * h).map(|_| rng.gen_range(-scale..scale)).collect())
+            .map(|_| (0..h * h).map(|_| rng.range_f32(-scale, scale)).collect())
             .collect();
         let inputs = (0..task.timesteps)
-            .map(|_| (0..h).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .map(|_| (0..h).map(|_| rng.range_f32(-1.0, 1.0)).collect())
             .collect();
-        let h0 = (0..h).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let h0 = (0..h).map(|_| rng.range_f32(-0.5, 0.5)).collect();
         RnnWeights {
             task,
             matrices,

@@ -25,8 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimTime::from_us(50.0),
         7,
     );
-    println!("workload: {} tasks, first at {}, last at {}", arrivals.len(),
-        arrivals[0].at, arrivals.last().unwrap().at);
+    println!(
+        "workload: {} tasks, first at {}, last at {}",
+        arrivals.len(),
+        arrivals[0].at,
+        arrivals.last().unwrap().at
+    );
 
     for policy in [Policy::Baseline, Policy::Restricted, Policy::Full] {
         let mut controller =

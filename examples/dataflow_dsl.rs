@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = controller.try_deploy("extract")?.expect("cluster has room");
     println!(
         "deployed onto {:?}",
-        d.placements.iter().map(|p| p.device.to_string()).collect::<Vec<_>>()
+        d.placements
+            .iter()
+            .map(|p| p.device.to_string())
+            .collect::<Vec<_>>()
     );
     controller.release(&d)?;
     Ok(())

@@ -50,8 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let est = leaf_resource_estimator(&config);
     let decomposition = decompose(&design, TOP_MODULE, &opts, &est)?;
     println!("\nsoft-block tree ({} blocks):", decomposition.tree.len());
-    print!("{}", &decomposition.tree.render()[..400.min(decomposition.tree.render().len())]);
-    println!("  ... (root pattern: {:?})", decomposition.tree.root_block().pattern());
+    print!(
+        "{}",
+        &decomposition.tree.render()[..400.min(decomposition.tree.render().len())]
+    );
+    println!(
+        "  ... (root pattern: {:?})",
+        decomposition.tree.root_block().pattern()
+    );
 
     // 3. Partition: two iterations support deployments onto up to 4 FPGAs.
     let plan = partition(&decomposition.tree, 2);
@@ -72,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &HsCompiler::default(),
         true,
     )?;
-    println!("mapping database entry: {} deployment options", entry.options.len());
+    println!(
+        "mapping database entry: {} deployment options",
+        entry.options.len()
+    );
     for option in &entry.options {
         let types: Vec<&str> = option.units[0].images.keys().map(String::as_str).collect();
         println!(
@@ -119,9 +128,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A taste of the ISA's software programming flow: plain assembly.
     let p = assemble("vload v0, 0\nmvmul v1, m0, v0\nsigmoid v2, v1\nvstore v2, 1\nhalt\n")?;
-    println!("\nhand-written kernel ({} instructions) assembles fine", p.len());
+    println!(
+        "\nhand-written kernel ({} instructions) assembles fine",
+        p.len()
+    );
 
     controller.release(&deployment)?;
-    println!("released; cluster occupancy back to {:.0}%", controller.occupancy() * 100.0);
+    println!(
+        "released; cluster occupancy back to {:.0}%",
+        controller.occupancy() * 100.0
+    );
     Ok(())
 }

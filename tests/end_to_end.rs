@@ -101,12 +101,10 @@ fn large_instance_needs_the_big_device_or_multiple_fpgas() {
     );
     // But some multi-unit option has a unit that fits the KU115 — the
     // heterogeneity the restricted policy cannot exploit.
-    let hetero_capable = entry.options.iter().any(|o| {
-        o.num_units() > 1
-            && o.units
-                .iter()
-                .any(|u| u.images.contains_key("XCKU115"))
-    });
+    let hetero_capable = entry
+        .options
+        .iter()
+        .any(|o| o.num_units() > 1 && o.units.iter().any(|u| u.images.contains_key("XCKU115")));
     assert!(hetero_capable);
 }
 
@@ -133,10 +131,7 @@ fn full_policy_spans_heterogeneous_devices_under_pressure() {
     // The last deployment (if any beyond the VU37Ps) must have used the
     // KU115 somewhere — heterogeneous multi-FPGA deployment.
     let last = held.last().unwrap();
-    let uses_ku = last
-        .placements
-        .iter()
-        .any(|p| p.device == DeviceId(3));
+    let uses_ku = last.placements.iter().any(|p| p.device == DeviceId(3));
     assert!(
         uses_ku || held.len() <= 3,
         "under pressure the full policy should reach the KU115"
@@ -247,6 +242,10 @@ fn four_machine_timing_cosim_completes() {
     assert_eq!(result.finish.len(), 4);
     assert!(result.makespan > SimTime::ZERO);
     // All machines finish within one barrier round of each other.
-    let min = result.finish.iter().copied().fold(SimTime::MAX, SimTime::min);
+    let min = result
+        .finish
+        .iter()
+        .copied()
+        .fold(SimTime::MAX, SimTime::min);
     assert!(result.makespan.saturating_sub(min) < SimTime::from_us(50.0));
 }

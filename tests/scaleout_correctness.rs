@@ -67,7 +67,11 @@ fn lstm_two_machines_bit_exact() {
     let single = run_single(task, &weights);
     let scaled = run_scaled(task, &weights, 2, true);
     for (a, b) in single.iter().zip(&scaled) {
-        assert_eq!(a.to_bits(), b.to_bits(), "row-sliced LSTM must be bit-exact");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "row-sliced LSTM must be bit-exact"
+        );
     }
 }
 
