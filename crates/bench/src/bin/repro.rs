@@ -1,16 +1,19 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|all] [--json PATH]
+//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|chaos|all] [--json PATH] [--seed N]
 //! ```
 //!
-//! Runs covering Fig. 11 or Fig. 12 also write a machine-readable metrics
-//! artifact (per-run throughput, latency percentiles, occupancy time
-//! series, rejection-reason counts) to `target/repro-metrics.json`, or to
-//! the path given with `--json`.
+//! Runs covering Fig. 11, Fig. 12, or the chaos scenario also write a
+//! machine-readable metrics artifact (per-run throughput, latency
+//! percentiles, occupancy time series, rejection-reason counts, recovery
+//! accounting) to `target/repro-metrics.json`, or to the path given with
+//! `--json`. The artifact root carries a `schema_version` so downstream
+//! consumers can detect layout changes; `--seed` re-seeds the chaos fault
+//! plan (default 2024).
 
 use vfpga_bench::{
-    ablations, catalog::Catalog, density, fig11, fig12, isolation, overhead, tables,
+    ablations, catalog::Catalog, chaos, density, fig11, fig12, isolation, overhead, tables,
 };
 use vfpga_sim::{Json, SimTime};
 use vfpga_workload::fig11_tasks;
@@ -18,10 +21,16 @@ use vfpga_workload::fig11_tasks;
 /// Default location of the metrics artifact.
 const DEFAULT_ARTIFACT: &str = "target/repro-metrics.json";
 
+/// Version of the metrics-artifact layout. Bump when the artifact's shape
+/// changes incompatibly (v1 was the unversioned PR-1 layout; v2 added this
+/// field and the chaos/recovery sections).
+const ARTIFACT_SCHEMA_VERSION: u64 = 2;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut json_path = DEFAULT_ARTIFACT.to_string();
+    let mut seed: u64 = 2024;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--json" {
@@ -29,6 +38,15 @@ fn main() {
                 Some(p) => json_path = p.clone(),
                 None => {
                     eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else if args[i] == "--seed" {
+            match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an integer");
                     std::process::exit(2);
                 }
             }
@@ -67,6 +85,9 @@ fn main() {
     if all || which == "isolation" {
         print_isolation();
     }
+    if all || which == "chaos" {
+        artifact.push(("chaos", print_chaos(seed)));
+    }
     if !all
         && ![
             "table2",
@@ -78,17 +99,20 @@ fn main() {
             "ablations",
             "density",
             "isolation",
+            "chaos",
         ]
         .contains(&which.as_str())
     {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|all] [--json PATH]");
+        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|all] [--json PATH] [--seed N]");
         std::process::exit(2);
     }
     if !artifact.is_empty() {
-        let mut root = Json::obj().field("experiment", which.as_str());
+        let mut root = Json::obj()
+            .with("schema_version", ARTIFACT_SCHEMA_VERSION)
+            .with("experiment", which.as_str());
         for (key, value) in artifact {
-            root = root.field(key, value);
+            root = root.with(key, value);
         }
         if let Some(parent) = std::path::Path::new(&json_path).parent() {
             let _ = std::fs::create_dir_all(parent);
@@ -246,7 +270,7 @@ fn print_fig11() -> Json {
         }
     }
     println!();
-    Json::obj().field("series", Json::Arr(series_json))
+    Json::obj().with("series", Json::Arr(series_json))
 }
 
 fn print_fig12() -> Json {
@@ -283,6 +307,49 @@ fn print_fig12() -> Json {
     );
     println!();
     fig12::to_json(&reports)
+}
+
+fn print_chaos(seed: u64) -> Json {
+    println!("== Chaos: workload set 5 under injected device failures (seed {seed}) ==");
+    let catalog = Catalog::build();
+    let config = chaos::ChaosConfig {
+        seed,
+        ..chaos::ChaosConfig::default()
+    };
+    let run = chaos::run(&catalog, &config);
+    let r = &run.report;
+    println!(
+        "fault plan: {} failures (max {} concurrent), transient configure p={}",
+        run.plan.failures(),
+        run.plan.max_concurrent_failures(),
+        config.configure_failure_prob
+    );
+    println!(
+        "arrivals {} | completed {} | never deployed {} | lost {}",
+        r.arrivals, r.completed, r.never_deployed, r.lost
+    );
+    println!(
+        "interrupted {} | migrated {} (scale-down {}) | requeued {}",
+        r.interrupted, r.migrated, r.scale_down_redeployments, r.requeued
+    );
+    println!(
+        "mean time-to-recovery: {} | degraded {:.3} ms at {:.1}% occupancy",
+        r.mean_time_to_recovery_s()
+            .map(|s| format!("{:.1} us", s * 1e6))
+            .unwrap_or_else(|| "n/a".to_string()),
+        r.degraded_time.as_ms(),
+        100.0 * r.degraded_mean_occupancy
+    );
+    if let Err(violation) = run.check_invariants() {
+        eprintln!("chaos invariant violated: {violation}");
+        std::process::exit(1);
+    }
+    if !run.exercised_recovery() {
+        eprintln!("chaos run did not exercise recovery (seed {seed}): no interruption migrated");
+        std::process::exit(1);
+    }
+    println!();
+    run.to_json()
 }
 
 fn print_overhead() {

@@ -48,14 +48,14 @@ impl Fig11Series {
     /// Serializes the series: points as `[added_ns, latency_ms]` pairs.
     pub fn to_json(&self) -> Json {
         Json::obj()
-            .field("task", self.task.to_string())
-            .field("optimized", self.optimized)
-            .field("single_fpga_ms", self.single_fpga.as_ms())
-            .field(
+            .with("task", self.task.to_string())
+            .with("optimized", self.optimized)
+            .with("single_fpga_ms", self.single_fpga.as_ms())
+            .with(
                 "hidden_up_to_ns",
                 self.hidden_up_to(0.02).map(|t| t.as_ns()),
             )
-            .field(
+            .with(
                 "points",
                 Json::Arr(
                     self.points

@@ -60,10 +60,10 @@ impl Fig12SetReport {
     /// Serializes the three per-policy reports.
     pub fn to_json(&self) -> Json {
         Json::obj()
-            .field("set", self.set)
-            .field("baseline", self.baseline.to_json())
-            .field("restricted", self.restricted.to_json())
-            .field("full", self.full.to_json())
+            .with("set", self.set)
+            .with("baseline", self.baseline.to_json())
+            .with("restricted", self.restricted.to_json())
+            .with("full", self.full.to_json())
     }
 }
 
@@ -133,12 +133,10 @@ pub fn run_all_sets(catalog: &Catalog, tasks: usize, seed: u64) -> Vec<Fig12Row>
 /// speedup the paper reports.
 pub fn to_json(reports: &[Fig12SetReport]) -> Json {
     let rows: Vec<Fig12Row> = reports.iter().map(Fig12SetReport::row).collect();
-    Json::obj()
-        .field("mean_speedup", mean_speedup(&rows))
-        .field(
-            "sets",
-            Json::Arr(reports.iter().map(Fig12SetReport::to_json).collect()),
-        )
+    Json::obj().with("mean_speedup", mean_speedup(&rows)).with(
+        "sets",
+        Json::Arr(reports.iter().map(Fig12SetReport::to_json).collect()),
+    )
 }
 
 /// Geometric-mean speedup of the full system over the baseline across

@@ -19,6 +19,7 @@
 
 pub mod ablations;
 pub mod catalog;
+pub mod chaos;
 pub mod density;
 pub mod fig11;
 pub mod fig12;

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use vfpga_fabric::{Cluster, DeviceId};
+use vfpga_sim::Rng;
 
 use crate::vblock::VirtualBlockImage;
 use crate::HsError;
@@ -18,6 +19,52 @@ struct Allocation {
     blocks: usize,
 }
 
+/// Runtime health of one device as seen by the low-level controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// The device accepts configuration requests.
+    Healthy,
+    /// The device is down: every allocation it held has been evicted and
+    /// nothing can be configured on it until [`recover_device`].
+    ///
+    /// [`recover_device`]: LowLevelController::recover_device
+    Failed,
+}
+
+/// Deterministic transient-fault injection hook for `configure`: each
+/// otherwise-valid configuration request draws once from a seeded stream
+/// and fails with [`HsError::TransientConfigureFailure`] with the given
+/// probability — the "flaky partial reconfiguration" chaos experiments
+/// exercise. Draws happen only for requests that would succeed, so the
+/// stream (and with it the whole simulation) is reproducible from the seed.
+#[derive(Debug, Clone)]
+pub struct TransientFaultInjector {
+    prob: f64,
+    rng: Rng,
+}
+
+impl TransientFaultInjector {
+    /// Creates an injector failing configures with probability `prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `0.0..=1.0`.
+    pub fn new(prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "fault probability must be in [0, 1], got {prob}"
+        );
+        TransientFaultInjector {
+            prob,
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    fn should_fail(&mut self) -> bool {
+        self.prob > 0.0 && self.rng.next_f64() < self.prob
+    }
+}
+
 /// Lifetime counters of one [`LowLevelController`]: every configuration
 /// request it has served or rejected, plus the occupancy high-water mark.
 /// Updated unconditionally — cheap enough for the cloud simulator's inner
@@ -28,8 +75,19 @@ pub struct LlcStats {
     pub configures: u64,
     /// Releases performed.
     pub releases: u64,
-    /// Configuration requests rejected (type mismatch or too few slots).
+    /// Configuration requests rejected (type mismatch, too few slots, or a
+    /// failed target device).
     pub rejected: u64,
+    /// Configuration requests that failed transiently (injected flaky
+    /// partial reconfiguration).
+    pub transient_faults: u64,
+    /// Device failures processed via [`LowLevelController::evict_device`].
+    pub device_failures: u64,
+    /// Device recoveries processed via
+    /// [`LowLevelController::recover_device`].
+    pub device_recoveries: u64,
+    /// Allocations evicted by device failures.
+    pub evicted: u64,
     /// Highest cluster-wide occupancy ever reached (0..=1).
     pub peak_occupancy: f64,
 }
@@ -44,10 +102,12 @@ pub struct LlcStats {
 pub struct LowLevelController {
     total_slots: Vec<usize>,
     free_slots: Vec<usize>,
+    health: Vec<DeviceHealth>,
     allocations: HashMap<u64, Allocation>,
     device_type_names: Vec<String>,
     next_id: u64,
     stats: LlcStats,
+    injector: Option<TransientFaultInjector>,
 }
 
 impl LowLevelController {
@@ -63,11 +123,92 @@ impl LowLevelController {
             .collect();
         LowLevelController {
             free_slots: total_slots.clone(),
+            health: vec![DeviceHealth::Healthy; total_slots.len()],
             total_slots,
             allocations: HashMap::new(),
             device_type_names,
             next_id: 0,
             stats: LlcStats::default(),
+            injector: None,
+        }
+    }
+
+    /// Installs (or clears) the transient configure-failure injector.
+    pub fn set_fault_injector(&mut self, injector: Option<TransientFaultInjector>) {
+        self.injector = injector;
+    }
+
+    /// Runtime health of a device.
+    pub fn device_health(&self, device: DeviceId) -> DeviceHealth {
+        self.health[device.0]
+    }
+
+    /// Whether a device currently accepts configuration requests.
+    pub fn is_healthy(&self, device: DeviceId) -> bool {
+        self.health[device.0] == DeviceHealth::Healthy
+    }
+
+    /// Number of devices currently failed.
+    pub fn failed_devices(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| **h == DeviceHealth::Failed)
+            .count()
+    }
+
+    /// Number of live allocations on one device.
+    pub fn allocations_on(&self, device: DeviceId) -> usize {
+        self.allocations
+            .values()
+            .filter(|a| a.device == device)
+            .count()
+    }
+
+    /// Marks a device failed and evicts every allocation it holds,
+    /// returning the evicted ids in ascending order. After this call no
+    /// allocation references the device (the invariant the recovery tests
+    /// pin), its reported free slots are zero, and `configure` refuses it
+    /// with [`HsError::DeviceFailed`] until [`recover_device`].
+    ///
+    /// Idempotent: failing an already-failed device evicts nothing.
+    ///
+    /// [`recover_device`]: LowLevelController::recover_device
+    pub fn evict_device(&mut self, device: DeviceId) -> Vec<AllocationId> {
+        if self.health[device.0] == DeviceHealth::Failed {
+            return Vec::new();
+        }
+        self.health[device.0] = DeviceHealth::Failed;
+        self.stats.device_failures += 1;
+        let mut evicted: Vec<AllocationId> = Vec::new();
+        self.allocations.retain(|id, a| {
+            if a.device == device {
+                evicted.push(AllocationId(*id));
+                false
+            } else {
+                true
+            }
+        });
+        // Slot bookkeeping stays exact: evicted blocks return to the free
+        // pool (the device simply is not placeable while failed).
+        self.free_slots[device.0] = self.total_slots[device.0];
+        // HashMap iteration order is unspecified; sort so chaos runs are
+        // reproducible event-for-event.
+        evicted.sort_by_key(|a| a.0);
+        self.stats.evicted += evicted.len() as u64;
+        evicted
+    }
+
+    /// Marks a failed device healthy again, with all slots free.
+    /// Idempotent on already-healthy devices.
+    pub fn recover_device(&mut self, device: DeviceId) {
+        if self.health[device.0] == DeviceHealth::Failed {
+            self.health[device.0] = DeviceHealth::Healthy;
+            self.stats.device_recoveries += 1;
+            debug_assert_eq!(
+                self.allocations_on(device),
+                0,
+                "failed device retained allocations"
+            );
         }
     }
 
@@ -77,9 +218,13 @@ impl LowLevelController {
         &self.stats
     }
 
-    /// Free virtual blocks on a device.
+    /// Free virtual blocks on a device; zero while the device is failed,
+    /// so placement logic naturally skips it.
     pub fn slots_free(&self, device: DeviceId) -> usize {
-        self.free_slots[device.0]
+        match self.health[device.0] {
+            DeviceHealth::Healthy => self.free_slots[device.0],
+            DeviceHealth::Failed => 0,
+        }
     }
 
     /// Total virtual blocks on a device.
@@ -89,7 +234,8 @@ impl LowLevelController {
 
     /// Whether `image` could be configured on `device` right now.
     pub fn can_configure(&self, device: DeviceId, image: &VirtualBlockImage) -> bool {
-        self.device_type_names[device.0] == image.device_type_name()
+        self.is_healthy(device)
+            && self.device_type_names[device.0] == image.device_type_name()
             && self.free_slots[device.0] >= image.blocks()
     }
 
@@ -97,14 +243,20 @@ impl LowLevelController {
     ///
     /// # Errors
     ///
-    /// Returns [`HsError::DeviceTypeMismatch`] if the image targets a
-    /// different device type, or [`HsError::InsufficientSlots`] if too few
-    /// blocks are free.
+    /// Returns [`HsError::DeviceFailed`] for a failed target,
+    /// [`HsError::DeviceTypeMismatch`] if the image targets a different
+    /// device type, [`HsError::InsufficientSlots`] if too few blocks are
+    /// free, or [`HsError::TransientConfigureFailure`] when the installed
+    /// fault injector fires (the request itself was valid; retry later).
     pub fn configure(
         &mut self,
         device: DeviceId,
         image: &VirtualBlockImage,
     ) -> Result<AllocationId, HsError> {
+        if !self.is_healthy(device) {
+            self.stats.rejected += 1;
+            return Err(HsError::DeviceFailed(device));
+        }
         if self.device_type_names[device.0] != image.device_type_name() {
             self.stats.rejected += 1;
             return Err(HsError::DeviceTypeMismatch {
@@ -119,6 +271,12 @@ impl LowLevelController {
                 requested: image.blocks(),
                 free: self.free_slots[device.0],
             });
+        }
+        if let Some(injector) = &mut self.injector {
+            if injector.should_fail() {
+                self.stats.transient_faults += 1;
+                return Err(HsError::TransientConfigureFailure(device));
+            }
         }
         self.free_slots[device.0] -= image.blocks();
         let id = self.next_id;
@@ -156,10 +314,19 @@ impl LowLevelController {
         self.allocations.len()
     }
 
-    /// Fraction of all slots currently occupied, cluster-wide.
+    /// Fraction of slots currently occupied across *surviving* devices
+    /// (degraded-mode occupancy: failed devices drop out of both numerator
+    /// and denominator, so the value stays in `0.0..=1.0` even mid-chaos
+    /// and measures pressure on the capacity that actually exists).
     pub fn occupancy(&self) -> f64 {
-        let total: usize = self.total_slots.iter().sum();
-        let free: usize = self.free_slots.iter().sum();
+        let mut total = 0usize;
+        let mut free = 0usize;
+        for d in 0..self.total_slots.len() {
+            if self.health[d] == DeviceHealth::Healthy {
+                total += self.total_slots[d];
+                free += self.free_slots[d];
+            }
+        }
         if total == 0 {
             0.0
         } else {
@@ -256,6 +423,113 @@ mod tests {
         // Peak persists after everything is freed.
         assert_eq!(ctl.occupancy(), 0.0);
         assert_eq!(ctl.stats().peak_occupancy, peak);
+    }
+
+    #[test]
+    fn double_release_is_an_error_and_keeps_slots_exact() {
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        let img = image_for(&DeviceType::xcvu37p(), 100);
+        let total = ctl.slots_free(DeviceId(0));
+        let a = ctl.configure(DeviceId(0), &img).unwrap();
+        let b = ctl.configure(DeviceId(0), &img).unwrap();
+        ctl.release(a).unwrap();
+        // Second release of the same id: a well-formed error, and the free
+        // count is NOT double-credited.
+        assert!(matches!(ctl.release(a), Err(HsError::UnknownAllocation(_))));
+        assert_eq!(ctl.slots_free(DeviceId(0)), total - img.blocks());
+        assert_eq!(ctl.live_allocations(), 1);
+        ctl.release(b).unwrap();
+        assert_eq!(ctl.slots_free(DeviceId(0)), total);
+        assert!(ctl.occupancy() == 0.0);
+    }
+
+    #[test]
+    fn evict_device_removes_every_allocation_and_blocks_configure() {
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        let img = image_for(&DeviceType::xcvu37p(), 100);
+        let a0 = ctl.configure(DeviceId(0), &img).unwrap();
+        let a1 = ctl.configure(DeviceId(0), &img).unwrap();
+        let other = ctl.configure(DeviceId(1), &img).unwrap();
+        let evicted = ctl.evict_device(DeviceId(0));
+        assert_eq!(evicted, vec![a0, a1], "ascending id order");
+        assert_eq!(ctl.device_health(DeviceId(0)), DeviceHealth::Failed);
+        assert_eq!(ctl.allocations_on(DeviceId(0)), 0);
+        assert_eq!(ctl.failed_devices(), 1);
+        // The failed device is unplaceable and reports zero free slots.
+        assert_eq!(ctl.slots_free(DeviceId(0)), 0);
+        assert!(!ctl.can_configure(DeviceId(0), &img));
+        assert!(matches!(
+            ctl.configure(DeviceId(0), &img),
+            Err(HsError::DeviceFailed(_))
+        ));
+        // Releasing an evicted allocation is a well-formed error, not a
+        // double-free.
+        assert!(matches!(
+            ctl.release(a0),
+            Err(HsError::UnknownAllocation(_))
+        ));
+        // The survivor on device 1 is untouched.
+        assert_eq!(ctl.allocations_on(DeviceId(1)), 1);
+        ctl.release(other).unwrap();
+        // Second eviction is a no-op.
+        assert!(ctl.evict_device(DeviceId(0)).is_empty());
+        assert_eq!(ctl.stats().device_failures, 1);
+        assert_eq!(ctl.stats().evicted, 2);
+        // Recovery restores a fully free, configurable device.
+        ctl.recover_device(DeviceId(0));
+        assert_eq!(ctl.device_health(DeviceId(0)), DeviceHealth::Healthy);
+        assert_eq!(ctl.slots_free(DeviceId(0)), ctl.slots_total(DeviceId(0)));
+        assert!(ctl.configure(DeviceId(0), &img).is_ok());
+        assert_eq!(ctl.stats().device_recoveries, 1);
+    }
+
+    #[test]
+    fn occupancy_is_degraded_mode_under_failures() {
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        let img = image_for(&DeviceType::xcvu37p(), 100);
+        // Fill device 1 completely, then fail devices 0 and 2.
+        for _ in 0..ctl.slots_total(DeviceId(1)) {
+            ctl.configure(DeviceId(1), &img).unwrap();
+        }
+        ctl.evict_device(DeviceId(0));
+        ctl.evict_device(DeviceId(2));
+        let occ = ctl.occupancy();
+        assert!(occ <= 1.0, "degraded occupancy exceeded 1.0: {occ}");
+        assert!(occ > 0.5, "survivor pressure should dominate: {occ}");
+    }
+
+    #[test]
+    fn transient_injector_is_deterministic_and_leaves_state_clean() {
+        let cluster = Cluster::paper_cluster();
+        let img = image_for(&DeviceType::xcvu37p(), 100);
+        let run = |seed: u64| {
+            let mut ctl = LowLevelController::new(&cluster);
+            let free = ctl.slots_free(DeviceId(0));
+            ctl.set_fault_injector(Some(TransientFaultInjector::new(0.5, seed)));
+            let outcomes: Vec<bool> = (0..16)
+                .map(|_| match ctl.configure(DeviceId(0), &img) {
+                    Ok(a) => {
+                        ctl.release(a).unwrap();
+                        true
+                    }
+                    Err(HsError::TransientConfigureFailure(_)) => {
+                        // A transient failure must not leak slots.
+                        assert_eq!(ctl.slots_free(DeviceId(0)), free);
+                        false
+                    }
+                    Err(e) => panic!("unexpected error {e}"),
+                })
+                .collect();
+            assert_eq!(ctl.slots_free(DeviceId(0)), free);
+            outcomes
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same fault stream");
+        assert!(a.iter().any(|&ok| ok) && a.iter().any(|&ok| !ok));
+        assert_ne!(a, run(43), "different seed should diverge");
     }
 
     #[test]

@@ -41,7 +41,9 @@ mod interface;
 mod vblock;
 
 pub use compiler::HsCompiler;
-pub use controller::{AllocationId, LlcStats, LowLevelController};
+pub use controller::{
+    AllocationId, DeviceHealth, LlcStats, LowLevelController, TransientFaultInjector,
+};
 pub use interface::InterfaceModel;
 pub use vblock::{VirtualBlockImage, VirtualBlockSpec};
 
@@ -78,6 +80,12 @@ pub enum HsError {
     },
     /// An allocation id was released twice or never existed.
     UnknownAllocation(u64),
+    /// The target device is marked failed; nothing can be configured on it
+    /// until it recovers.
+    DeviceFailed(DeviceId),
+    /// Partial reconfiguration failed transiently (injected fault). The
+    /// request was valid; retrying it may succeed.
+    TransientConfigureFailure(DeviceId),
 }
 
 impl fmt::Display for HsError {
@@ -98,6 +106,10 @@ impl fmt::Display for HsError {
                 write!(f, "image compiled for {image} cannot configure a {device}")
             }
             HsError::UnknownAllocation(id) => write!(f, "unknown allocation {id}"),
+            HsError::DeviceFailed(device) => write!(f, "{device} is failed"),
+            HsError::TransientConfigureFailure(device) => {
+                write!(f, "transient configuration failure on {device}")
+            }
         }
     }
 }

@@ -1,9 +1,12 @@
-//! Discrete-event simulation of the cluster serving a workload set.
+//! Discrete-event simulation of the cluster serving a workload set,
+//! optionally under an injected fault plan (device fail/recover waves and
+//! flaky partial reconfiguration).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
+use vfpga_fabric::DeviceId;
 use vfpga_sim::{
-    EventQueue, Json, MetricsRegistry, SimTime, Summary, ThroughputMeter, TimeSeries,
+    EventQueue, FaultPlan, Json, MetricsRegistry, SimTime, Summary, ThroughputMeter, TimeSeries,
     TraceEventKind, TraceRing,
 };
 use vfpga_workload::{RnnTask, TaskArrival};
@@ -16,14 +19,56 @@ use crate::RuntimeError;
 /// evictions while bounding memory for longer runs.
 pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
 
+/// How the simulator recovers deployments interrupted by a device failure.
+///
+/// An interrupted task immediately attempts to redeploy on the surviving
+/// devices (the greedy option scan naturally falls back to a deeper
+/// partition variant — more, smaller units — when the original footprint no
+/// longer fits). Each failed attempt backs off exponentially in sim time;
+/// after `max_retries` failed backoff retries the task is demoted: requeued
+/// into the admission queue by default, or dropped (counted as lost) when
+/// `drop_on_exhaustion` is set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Backoff retries after the immediate attempt (retry `k`, 0-based,
+    /// waits `base_backoff * 2^k`).
+    pub max_retries: u32,
+    /// First backoff delay.
+    pub base_backoff: SimTime,
+    /// When retries exhaust: `true` drops the task (lost), `false` demotes
+    /// it to the admission queue where it waits like a fresh arrival.
+    pub drop_on_exhaustion: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 5,
+            base_backoff: SimTime::from_us(50.0),
+            drop_on_exhaustion: false,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Delay before retry number `attempt` (0-based): `base * 2^attempt`,
+    /// saturating.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        let shift = attempt.min(32);
+        SimTime::from_ps(self.base_backoff.as_ps().saturating_mul(1u64 << shift))
+    }
+}
+
 /// Results of one cloud simulation run, including the observability
 /// artifacts the run accumulated: streaming summaries, tail percentiles,
 /// occupancy/queue-depth time series, the rejection-reason breakdown, the
-/// full metrics registry, and the scheduler-event trace.
+/// full metrics registry, the scheduler-event trace, and — for chaos runs —
+/// the failure-recovery accounting.
 ///
-/// Accounting invariant: every arrival either completed or is reported in
-/// [`never_deployed`](CloudReport::never_deployed) — the simulator never
-/// silently drops a queued task.
+/// Accounting invariant: every arrival either completed, is reported in
+/// [`never_deployed`](CloudReport::never_deployed), or was classified
+/// [`lost`](CloudReport::lost) after exhausting migration retries — the
+/// simulator never silently drops a task.
 #[derive(Debug, Clone)]
 pub struct CloudReport {
     /// Tasks that arrived.
@@ -34,6 +79,9 @@ pub struct CloudReport {
     /// could never be deployed (e.g. the policy excludes every mapping
     /// option, or capacity never freed up).
     pub never_deployed: u64,
+    /// Tasks dropped after a device failure exhausted their migration
+    /// retries (only under [`RecoveryPolicy::drop_on_exhaustion`]).
+    pub lost: u64,
     /// Time of the last completion.
     pub elapsed: SimTime,
     /// Aggregated system throughput in tasks per second (Fig. 12's
@@ -47,7 +95,7 @@ pub struct CloudReport {
     pub latency_p95: Option<f64>,
     /// 99th-percentile end-to-end latency in seconds.
     pub latency_p99: Option<f64>,
-    /// Queueing delay statistics (arrival to deployment).
+    /// Queueing delay statistics (arrival to first deployment).
     pub queue_wait: Summary,
     /// Time-weighted mean cluster occupancy over the run (utilization).
     pub mean_occupancy: f64,
@@ -58,7 +106,31 @@ pub struct CloudReport {
     /// Rejected deployment attempts, indexed by
     /// [`RejectReason::index`]; one task retried many times counts each
     /// attempt.
-    pub rejections: [u64; 3],
+    pub rejections: [u64; 4],
+    /// Device failures injected during the run.
+    pub device_failures: u64,
+    /// Device recoveries during the run.
+    pub device_recoveries: u64,
+    /// Deployment interruptions (a task interrupted by two failures counts
+    /// twice).
+    pub interrupted: u64,
+    /// Interruptions recovered by redeployment (via the migration retry
+    /// path or later, from the admission queue after demotion).
+    pub migrated: u64,
+    /// Interruptions demoted to the admission queue after exhausting
+    /// migration retries.
+    pub requeued: u64,
+    /// Recoveries that fell back to a deeper partition variant (more,
+    /// smaller units than the interrupted deployment — the paper's
+    /// scale-out machinery in reverse).
+    pub scale_down_redeployments: u64,
+    /// Time from interruption to successful redeployment, in seconds.
+    pub time_to_recovery: Summary,
+    /// Sim time spent with at least one device failed.
+    pub degraded_time: SimTime,
+    /// Time-weighted mean occupancy of the surviving devices while
+    /// degraded (0 when the run never degraded).
+    pub degraded_mean_occupancy: f64,
     /// Cluster occupancy over time (step function, coalesced).
     pub occupancy_series: TimeSeries,
     /// Queue depth over time (step function, coalesced).
@@ -81,10 +153,21 @@ impl CloudReport {
         self.rejections.iter().sum()
     }
 
-    /// Whether every arrival is accounted for (completed or reported as
-    /// never deployed) — the invariant all cloudsim tests pin.
+    /// Whether every arrival is accounted for (completed, reported as
+    /// never deployed, or classified lost) — the invariant all cloudsim
+    /// and chaos tests pin.
     pub fn accounts_for_all_arrivals(&self) -> bool {
-        self.completed + self.never_deployed == self.arrivals
+        self.completed + self.never_deployed + self.lost == self.arrivals
+    }
+
+    /// Mean time from interruption to redeployment in seconds; `None` if
+    /// nothing recovered.
+    pub fn mean_time_to_recovery_s(&self) -> Option<f64> {
+        if self.time_to_recovery.count() == 0 {
+            None
+        } else {
+            Some(self.time_to_recovery.mean())
+        }
     }
 
     /// Serializes the report (without raw trace events; those stay
@@ -92,62 +175,91 @@ impl CloudReport {
     pub fn to_json(&self) -> Json {
         let mut rejections = Json::obj();
         for reason in RejectReason::ALL {
-            rejections = rejections.field(reason.as_str(), self.rejections_for(reason));
+            rejections = rejections.with(reason.as_str(), self.rejections_for(reason));
         }
         Json::obj()
-            .field("arrivals", self.arrivals)
-            .field("completed", self.completed)
-            .field("never_deployed", self.never_deployed)
-            .field("elapsed_s", self.elapsed.as_secs())
-            .field("throughput_per_s", self.throughput_per_s)
-            .field(
+            .with("arrivals", self.arrivals)
+            .with("completed", self.completed)
+            .with("never_deployed", self.never_deployed)
+            .with("lost", self.lost)
+            .with("elapsed_s", self.elapsed.as_secs())
+            .with("throughput_per_s", self.throughput_per_s)
+            .with(
                 "latency_s",
                 Json::obj()
-                    .field("count", self.latency.count())
-                    .field("mean", self.latency.mean())
-                    .field("p50", self.latency_p50)
-                    .field("p95", self.latency_p95)
-                    .field("p99", self.latency_p99)
-                    .field("min", self.latency.min())
-                    .field("max", self.latency.max()),
+                    .with("count", self.latency.count())
+                    .with("mean", self.latency.mean())
+                    .with("p50", self.latency_p50)
+                    .with("p95", self.latency_p95)
+                    .with("p99", self.latency_p99)
+                    .with("min", self.latency.min())
+                    .with("max", self.latency.max()),
             )
-            .field(
+            .with(
                 "queue_wait_s",
                 Json::obj()
-                    .field("count", self.queue_wait.count())
-                    .field("mean", self.queue_wait.mean())
-                    .field("min", self.queue_wait.min())
-                    .field("max", self.queue_wait.max()),
+                    .with("count", self.queue_wait.count())
+                    .with("mean", self.queue_wait.mean())
+                    .with("min", self.queue_wait.min())
+                    .with("max", self.queue_wait.max()),
             )
-            .field(
+            .with(
                 "occupancy",
                 Json::obj()
-                    .field("mean", self.mean_occupancy)
-                    .field("peak", self.peak_occupancy)
-                    .field("series", self.occupancy_series.to_json()),
+                    .with("mean", self.mean_occupancy)
+                    .with("peak", self.peak_occupancy)
+                    .with("series", self.occupancy_series.to_json()),
             )
-            .field(
+            .with(
                 "queue_depth",
                 Json::obj()
-                    .field("peak", self.peak_queue_depth)
-                    .field("series", self.queue_depth_series.to_json()),
+                    .with("peak", self.peak_queue_depth)
+                    .with("series", self.queue_depth_series.to_json()),
             )
-            .field("rejections", rejections)
-            .field(
+            .with("rejections", rejections)
+            .with(
+                "recovery",
+                Json::obj()
+                    .with("device_failures", self.device_failures)
+                    .with("device_recoveries", self.device_recoveries)
+                    .with("interrupted", self.interrupted)
+                    .with("migrated", self.migrated)
+                    .with("requeued", self.requeued)
+                    .with("lost", self.lost)
+                    .with("scale_down_redeployments", self.scale_down_redeployments)
+                    .with("mean_time_to_recovery_s", self.mean_time_to_recovery_s())
+                    .with("degraded_time_s", self.degraded_time.as_secs())
+                    .with("degraded_mean_occupancy", self.degraded_mean_occupancy),
+            )
+            .with(
                 "trace",
                 Json::obj()
-                    .field("retained", self.trace.len())
-                    .field("dropped", self.trace.dropped()),
+                    .with("retained", self.trace.len())
+                    .with("dropped", self.trace.dropped()),
             )
     }
 }
 
 enum Event {
     Arrival(usize),
-    Completion { task_index: usize },
+    Completion {
+        task_index: usize,
+        epoch: u64,
+    },
+    DeviceFailed(usize),
+    DeviceRecovered(usize),
+    MigrationRetry {
+        task_index: usize,
+        epoch: u64,
+        attempt: u32,
+    },
+    /// Re-runs the admission wave after a transient configure failure left
+    /// queued work with no other future event to retry on.
+    RetryNudge,
 }
 
-/// Runs a workload through the controller with the default trace capacity.
+/// Runs a workload through the controller with the default trace capacity
+/// and no injected faults.
 ///
 /// * `instance_for` names the accelerator instance (a mapping-database key)
 ///   serving a task — the deployment catalog is sized per model class.
@@ -189,104 +301,486 @@ pub fn run_cloud_sim_traced(
     service_time: &dyn Fn(&RnnTask, &Deployment) -> SimTime,
     trace_capacity: usize,
 ) -> Result<CloudReport, RuntimeError> {
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    let mut events: EventQueue<Event> = EventQueue::new();
-    let mut running: Vec<Option<Deployment>> = vec![None; arrivals.len()];
-    let mut deployed_at: Vec<SimTime> = vec![SimTime::ZERO; arrivals.len()];
-    let mut traced_reject: Vec<bool> = vec![false; arrivals.len()];
-    let mut meter = ThroughputMeter::new();
-    let mut latency = Summary::new();
-    let mut queue_wait = Summary::new();
-    let mut last_completion = SimTime::ZERO;
-    let mut rejections = [0u64; 3];
+    run_cloud_sim_faulted(
+        controller,
+        arrivals,
+        instance_for,
+        service_time,
+        &FaultPlan::none(),
+        RecoveryPolicy::default(),
+        trace_capacity,
+    )
+}
 
-    let mut metrics = MetricsRegistry::new();
-    let m_arrivals = metrics.counter("arrivals");
-    let m_deploys = metrics.counter("deploys");
-    let m_completions = metrics.counter("completions");
-    let m_releases = metrics.counter("releases");
-    let m_rejects = [
-        metrics.counter("rejected.policy_excluded"),
-        metrics.counter("rejected.no_free_device"),
-        metrics.counter("rejected.insufficient_capacity"),
-    ];
-    let t_latency = metrics.timer("latency_s");
-    let t_queue_wait = metrics.timer("queue_wait_s");
-    let t_service = metrics.timer("service_s");
-    let g_depth = metrics.gauge("queue_depth");
-    let g_occupancy = metrics.gauge("occupancy");
-    let mut trace = TraceRing::new(trace_capacity);
+/// [`run_cloud_sim`] interleaving the workload with a fault plan's device
+/// fail/recover waves, recovering interrupted deployments per `recovery`.
+///
+/// The plan's transient configure-failure probability is installed on the
+/// controller's fault injector for the duration of the run (and left in
+/// place afterwards — rebuild the controller between runs, as the chaos
+/// experiments do). Fault-plan device indices beyond the cluster size are
+/// ignored. Two runs from identical seeds and inputs produce byte-identical
+/// reports.
+///
+/// # Errors
+///
+/// Propagates controller errors ([`RuntimeError::UnknownInstance`] etc.).
+pub fn run_cloud_sim_faulted(
+    controller: &mut SystemController,
+    arrivals: &[TaskArrival],
+    instance_for: &dyn Fn(&RnnTask) -> String,
+    service_time: &dyn Fn(&RnnTask, &Deployment) -> SimTime,
+    faults: &FaultPlan,
+    recovery: RecoveryPolicy,
+    trace_capacity: usize,
+) -> Result<CloudReport, RuntimeError> {
+    let mut sim = CloudSim::new(
+        controller,
+        arrivals,
+        instance_for,
+        service_time,
+        faults,
+        recovery,
+        trace_capacity,
+    );
+    sim.run()?;
+    Ok(sim.finish())
+}
 
-    for (i, a) in arrivals.iter().enumerate() {
-        events.schedule(a.at, Event::Arrival(i));
+/// Metric ids the run updates on its hot path.
+struct Meters {
+    arrivals: vfpga_sim::CounterId,
+    deploys: vfpga_sim::CounterId,
+    completions: vfpga_sim::CounterId,
+    releases: vfpga_sim::CounterId,
+    rejects: [vfpga_sim::CounterId; 4],
+    device_failures: vfpga_sim::CounterId,
+    device_recoveries: vfpga_sim::CounterId,
+    interrupted: vfpga_sim::CounterId,
+    migrations: vfpga_sim::CounterId,
+    lost: vfpga_sim::CounterId,
+    latency: vfpga_sim::TimerId,
+    queue_wait: vfpga_sim::TimerId,
+    service: vfpga_sim::TimerId,
+    time_to_recovery: vfpga_sim::TimerId,
+    depth: vfpga_sim::GaugeId,
+    occupancy: vfpga_sim::GaugeId,
+    failed_devices: vfpga_sim::GaugeId,
+}
+
+/// The simulation state machine: one instance per run.
+struct CloudSim<'a> {
+    controller: &'a mut SystemController,
+    arrivals: &'a [TaskArrival],
+    instance_for: &'a dyn Fn(&RnnTask) -> String,
+    service_time: &'a dyn Fn(&RnnTask, &Deployment) -> SimTime,
+    recovery: RecoveryPolicy,
+    faults: &'a FaultPlan,
+
+    queue: VecDeque<usize>,
+    events: EventQueue<Event>,
+    running: Vec<Option<Deployment>>,
+    /// Maps a live deployment id to the task it serves.
+    task_of: HashMap<u64, usize>,
+    deployed_at: Vec<SimTime>,
+    /// Bumped whenever a task's deployment changes or is interrupted;
+    /// pending `Completion`/`MigrationRetry` events carrying an older epoch
+    /// are stale and ignored.
+    epoch: Vec<u64>,
+    /// `Some((when, old_units))` while a task's interruption awaits
+    /// redeployment.
+    interrupted_pending: Vec<Option<(SimTime, u32)>>,
+    /// Whether a task's first-deployment queue wait was recorded.
+    waited: Vec<bool>,
+    traced_reject: Vec<bool>,
+
+    meter: ThroughputMeter,
+    latency: Summary,
+    queue_wait: Summary,
+    time_to_recovery: Summary,
+    last_completion: SimTime,
+    rejections: [u64; 4],
+    device_failures: u64,
+    device_recoveries: u64,
+    interrupted: u64,
+    migrated: u64,
+    requeued: u64,
+    lost: u64,
+    scale_down_redeployments: u64,
+
+    /// Degraded-mode integration state.
+    last_event_at: SimTime,
+    degraded_time: SimTime,
+    degraded_occ_weighted: f64,
+
+    metrics: MetricsRegistry,
+    m: Meters,
+    trace: TraceRing,
+}
+
+impl<'a> CloudSim<'a> {
+    fn new(
+        controller: &'a mut SystemController,
+        arrivals: &'a [TaskArrival],
+        instance_for: &'a dyn Fn(&RnnTask) -> String,
+        service_time: &'a dyn Fn(&RnnTask, &Deployment) -> SimTime,
+        faults: &'a FaultPlan,
+        recovery: RecoveryPolicy,
+        trace_capacity: usize,
+    ) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        let m = Meters {
+            arrivals: metrics.counter("arrivals"),
+            deploys: metrics.counter("deploys"),
+            completions: metrics.counter("completions"),
+            releases: metrics.counter("releases"),
+            rejects: [
+                metrics.counter("rejected.policy_excluded"),
+                metrics.counter("rejected.no_free_device"),
+                metrics.counter("rejected.insufficient_capacity"),
+                metrics.counter("rejected.transient_fault"),
+            ],
+            device_failures: metrics.counter("device_failures"),
+            device_recoveries: metrics.counter("device_recoveries"),
+            interrupted: metrics.counter("interrupted"),
+            migrations: metrics.counter("migrations"),
+            lost: metrics.counter("lost"),
+            latency: metrics.timer("latency_s"),
+            queue_wait: metrics.timer("queue_wait_s"),
+            service: metrics.timer("service_s"),
+            time_to_recovery: metrics.timer("time_to_recovery_s"),
+            depth: metrics.gauge("queue_depth"),
+            occupancy: metrics.gauge("occupancy"),
+            failed_devices: metrics.gauge("failed_devices"),
+        };
+        let n = arrivals.len();
+        CloudSim {
+            controller,
+            arrivals,
+            instance_for,
+            service_time,
+            recovery,
+            faults,
+            queue: VecDeque::new(),
+            events: EventQueue::new(),
+            running: vec![None; n],
+            task_of: HashMap::new(),
+            deployed_at: vec![SimTime::ZERO; n],
+            epoch: vec![0; n],
+            interrupted_pending: vec![None; n],
+            waited: vec![false; n],
+            traced_reject: vec![false; n],
+            meter: ThroughputMeter::new(),
+            latency: Summary::new(),
+            queue_wait: Summary::new(),
+            time_to_recovery: Summary::new(),
+            last_completion: SimTime::ZERO,
+            rejections: [0; 4],
+            device_failures: 0,
+            device_recoveries: 0,
+            interrupted: 0,
+            migrated: 0,
+            requeued: 0,
+            lost: 0,
+            scale_down_redeployments: 0,
+            last_event_at: SimTime::ZERO,
+            degraded_time: SimTime::ZERO,
+            degraded_occ_weighted: 0.0,
+            metrics,
+            m,
+            trace: TraceRing::new(trace_capacity),
+        }
     }
 
-    while let Some((now, event)) = events.pop() {
-        match event {
-            Event::Arrival(i) => {
-                queue.push_back(i);
-                metrics.inc(m_arrivals);
-                trace.push(now, TraceEventKind::Arrival { task: i as u64 });
+    fn run(&mut self) -> Result<(), RuntimeError> {
+        if self.faults.configure_failure_prob() > 0.0 {
+            // Distinct stream from the plan's own fail/recover schedule.
+            self.controller.enable_transient_faults(
+                self.faults.configure_failure_prob(),
+                self.faults.seed() ^ 0x7452_414e_5349_454e,
+            );
+        }
+        for (i, a) in self.arrivals.iter().enumerate() {
+            self.events.schedule(a.at, Event::Arrival(i));
+        }
+        let devices = self.controller.cluster().len();
+        for ev in self.faults.events() {
+            if ev.device >= devices {
+                continue;
             }
-            Event::Completion { task_index } => {
-                let deployment = running[task_index]
-                    .take()
-                    .expect("completion for task not running");
-                controller.release(&deployment)?;
-                meter.record_completion();
-                let e2e = now.saturating_sub(arrivals[task_index].at).as_secs();
-                latency.record(e2e);
-                metrics.inc(m_completions);
-                metrics.inc(m_releases);
-                metrics.record_timer(t_latency, e2e);
-                metrics.record_timer(
-                    t_service,
-                    now.saturating_sub(deployed_at[task_index]).as_secs(),
-                );
-                trace.push(
-                    now,
-                    TraceEventKind::Completion {
-                        task: task_index as u64,
-                    },
-                );
-                trace.push(
-                    now,
-                    TraceEventKind::Release {
-                        task: task_index as u64,
-                    },
-                );
-                last_completion = now;
+            let event = if ev.fail {
+                Event::DeviceFailed(ev.device)
+            } else {
+                Event::DeviceRecovered(ev.device)
+            };
+            self.events.schedule(ev.at, event);
+        }
+
+        while let Some((now, event)) = self.events.pop() {
+            self.integrate_degraded(now);
+            match event {
+                Event::Arrival(i) => {
+                    self.queue.push_back(i);
+                    self.metrics.inc(self.m.arrivals);
+                    self.trace
+                        .push(now, TraceEventKind::Arrival { task: i as u64 });
+                }
+                Event::Completion { task_index, epoch } => {
+                    if self.epoch[task_index] != epoch {
+                        // The deployment this completion belonged to was
+                        // interrupted; the task has moved on.
+                        continue;
+                    }
+                    self.on_completion(now, task_index)?;
+                }
+                Event::DeviceFailed(device) => self.on_device_failed(now, device)?,
+                Event::DeviceRecovered(device) => {
+                    self.device_recoveries += 1;
+                    self.metrics.inc(self.m.device_recoveries);
+                    self.controller.handle_device_recovery(DeviceId(device));
+                    self.trace.push(
+                        now,
+                        TraceEventKind::DeviceRecovered {
+                            device: device as u64,
+                        },
+                    );
+                }
+                Event::MigrationRetry {
+                    task_index,
+                    epoch,
+                    attempt,
+                } => {
+                    if self.epoch[task_index] != epoch {
+                        continue;
+                    }
+                    self.attempt_migration(now, task_index, attempt)?;
+                }
+                Event::RetryNudge => {}
+            }
+            let saw_transient = self.admission_wave(now)?;
+            self.sample_gauges(now);
+            if saw_transient && self.events.is_empty() && !self.queue.is_empty() {
+                // Without a nudge the run would drain here and strand
+                // retryable work; transient faults only ever delay.
+                self.events
+                    .schedule_in(self.recovery.base_backoff, Event::RetryNudge);
             }
         }
-        // Admit as many queued tasks as capacity allows. Tasks request
-        // deployment independently, so a blocked task does not block later
-        // tasks that fit elsewhere; the scan window stays bounded to keep
-        // arrival order roughly fair. Each wave scans the window once and
-        // drains every admitted task with a single retain pass (no O(n)
-        // mid-deque removals), repeating until a wave admits nothing.
+        debug_assert!(
+            self.running.iter().all(Option::is_none),
+            "tasks still running after the event queue drained"
+        );
+        Ok(())
+    }
+
+    /// Accumulates degraded-mode time/occupancy for the interval since the
+    /// previous event (cluster state is constant between events).
+    fn integrate_degraded(&mut self, now: SimTime) {
+        let interval = now.saturating_sub(self.last_event_at);
+        if interval > SimTime::ZERO && self.controller.failed_devices() > 0 {
+            self.degraded_time += interval;
+            self.degraded_occ_weighted += self.controller.occupancy() * interval.as_secs();
+        }
+        self.last_event_at = now;
+    }
+
+    fn on_completion(&mut self, now: SimTime, task_index: usize) -> Result<(), RuntimeError> {
+        let deployment = self.running[task_index]
+            .take()
+            .expect("completion for task not running");
+        self.task_of.remove(&deployment.id.0);
+        self.controller.release(&deployment)?;
+        self.meter.record_completion();
+        let e2e = now.saturating_sub(self.arrivals[task_index].at).as_secs();
+        self.latency.record(e2e);
+        self.metrics.inc(self.m.completions);
+        self.metrics.inc(self.m.releases);
+        self.metrics.record_timer(self.m.latency, e2e);
+        self.metrics.record_timer(
+            self.m.service,
+            now.saturating_sub(self.deployed_at[task_index]).as_secs(),
+        );
+        self.trace.push(
+            now,
+            TraceEventKind::Completion {
+                task: task_index as u64,
+            },
+        );
+        self.trace.push(
+            now,
+            TraceEventKind::Release {
+                task: task_index as u64,
+            },
+        );
+        self.last_completion = now;
+        Ok(())
+    }
+
+    fn on_device_failed(&mut self, now: SimTime, device: usize) -> Result<(), RuntimeError> {
+        self.device_failures += 1;
+        self.metrics.inc(self.m.device_failures);
+        self.trace.push(
+            now,
+            TraceEventKind::DeviceFailed {
+                device: device as u64,
+            },
+        );
+        let interrupted = self.controller.handle_device_failure(DeviceId(device));
+        for id in interrupted {
+            let task_index = self
+                .task_of
+                .remove(&id.0)
+                .expect("interrupted deployment maps to a running task");
+            let old = self.running[task_index]
+                .take()
+                .expect("interrupted task was running");
+            self.epoch[task_index] += 1;
+            self.interrupted += 1;
+            self.metrics.inc(self.m.interrupted);
+            self.interrupted_pending[task_index] = Some((now, old.num_units() as u32));
+            self.trace.push(
+                now,
+                TraceEventKind::MigrationStarted {
+                    task: task_index as u64,
+                    device: device as u64,
+                },
+            );
+            // Immediate migration attempt; failures back off from here.
+            // Migrating tasks get first claim on the capacity their
+            // surviving units just freed, ahead of the admission queue.
+            self.attempt_migration(now, task_index, 0)?;
+        }
+        Ok(())
+    }
+
+    /// One migration attempt for an interrupted task. Attempt 0 is the
+    /// immediate one; subsequent attempts arrive via `MigrationRetry`.
+    fn attempt_migration(
+        &mut self,
+        now: SimTime,
+        task_index: usize,
+        attempt: u32,
+    ) -> Result<(), RuntimeError> {
+        let task = self.arrivals[task_index].task;
+        let name = (self.instance_for)(&task);
+        match self.controller.try_deploy_explained(&name)? {
+            Ok(deployment) => {
+                self.complete_recovery(now, task_index, deployment);
+            }
+            Err(reason) => {
+                self.rejections[reason.index()] += 1;
+                self.metrics.inc(self.m.rejects[reason.index()]);
+                if attempt < self.recovery.max_retries {
+                    let delay = self.recovery.backoff(attempt);
+                    self.events.schedule(
+                        now.checked_add(delay).unwrap_or(SimTime::MAX),
+                        Event::MigrationRetry {
+                            task_index,
+                            epoch: self.epoch[task_index],
+                            attempt: attempt + 1,
+                        },
+                    );
+                } else {
+                    self.trace.push(
+                        now,
+                        TraceEventKind::RetryExhausted {
+                            task: task_index as u64,
+                        },
+                    );
+                    if self.recovery.drop_on_exhaustion {
+                        self.lost += 1;
+                        self.metrics.inc(self.m.lost);
+                        self.interrupted_pending[task_index] = None;
+                    } else {
+                        self.requeued += 1;
+                        self.queue.push_back(task_index);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Books a successful redeployment of an interrupted task (either via
+    /// the migration retry path or from the admission queue after
+    /// demotion).
+    fn complete_recovery(&mut self, now: SimTime, task_index: usize, deployment: Deployment) {
+        let (since, old_units) = self.interrupted_pending[task_index]
+            .take()
+            .expect("recovery completes a pending interruption");
+        let ttr = now.saturating_sub(since).as_secs();
+        self.time_to_recovery.record(ttr);
+        self.metrics.record_timer(self.m.time_to_recovery, ttr);
+        self.migrated += 1;
+        self.metrics.inc(self.m.migrations);
+        if (deployment.num_units() as u32) > old_units {
+            self.scale_down_redeployments += 1;
+        }
+        self.trace.push(
+            now,
+            TraceEventKind::MigrationCompleted {
+                task: task_index as u64,
+                units: deployment.num_units() as u32,
+            },
+        );
+        self.start_service(now, task_index, deployment);
+    }
+
+    /// Installs a deployment for a task and schedules its completion. The
+    /// service restarts from scratch (work lost at interruption is
+    /// re-done), recomputed for the new deployment's shape.
+    fn start_service(&mut self, now: SimTime, task_index: usize, deployment: Deployment) {
+        let task = self.arrivals[task_index].task;
+        let service = (self.service_time)(&task, &deployment);
+        self.deployed_at[task_index] = now;
+        self.epoch[task_index] += 1;
+        self.task_of.insert(deployment.id.0, task_index);
+        self.running[task_index] = Some(deployment);
+        self.events.schedule(
+            now.checked_add(service).unwrap_or(SimTime::MAX),
+            Event::Completion {
+                task_index,
+                epoch: self.epoch[task_index],
+            },
+        );
+    }
+
+    /// Admits as many queued tasks as capacity allows. Tasks request
+    /// deployment independently, so a blocked task does not block later
+    /// tasks that fit elsewhere; the scan window stays bounded to keep
+    /// arrival order roughly fair. Each wave scans the window once and
+    /// drains every admitted task with a single retain pass (no O(n)
+    /// mid-deque removals), repeating until a wave admits nothing.
+    ///
+    /// Returns whether any attempt was turned down by a transient
+    /// configure fault (retryable; the caller may need to self-schedule a
+    /// retry if no other event is pending).
+    fn admission_wave(&mut self, now: SimTime) -> Result<bool, RuntimeError> {
         const SCAN_WINDOW: usize = 64;
+        let mut saw_transient = false;
         loop {
-            let window = queue.len().min(SCAN_WINDOW);
+            let window = self.queue.len().min(SCAN_WINDOW);
             let mut admitted_in_window = vec![false; window];
             let mut admitted: Vec<(usize, Deployment)> = Vec::new();
-            for pos in 0..window {
-                let idx = queue[pos];
-                let task = arrivals[idx].task;
-                let name = instance_for(&task);
-                match controller.try_deploy_explained(&name)? {
+            for (pos, admitted_slot) in admitted_in_window.iter_mut().enumerate() {
+                let idx = self.queue[pos];
+                let task = self.arrivals[idx].task;
+                let name = (self.instance_for)(&task);
+                match self.controller.try_deploy_explained(&name)? {
                     Ok(deployment) => {
-                        admitted_in_window[pos] = true;
+                        *admitted_slot = true;
                         admitted.push((idx, deployment));
                     }
                     Err(reason) => {
-                        rejections[reason.index()] += 1;
-                        metrics.inc(m_rejects[reason.index()]);
+                        self.rejections[reason.index()] += 1;
+                        self.metrics.inc(self.m.rejects[reason.index()]);
+                        saw_transient |= reason == RejectReason::TransientFault;
                         // Trace only a task's first rejection: under
                         // saturation every task is re-tried per wave and
                         // the ring would otherwise hold nothing else.
-                        if !traced_reject[idx] {
-                            traced_reject[idx] = true;
-                            trace.push(
+                        if !self.traced_reject[idx] {
+                            self.traced_reject[idx] = true;
+                            self.trace.push(
                                 now,
                                 TraceEventKind::DeployRejected {
                                     task: idx as u64,
@@ -298,89 +792,120 @@ pub fn run_cloud_sim_traced(
                 }
             }
             if admitted.is_empty() {
-                break;
+                return Ok(saw_transient);
             }
             let mut pos = 0;
-            queue.retain(|_| {
+            self.queue.retain(|_| {
                 let keep = pos >= window || !admitted_in_window[pos];
                 pos += 1;
                 keep
             });
             for (idx, deployment) in admitted {
-                deployed_at[idx] = now;
-                let wait = now.saturating_sub(arrivals[idx].at).as_secs();
-                queue_wait.record(wait);
-                metrics.inc(m_deploys);
-                metrics.record_timer(t_queue_wait, wait);
-                trace.push(
+                if self.interrupted_pending[idx].is_some() {
+                    // A task demoted to the queue after exhausting its
+                    // migration retries finally found capacity again.
+                    self.complete_recovery(now, idx, deployment);
+                    continue;
+                }
+                if !self.waited[idx] {
+                    self.waited[idx] = true;
+                    let wait = now.saturating_sub(self.arrivals[idx].at).as_secs();
+                    self.queue_wait.record(wait);
+                    self.metrics.record_timer(self.m.queue_wait, wait);
+                }
+                self.metrics.inc(self.m.deploys);
+                self.trace.push(
                     now,
                     TraceEventKind::Deploy {
                         task: idx as u64,
                         units: deployment.num_units() as u32,
                     },
                 );
-                let task = arrivals[idx].task;
-                let service = service_time(&task, &deployment);
-                running[idx] = Some(deployment);
-                events.schedule(now + service, Event::Completion { task_index: idx });
+                self.start_service(now, idx, deployment);
             }
         }
-        // Sample the cluster state after the admission wave settles; the
-        // series coalesce repeats, and the trace records changes only.
-        let depth = queue.len() as f64;
-        if metrics.gauge_series(g_depth).last() != Some(depth) {
-            trace.push(
+    }
+
+    /// Samples the cluster state after the admission wave settles; the
+    /// series coalesce repeats, and the trace records changes only.
+    fn sample_gauges(&mut self, now: SimTime) {
+        let depth = self.queue.len() as f64;
+        if self.metrics.gauge_series(self.m.depth).last() != Some(depth) {
+            self.trace.push(
                 now,
                 TraceEventKind::QueueDepth {
-                    depth: queue.len() as u64,
+                    depth: self.queue.len() as u64,
                 },
             );
         }
-        metrics.set_gauge(g_depth, now, depth);
-        let occupancy = controller.occupancy();
-        if metrics.gauge_series(g_occupancy).last() != Some(occupancy) {
-            trace.push(
+        self.metrics.set_gauge(self.m.depth, now, depth);
+        let occupancy = self.controller.occupancy();
+        if self.metrics.gauge_series(self.m.occupancy).last() != Some(occupancy) {
+            self.trace.push(
                 now,
                 TraceEventKind::Occupancy {
                     fraction: occupancy,
                 },
             );
         }
-        metrics.set_gauge(g_occupancy, now, occupancy);
+        self.metrics.set_gauge(self.m.occupancy, now, occupancy);
+        self.metrics.set_gauge(
+            self.m.failed_devices,
+            now,
+            self.controller.failed_devices() as f64,
+        );
     }
 
-    let elapsed = last_completion;
-    let never_deployed = queue.len() as u64;
-    let occupancy_series = metrics.gauge_series(g_occupancy).clone();
-    let queue_depth_series = metrics.gauge_series(g_depth).clone();
-    let report = CloudReport {
-        arrivals: arrivals.len() as u64,
-        completed: meter.completed(),
-        never_deployed,
-        elapsed,
-        throughput_per_s: meter.per_second(elapsed),
-        latency,
-        latency_p50: metrics.timer_quantile(t_latency, 0.50),
-        latency_p95: metrics.timer_quantile(t_latency, 0.95),
-        latency_p99: metrics.timer_quantile(t_latency, 0.99),
-        queue_wait,
-        mean_occupancy: occupancy_series.mean_until(elapsed).unwrap_or(0.0),
-        peak_occupancy: occupancy_series.max().unwrap_or(0.0),
-        peak_queue_depth: queue_depth_series.max().unwrap_or(0.0) as u64,
-        rejections,
-        occupancy_series,
-        queue_depth_series,
-        metrics,
-        trace,
-    };
-    debug_assert!(
-        report.accounts_for_all_arrivals(),
-        "arrivals unaccounted for: {} completed + {} never deployed != {}",
-        report.completed,
-        report.never_deployed,
-        report.arrivals
-    );
-    Ok(report)
+    fn finish(self) -> CloudReport {
+        let elapsed = self.last_completion;
+        let never_deployed = self.queue.len() as u64;
+        let occupancy_series = self.metrics.gauge_series(self.m.occupancy).clone();
+        let queue_depth_series = self.metrics.gauge_series(self.m.depth).clone();
+        let degraded_secs = self.degraded_time.as_secs();
+        let report = CloudReport {
+            arrivals: self.arrivals.len() as u64,
+            completed: self.meter.completed(),
+            never_deployed,
+            lost: self.lost,
+            elapsed,
+            throughput_per_s: self.meter.per_second(elapsed),
+            latency: self.latency,
+            latency_p50: self.metrics.timer_quantile(self.m.latency, 0.50),
+            latency_p95: self.metrics.timer_quantile(self.m.latency, 0.95),
+            latency_p99: self.metrics.timer_quantile(self.m.latency, 0.99),
+            queue_wait: self.queue_wait,
+            mean_occupancy: occupancy_series.mean_until(elapsed).unwrap_or(0.0),
+            peak_occupancy: occupancy_series.max().unwrap_or(0.0),
+            peak_queue_depth: queue_depth_series.max().unwrap_or(0.0) as u64,
+            rejections: self.rejections,
+            device_failures: self.device_failures,
+            device_recoveries: self.device_recoveries,
+            interrupted: self.interrupted,
+            migrated: self.migrated,
+            requeued: self.requeued,
+            scale_down_redeployments: self.scale_down_redeployments,
+            time_to_recovery: self.time_to_recovery,
+            degraded_time: self.degraded_time,
+            degraded_mean_occupancy: if degraded_secs > 0.0 {
+                self.degraded_occ_weighted / degraded_secs
+            } else {
+                0.0
+            },
+            occupancy_series,
+            queue_depth_series,
+            metrics: self.metrics,
+            trace: self.trace,
+        };
+        debug_assert!(
+            report.accounts_for_all_arrivals(),
+            "arrivals unaccounted for: {} completed + {} never deployed + {} lost != {}",
+            report.completed,
+            report.never_deployed,
+            report.lost,
+            report.arrivals
+        );
+        report
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +914,7 @@ mod tests {
     use crate::controller::Policy;
     use crate::testutil::small_db;
     use vfpga_core::{MappingDatabase, MappingEntry};
+    use vfpga_sim::FaultPlanParams;
     use vfpga_workload::{RnnKind, RnnTask};
 
     fn arrivals(n: usize, gap_us: f64) -> Vec<TaskArrival> {
@@ -404,6 +930,19 @@ mod tests {
         SimTime::from_us(100.0)
     }
 
+    fn chaos_plan(seed: u64) -> FaultPlan {
+        FaultPlan::generate(
+            FaultPlanParams {
+                mttf: SimTime::from_us(150.0),
+                mttr: SimTime::from_us(60.0),
+                configure_failure_prob: 0.0,
+                horizon: SimTime::from_us(800.0),
+            },
+            4,
+            seed,
+        )
+    }
+
     #[test]
     fn all_tasks_complete() {
         let (cluster, db) = small_db();
@@ -412,6 +951,7 @@ mod tests {
         let report = run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
         assert_eq!(report.completed, 50);
         assert_eq!(report.never_deployed, 0);
+        assert_eq!(report.lost, 0);
         assert!(report.accounts_for_all_arrivals());
         assert!(report.throughput_per_s > 0.0);
         // Everything released at the end.
@@ -576,5 +1116,156 @@ mod tests {
         let json = report.to_json().compact();
         assert!(json.contains(r#""throughput_per_s""#), "{json}");
         assert!(json.contains(r#""series":[["#), "{json}");
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RecoveryPolicy {
+            max_retries: 5,
+            base_backoff: SimTime::from_us(10.0),
+            drop_on_exhaustion: false,
+        };
+        assert_eq!(p.backoff(0), SimTime::from_us(10.0));
+        assert_eq!(p.backoff(1), SimTime::from_us(20.0));
+        assert_eq!(p.backoff(3), SimTime::from_us(80.0));
+        // Huge attempt numbers saturate instead of overflowing.
+        assert_eq!(p.backoff(u32::MAX), p.backoff(32));
+    }
+
+    #[test]
+    fn chaos_run_recovers_interrupted_tasks() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let a = arrivals(60, 10.0);
+        let plan = chaos_plan(2024);
+        assert!(plan.failures() > 0, "plan must actually inject failures");
+        let report = run_cloud_sim_faulted(
+            &mut c,
+            &a,
+            &|_| "tiny".to_string(),
+            &fixed_service,
+            &plan,
+            RecoveryPolicy::default(),
+            DEFAULT_TRACE_CAPACITY,
+        )
+        .unwrap();
+        assert!(report.accounts_for_all_arrivals());
+        assert!(report.device_failures > 0);
+        assert!(report.interrupted > 0, "failures should interrupt work");
+        assert!(report.migrated > 0, "some interruption should recover");
+        assert!(report.degraded_time > SimTime::ZERO);
+        let labels: std::collections::BTreeSet<&str> =
+            report.trace.iter().map(|e| e.kind.label()).collect();
+        for expect in ["device_failed", "migration_started", "migration_completed"] {
+            assert!(labels.contains(expect), "missing {expect} in {labels:?}");
+        }
+        // Occupancy stays a valid fraction throughout the chaos.
+        assert!(report.peak_occupancy <= 1.0);
+        // After the run, the controller holds nothing.
+        assert_eq!(c.live_deployments(), 0);
+    }
+
+    #[test]
+    fn chaos_runs_are_byte_identical_for_a_fixed_seed() {
+        let (cluster, db) = small_db();
+        let a = arrivals(60, 10.0);
+        let plan = chaos_plan(7);
+        let run = || {
+            let mut c = SystemController::new(cluster.clone(), db.clone(), Policy::Full);
+            run_cloud_sim_faulted(
+                &mut c,
+                &a,
+                &|_| "tiny".to_string(),
+                &fixed_service,
+                &plan,
+                RecoveryPolicy::default(),
+                DEFAULT_TRACE_CAPACITY,
+            )
+            .unwrap()
+            .to_json()
+            .pretty()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn drop_policy_classifies_lost_tasks() {
+        let (cluster, db) = small_db();
+        // Aggressive failures with recoveries far beyond the workload:
+        // interrupted tasks find no healthy capacity and retries exhaust.
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let a = arrivals(10, 5.0);
+        let plan = FaultPlan::generate(
+            FaultPlanParams {
+                mttf: SimTime::from_us(30.0),
+                mttr: SimTime::from_secs(10.0),
+                configure_failure_prob: 0.0,
+                horizon: SimTime::from_us(200.0),
+            },
+            4,
+            3,
+        );
+        assert!(plan.failures() > 0);
+        let report = run_cloud_sim_faulted(
+            &mut c,
+            &a,
+            &|_| "tiny".to_string(),
+            &fixed_service,
+            &plan,
+            RecoveryPolicy {
+                max_retries: 2,
+                base_backoff: SimTime::from_us(10.0),
+                drop_on_exhaustion: true,
+            },
+            DEFAULT_TRACE_CAPACITY,
+        )
+        .unwrap();
+        assert!(report.accounts_for_all_arrivals());
+        if report.interrupted > 0 {
+            assert!(
+                report.lost + report.migrated > 0,
+                "interruptions must resolve to lost or migrated"
+            );
+            if report.lost > 0 {
+                let labels: std::collections::BTreeSet<&str> =
+                    report.trace.iter().map(|e| e.kind.label()).collect();
+                assert!(labels.contains("retry_exhausted"), "{labels:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_delay_but_do_not_lose_tasks() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let a = arrivals(40, 10.0);
+        // Transients only: zero horizon means no hard fail/recover waves.
+        let plan = FaultPlan::generate(
+            FaultPlanParams {
+                mttf: SimTime::from_secs(1.0),
+                mttr: SimTime::from_us(50.0),
+                configure_failure_prob: 0.3,
+                horizon: SimTime::ZERO,
+            },
+            4,
+            11,
+        );
+        assert!(plan.failures() == 0);
+        let report = run_cloud_sim_faulted(
+            &mut c,
+            &a,
+            &|_| "tiny".to_string(),
+            &fixed_service,
+            &plan,
+            RecoveryPolicy::default(),
+            DEFAULT_TRACE_CAPACITY,
+        )
+        .unwrap();
+        assert_eq!(report.completed, 40, "transients only delay");
+        assert!(report.accounts_for_all_arrivals());
+        assert!(
+            report.rejections_for(RejectReason::TransientFault) > 0,
+            "30% flake rate must surface in the breakdown"
+        );
     }
 }

@@ -4,7 +4,9 @@ use std::collections::HashMap;
 
 use vfpga_core::MappingDatabase;
 use vfpga_fabric::{Cluster, DeviceId};
-use vfpga_hsabs::{AllocationId, LowLevelController};
+use vfpga_hsabs::{
+    AllocationId, DeviceHealth, HsError, LowLevelController, TransientFaultInjector,
+};
 
 use crate::RuntimeError;
 
@@ -37,14 +39,19 @@ pub enum RejectReason {
     /// No feasible placement: too few free virtual blocks under the
     /// policy's placement constraints.
     InsufficientCapacity,
+    /// Partial reconfiguration failed transiently while committing an
+    /// otherwise-feasible placement (injected fault); the attempt rolled
+    /// back cleanly and retrying may succeed.
+    TransientFault,
 }
 
 impl RejectReason {
     /// All reasons, in a stable order (for per-reason breakdowns).
-    pub const ALL: [RejectReason; 3] = [
+    pub const ALL: [RejectReason; 4] = [
         RejectReason::PolicyExcluded,
         RejectReason::NoFreeDevice,
         RejectReason::InsufficientCapacity,
+        RejectReason::TransientFault,
     ];
 
     /// Stable label for metrics and trace export.
@@ -53,6 +60,7 @@ impl RejectReason {
             RejectReason::PolicyExcluded => "policy_excluded",
             RejectReason::NoFreeDevice => "no_free_device",
             RejectReason::InsufficientCapacity => "insufficient_capacity",
+            RejectReason::TransientFault => "transient_fault",
         }
     }
 
@@ -62,6 +70,7 @@ impl RejectReason {
             RejectReason::PolicyExcluded => 0,
             RejectReason::NoFreeDevice => 1,
             RejectReason::InsufficientCapacity => 2,
+            RejectReason::TransientFault => 3,
         }
     }
 }
@@ -75,7 +84,12 @@ pub struct ControllerStats {
     /// Releases performed.
     pub releases: u64,
     /// Rejected attempts, indexed by [`RejectReason::index`].
-    pub rejects: [u64; 3],
+    pub rejects: [u64; 4],
+    /// Device failures handled via
+    /// [`SystemController::handle_device_failure`].
+    pub device_failures: u64,
+    /// Live deployments interrupted by device failures.
+    pub interrupted: u64,
 }
 
 impl ControllerStats {
@@ -150,7 +164,7 @@ pub struct SystemController {
     /// allocation "at the offline compilation time, resulting in a low
     /// elasticity" — tasks run on whatever accelerator their device hosts.
     provisioned: Option<Vec<String>>,
-    live: HashMap<u64, Vec<AllocationId>>,
+    live: HashMap<u64, Vec<(DeviceId, AllocationId)>>,
     next_id: u64,
     stats: ControllerStats,
 }
@@ -226,6 +240,79 @@ impl SystemController {
         &self.stats
     }
 
+    /// Installs a deterministic transient configure-failure injector on
+    /// the low-level controller: each otherwise-successful configuration
+    /// request fails with probability `prob`, drawn from a stream seeded
+    /// by `seed`. Pass `prob = 0.0` to disable.
+    pub fn enable_transient_faults(&mut self, prob: f64, seed: u64) {
+        self.llc.set_fault_injector(if prob > 0.0 {
+            Some(TransientFaultInjector::new(prob, seed))
+        } else {
+            None
+        });
+    }
+
+    /// Runtime health of one device.
+    pub fn device_health(&self, device: DeviceId) -> DeviceHealth {
+        self.llc.device_health(device)
+    }
+
+    /// Number of devices currently failed.
+    pub fn failed_devices(&self) -> usize {
+        self.llc.failed_devices()
+    }
+
+    /// Live allocations the low-level controller still holds on `device`
+    /// (zero for a failed device — the eviction invariant).
+    pub fn allocations_on(&self, device: DeviceId) -> usize {
+        self.llc.allocations_on(device)
+    }
+
+    /// Handles the failure of one device: evicts its allocations, tears
+    /// down every live deployment that had a unit on it (their surviving
+    /// units on other devices release too — a deployment is all-or-
+    /// nothing), and returns the interrupted deployment ids in ascending
+    /// order so the caller can migrate them. After this call no live
+    /// deployment references the failed device.
+    ///
+    /// Idempotent: failing an already-failed device interrupts nothing.
+    pub fn handle_device_failure(&mut self, device: DeviceId) -> Vec<DeploymentId> {
+        let was_healthy = self.llc.device_health(device) == DeviceHealth::Healthy;
+        let evicted = self.llc.evict_device(device);
+        if was_healthy {
+            self.stats.device_failures += 1;
+        }
+        let evicted: std::collections::HashSet<AllocationId> = evicted.into_iter().collect();
+        let mut interrupted: Vec<DeploymentId> = self
+            .live
+            .iter()
+            .filter(|(_, placements)| placements.iter().any(|(_, a)| evicted.contains(a)))
+            .map(|(id, _)| DeploymentId(*id))
+            .collect();
+        interrupted.sort_by_key(|d| d.0);
+        for id in &interrupted {
+            let placements = self.live.remove(&id.0).expect("collected from live");
+            for (d, a) in placements {
+                if !evicted.contains(&a) {
+                    // Surviving units release normally; their slots free up
+                    // for the migration the caller will attempt.
+                    let _ = self.llc.release(a);
+                }
+                if self.policy == Policy::Baseline {
+                    self.device_taken[d.0] = false;
+                }
+            }
+        }
+        self.stats.interrupted += interrupted.len() as u64;
+        interrupted
+    }
+
+    /// Handles the recovery of a failed device: it rejoins placement with
+    /// every slot free.
+    pub fn handle_device_recovery(&mut self, device: DeviceId) {
+        self.llc.recover_device(device);
+    }
+
     /// Attempts to deploy an instance. Returns `Ok(None)` when the cluster
     /// currently lacks capacity (the caller queues the task).
     ///
@@ -289,7 +376,7 @@ impl SystemController {
                 continue;
             };
             // Commit the placement.
-            let mut allocations = Vec::new();
+            let mut allocations: Vec<(DeviceId, AllocationId)> = Vec::new();
             let mut placements = Vec::new();
             for (unit, &device) in option.units.iter().zip(&devices) {
                 let type_name = self.cluster.device(device).device_type().name();
@@ -298,13 +385,22 @@ impl SystemController {
                     Ok(a) => a,
                     Err(e) => {
                         // Roll back anything configured so far.
-                        for a in allocations {
+                        for (_, a) in allocations {
                             let _ = self.llc.release(a);
                         }
-                        return Err(RuntimeError::Hs(e));
+                        // A transient (injected) reconfiguration failure is
+                        // a soft outcome: the placement was feasible, the
+                        // commit rolled back cleanly, and the caller may
+                        // simply retry. Everything else is a hard error.
+                        return match e {
+                            HsError::TransientConfigureFailure(_) => {
+                                Ok(Err(RejectReason::TransientFault))
+                            }
+                            e => Err(RuntimeError::Hs(e)),
+                        };
                     }
                 };
-                allocations.push(alloc);
+                allocations.push((device, alloc));
                 placements.push(Placement {
                     device,
                     allocation: alloc,
@@ -356,7 +452,7 @@ impl SystemController {
         let mut candidates: Vec<DeviceId> = self
             .cluster
             .device_ids()
-            .filter(|d| !self.device_taken[d.0])
+            .filter(|d| !self.device_taken[d.0] && self.llc.is_healthy(*d))
             .collect();
         // Prefer a device whose installed instance matches the request.
         candidates.sort_by_key(|d| (prov[d.0] != instance, d.0));
@@ -376,11 +472,17 @@ impl SystemController {
             .expect("validated at provisioning");
         let dt = self.cluster.device(device).device_type().name();
         let image = &option.units[0].images[dt];
-        let alloc = self.llc.configure(device, image)?;
+        let alloc = match self.llc.configure(device, image) {
+            Ok(a) => a,
+            Err(HsError::TransientConfigureFailure(_)) => {
+                return Ok(Err(RejectReason::TransientFault))
+            }
+            Err(e) => return Err(RuntimeError::Hs(e)),
+        };
         self.device_taken[device.0] = true;
         let id = DeploymentId(self.next_id);
         self.next_id += 1;
-        self.live.insert(id.0, vec![alloc]);
+        self.live.insert(id.0, vec![(device, alloc)]);
         Ok(Ok(Deployment {
             id,
             instance: instance.to_string(),
@@ -480,7 +582,7 @@ impl SystemController {
         let allocations = self.live.remove(&deployment.id.0).ok_or(RuntimeError::Hs(
             vfpga_hsabs::HsError::UnknownAllocation(deployment.id.0),
         ))?;
-        for a in allocations {
+        for (_, a) in allocations {
             self.llc.release(a)?;
         }
         if self.policy == Policy::Baseline {
@@ -645,6 +747,95 @@ mod tests {
         let mut full = SystemController::new(cluster, db2, Policy::Full);
         let d = full.try_deploy_explained("huge").unwrap().unwrap();
         assert!(d.num_units() > 1);
+    }
+
+    #[test]
+    fn double_release_keeps_accounting_intact() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let d1 = c.try_deploy("tiny").unwrap().unwrap();
+        let d2 = c.try_deploy("tiny").unwrap().unwrap();
+        let occupancy_one = {
+            c.release(&d1).unwrap();
+            c.occupancy()
+        };
+        // Releasing the same deployment again: a well-formed error that
+        // neither panics nor double-frees slots.
+        assert!(matches!(c.release(&d1), Err(RuntimeError::Hs(_))));
+        assert_eq!(c.occupancy(), occupancy_one);
+        assert_eq!(c.live_deployments(), 1);
+        assert_eq!(c.stats().releases, 1);
+        c.release(&d2).unwrap();
+        assert_eq!(c.occupancy(), 0.0);
+        // The controller still deploys fine afterwards.
+        assert!(c.try_deploy("tiny").unwrap().is_some());
+    }
+
+    #[test]
+    fn device_failure_interrupts_and_recovery_readmits() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        // Deploy until something lands on device 0.
+        let mut held = Vec::new();
+        loop {
+            let d = c.try_deploy("tiny").unwrap().expect("capacity");
+            let on_zero = d.placements.iter().any(|p| p.device == DeviceId(0));
+            held.push(d);
+            if on_zero {
+                break;
+            }
+            assert!(held.len() < 100);
+        }
+        let live_before = c.live_deployments();
+        let interrupted = c.handle_device_failure(DeviceId(0));
+        assert!(!interrupted.is_empty());
+        assert!(interrupted.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(c.live_deployments(), live_before - interrupted.len());
+        // The eviction invariant: nothing lives on the failed device.
+        assert_eq!(c.allocations_on(DeviceId(0)), 0);
+        assert_eq!(c.failed_devices(), 1);
+        assert_eq!(c.stats().interrupted, interrupted.len() as u64);
+        // Interrupted deployments are gone: releasing one is an error.
+        let gone = held
+            .iter()
+            .find(|d| interrupted.contains(&d.id))
+            .expect("interrupted deployment in held set");
+        assert!(c.release(gone).is_err());
+        // Idempotent: a second failure of the same device is a no-op.
+        assert!(c.handle_device_failure(DeviceId(0)).is_empty());
+        // New placements avoid the failed device.
+        let d = c.try_deploy("tiny").unwrap().expect("survivors have room");
+        assert!(d.placements.iter().all(|p| p.device != DeviceId(0)));
+        c.handle_device_recovery(DeviceId(0));
+        assert_eq!(c.failed_devices(), 0);
+    }
+
+    #[test]
+    fn all_devices_failed_rejects_without_panicking() {
+        let (cluster, db) = small_db();
+        let n = cluster.len();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        for i in 0..n {
+            c.handle_device_failure(DeviceId(i));
+        }
+        assert_eq!(c.occupancy(), 0.0);
+        let rejected = c.try_deploy_explained("tiny").unwrap().unwrap_err();
+        assert_eq!(rejected, RejectReason::InsufficientCapacity);
+    }
+
+    #[test]
+    fn transient_faults_surface_as_soft_rejections() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        c.enable_transient_faults(1.0, 7);
+        let rejected = c.try_deploy_explained("tiny").unwrap().unwrap_err();
+        assert_eq!(rejected, RejectReason::TransientFault);
+        assert_eq!(c.stats().rejects_for(RejectReason::TransientFault), 1);
+        // Nothing leaked: the rolled-back attempt left the cluster empty.
+        assert_eq!(c.occupancy(), 0.0);
+        assert_eq!(c.live_deployments(), 0);
+        c.enable_transient_faults(0.0, 0);
+        assert!(c.try_deploy("tiny").unwrap().is_some());
     }
 
     #[test]

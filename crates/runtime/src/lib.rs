@@ -19,8 +19,15 @@
 //!   returns a fully instrumented [`CloudReport`]: latency percentiles,
 //!   occupancy/queue-depth time series, rejection-reason breakdowns (see
 //!   [`RejectReason`]), a metrics registry, and a scheduler-event trace —
-//!   with the accounting invariant `completed + never_deployed ==
+//!   with the accounting invariant `completed + never_deployed + lost ==
 //!   arrivals` (queued tasks are never silently dropped).
+//! * [`run_cloud_sim_faulted`] — the same simulation interleaved with a
+//!   [`vfpga_sim::FaultPlan`]'s device fail/recover waves: interrupted
+//!   deployments migrate to surviving devices with bounded exponential
+//!   backoff (see [`RecoveryPolicy`]), falling back to deeper partition
+//!   variants when the original footprint no longer fits, and the report
+//!   gains recovery accounting (interruptions, migrations, mean
+//!   time-to-recovery, degraded-mode occupancy).
 //! * [`co_simulate_timing`]/[`co_simulate_functional`] — coupled simulation
 //!   of scaled-down accelerators exchanging state over the inter-FPGA ring,
 //!   with a configurable added link latency (the paper's programmable
@@ -32,7 +39,10 @@ mod scaleout_sim;
 #[cfg(test)]
 mod testutil;
 
-pub use cloudsim::{run_cloud_sim, run_cloud_sim_traced, CloudReport, DEFAULT_TRACE_CAPACITY};
+pub use cloudsim::{
+    run_cloud_sim, run_cloud_sim_faulted, run_cloud_sim_traced, CloudReport, RecoveryPolicy,
+    DEFAULT_TRACE_CAPACITY,
+};
 pub use controller::{
     ControllerStats, Deployment, DeploymentId, Placement, Policy, RejectReason, SystemController,
 };

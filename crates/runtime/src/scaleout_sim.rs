@@ -35,9 +35,9 @@ impl ScaleOutTiming {
     /// Serializes the timing result (times in seconds).
     pub fn to_json(&self) -> Json {
         Json::obj()
-            .field("makespan_s", self.makespan.as_secs())
-            .field("imbalance_s", self.imbalance().as_secs())
-            .field(
+            .with("makespan_s", self.makespan.as_secs())
+            .with("imbalance_s", self.imbalance().as_secs())
+            .with(
                 "finish_s",
                 Json::Arr(
                     self.finish
@@ -46,9 +46,9 @@ impl ScaleOutTiming {
                         .collect(),
                 ),
             )
-            .field("messages", self.messages)
-            .field("bytes_on_wire", self.bytes_on_wire)
-            .field("poll_rounds", self.poll_rounds)
+            .with("messages", self.messages)
+            .with("bytes_on_wire", self.bytes_on_wire)
+            .with("poll_rounds", self.poll_rounds)
     }
 }
 

@@ -1,0 +1,290 @@
+//! Deterministic fault-plan generation for chaos experiments.
+//!
+//! A [`FaultPlan`] is a pre-computed, seeded schedule of device fail and
+//! recover events plus a transient configure-failure probability. Plans are
+//! generated *before* a simulation runs (per-device alternating-renewal
+//! processes with exponential time-to-failure and time-to-repair), so a run
+//! over a plan is exactly reproducible from `(params, devices, seed)` — the
+//! same property the workload generator already guarantees.
+
+use crate::json::Json;
+use crate::rng::Rng;
+use crate::time::SimTime;
+
+/// Parameters of the per-device failure/repair renewal process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanParams {
+    /// Mean time to failure of one device (exponentially distributed).
+    pub mttf: SimTime,
+    /// Mean time to repair of one device (exponentially distributed).
+    pub mttr: SimTime,
+    /// Probability that one otherwise-valid configure request fails
+    /// transiently (flaky partial reconfiguration), `0.0..=1.0`.
+    pub configure_failure_prob: f64,
+    /// No new failure is generated at or after this time (repairs of
+    /// earlier failures may still land past it, so devices always come
+    /// back).
+    pub horizon: SimTime,
+}
+
+impl FaultPlanParams {
+    /// A plan that injects nothing.
+    pub fn quiescent() -> Self {
+        FaultPlanParams {
+            mttf: SimTime::MAX,
+            mttr: SimTime::ZERO,
+            configure_failure_prob: 0.0,
+            horizon: SimTime::ZERO,
+        }
+    }
+}
+
+/// One scheduled device state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the transition happens.
+    pub at: SimTime,
+    /// The device index (the consumer maps it onto its device ids).
+    pub device: usize,
+    /// `true` for a failure, `false` for a recovery.
+    pub fail: bool,
+}
+
+/// A deterministic schedule of device failures and recoveries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    params: FaultPlanParams,
+    seed: u64,
+    devices: usize,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all (what the non-chaos simulations use).
+    pub fn none() -> Self {
+        FaultPlan {
+            params: FaultPlanParams::quiescent(),
+            seed: 0,
+            devices: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Generates the fail/recover schedule for `devices` devices.
+    ///
+    /// Each device runs an independent alternating-renewal process seeded
+    /// from `(seed, device)`, so adding a device never perturbs the
+    /// schedule of the others. Failures stop at the horizon; the repair of
+    /// a failure inside the horizon is always emitted, even if it lands
+    /// beyond it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configure_failure_prob` is outside `0.0..=1.0` or
+    /// `mttf`/`mttr` is zero while the horizon is nonzero.
+    pub fn generate(params: FaultPlanParams, devices: usize, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&params.configure_failure_prob),
+            "configure_failure_prob must be a probability, got {}",
+            params.configure_failure_prob
+        );
+        let mut events = Vec::new();
+        if params.horizon > SimTime::ZERO {
+            assert!(
+                params.mttf > SimTime::ZERO && params.mttr > SimTime::ZERO,
+                "mttf and mttr must be positive to generate faults"
+            );
+            for device in 0..devices {
+                // Distinct per-device stream: golden-ratio stride over the
+                // base seed (the SplitMix64 expansion decorrelates them).
+                let mut rng = Rng::seed_from_u64(
+                    seed.wrapping_add((device as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                let mut now = SimTime::ZERO;
+                loop {
+                    let up_for = SimTime::from_secs(rng.exp(params.mttf.as_secs()));
+                    let Some(fail_at) = now.checked_add(up_for) else {
+                        break;
+                    };
+                    if fail_at >= params.horizon {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        at: fail_at,
+                        device,
+                        fail: true,
+                    });
+                    let down_for = SimTime::from_secs(rng.exp(params.mttr.as_secs()));
+                    let Some(recover_at) = fail_at.checked_add(down_for) else {
+                        break;
+                    };
+                    events.push(FaultEvent {
+                        at: recover_at,
+                        device,
+                        fail: false,
+                    });
+                    now = recover_at;
+                }
+            }
+            // Stable global order: time, then device, then recover-before-
+            // fail (a device never fails and recovers at the same instant,
+            // but distinct devices may coincide).
+            events.sort_by_key(|e| (e.at, e.device, e.fail));
+        }
+        FaultPlan {
+            params,
+            seed,
+            devices,
+            events,
+        }
+    }
+
+    /// The generation parameters.
+    pub fn params(&self) -> FaultPlanParams {
+        self.params
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Transient configure-failure probability, `0.0..=1.0`.
+    pub fn configure_failure_prob(&self) -> f64 {
+        self.params.configure_failure_prob
+    }
+
+    /// The scheduled fail/recover transitions, in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects nothing (no transitions, no transients).
+    pub fn is_quiescent(&self) -> bool {
+        self.events.is_empty() && self.params.configure_failure_prob == 0.0
+    }
+
+    /// Number of failure transitions in the plan.
+    pub fn failures(&self) -> usize {
+        self.events.iter().filter(|e| e.fail).count()
+    }
+
+    /// Largest number of devices simultaneously failed at any instant.
+    pub fn max_concurrent_failures(&self) -> usize {
+        let mut down = 0usize;
+        let mut peak = 0usize;
+        for e in &self.events {
+            if e.fail {
+                down += 1;
+                peak = peak.max(down);
+            } else {
+                down = down.saturating_sub(1);
+            }
+        }
+        peak
+    }
+
+    /// Serializes the plan (parameters plus the event schedule).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("seed", self.seed)
+            .with("devices", self.devices)
+            .with("mttf_s", self.params.mttf.as_secs())
+            .with("mttr_s", self.params.mttr.as_secs())
+            .with("configure_failure_prob", self.params.configure_failure_prob)
+            .with("horizon_s", self.params.horizon.as_secs())
+            .with(
+                "events",
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            Json::obj()
+                                .with("t", e.at.as_secs())
+                                .with("device", e.device)
+                                .with("fail", e.fail)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> FaultPlanParams {
+        FaultPlanParams {
+            mttf: SimTime::from_ms(2.0),
+            mttr: SimTime::from_ms(0.5),
+            configure_failure_prob: 0.05,
+            horizon: SimTime::from_ms(20.0),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(params(), 4, 99);
+        let b = FaultPlan::generate(params(), 4, 99);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(params(), 4, 100);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn per_device_streams_are_independent() {
+        let small = FaultPlan::generate(params(), 2, 7);
+        let large = FaultPlan::generate(params(), 4, 7);
+        let only_01 = |p: &FaultPlan| {
+            p.events()
+                .iter()
+                .copied()
+                .filter(|e| e.device < 2)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(only_01(&small), only_01(&large));
+    }
+
+    #[test]
+    fn transitions_alternate_per_device() {
+        let plan = FaultPlan::generate(params(), 4, 3);
+        assert!(plan.failures() > 0, "horizon of 10 MTTFs should fail");
+        for device in 0..4 {
+            let mut down = false;
+            for e in plan.events().iter().filter(|e| e.device == device) {
+                assert_ne!(e.fail, down, "double transition on device {device}");
+                down = e.fail;
+            }
+        }
+        assert!(plan.max_concurrent_failures() >= 1);
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_recoveries_always_follow() {
+        let plan = FaultPlan::generate(params(), 4, 11);
+        assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at));
+        // Every failure is paired with a later recovery of the same device.
+        let fails = plan.failures();
+        let recovers = plan.events().len() - fails;
+        assert_eq!(fails, recovers);
+    }
+
+    #[test]
+    fn none_is_quiescent() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_quiescent());
+        assert_eq!(plan.failures(), 0);
+        assert_eq!(plan.max_concurrent_failures(), 0);
+        let zero_horizon = FaultPlan::generate(FaultPlanParams::quiescent(), 8, 1);
+        assert!(zero_horizon.is_quiescent());
+    }
+
+    #[test]
+    fn json_exports_schedule() {
+        let plan = FaultPlan::generate(params(), 2, 5);
+        let text = plan.to_json().compact();
+        assert!(text.contains(r#""configure_failure_prob":0.05"#), "{text}");
+        assert!(text.contains(r#""fail":true"#), "{text}");
+    }
+}

@@ -35,12 +35,68 @@ impl Json {
     /// # Panics
     ///
     /// Panics if `self` is not an object.
-    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
         match &mut self {
             Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
-            _ => panic!("field() on non-object"),
+            _ => panic!("with() on non-object"),
         }
         self
+    }
+
+    /// Looks up a field by key. Returns `None` when `self` is not an
+    /// object or the key is absent — never panics, so callers can probe
+    /// arbitrary documents (e.g. parsed artifacts) safely.
+    pub fn field(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Test-only convenience: like [`Json::field`] but panics with a
+    /// readable message when the key is missing. Production code should
+    /// use `field()` and handle `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object or lacks `key`.
+    #[track_caller]
+    pub fn expect_field(&self, key: &str) -> &Json {
+        self.field(key)
+            .unwrap_or_else(|| panic!("expected field `{key}` in {}", self.compact()))
+    }
+
+    /// This value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// This value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the subset this module serializes: no
+    /// exponent-free restrictions, `\uXXXX` escapes limited to the BMP).
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte offset and message for malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
     }
 
     /// Serializes with two-space indentation and a trailing newline.
@@ -128,6 +184,150 @@ impl Json {
     }
 }
 
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_byte(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape `{hex}`"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid code point {code:#x}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from &str, so
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 fn escape_into(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -201,10 +401,54 @@ mod tests {
     #[test]
     fn compact_object_round() {
         let j = Json::obj()
-            .field("a", 1u64)
-            .field("b", "x\"y")
-            .field("c", Json::Arr(vec![Json::from(1.5), Json::Null]));
+            .with("a", 1u64)
+            .with("b", "x\"y")
+            .with("c", Json::Arr(vec![Json::from(1.5), Json::Null]));
         assert_eq!(j.compact(), r#"{"a":1,"b":"x\"y","c":[1.5,null]}"#);
+    }
+
+    #[test]
+    fn field_accessor_never_panics() {
+        let j = Json::obj().with("a", 1u64);
+        assert_eq!(j.field("a"), Some(&Json::Num(1.0)));
+        assert_eq!(j.field("missing"), None);
+        // Non-object values answer None instead of panicking.
+        assert_eq!(Json::Null.field("a"), None);
+        assert_eq!(Json::from(3.0).field("a"), None);
+        assert_eq!(Json::Arr(vec![]).field("a"), None);
+        assert_eq!(j.expect_field("a").as_num(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected field `b`")]
+    fn expect_field_panics_with_key_name() {
+        let j = Json::obj().with("a", 1u64);
+        let _ = j.expect_field("b");
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_documents() {
+        let j = Json::obj()
+            .with("a", 1u64)
+            .with("b", "x\"y\n\u{1}")
+            .with("neg", -2.5)
+            .with("flag", true)
+            .with("nothing", Json::Null)
+            .with("arr", Json::Arr(vec![Json::from(1.5), Json::Null]))
+            .with("nested", Json::obj().with("k", "v"));
+        for text in [j.compact(), j.pretty()] {
+            let parsed = Json::parse(&text).unwrap();
+            assert_eq!(parsed, j, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nope").is_err());
     }
 
     #[test]
@@ -226,7 +470,7 @@ mod tests {
 
     #[test]
     fn pretty_is_indented() {
-        let j = Json::obj().field("k", Json::Arr(vec![Json::from(1u64)]));
+        let j = Json::obj().with("k", Json::Arr(vec![Json::from(1u64)]));
         let text = j.pretty();
         assert!(text.contains("\n  \"k\": [\n    1\n  ]\n"), "{text}");
         assert!(text.ends_with("}\n"));

@@ -26,6 +26,7 @@
 //! ```
 
 mod engine;
+mod fault;
 mod json;
 mod link;
 mod metrics;
@@ -35,6 +36,7 @@ mod time;
 mod trace;
 
 pub use engine::EventQueue;
+pub use fault::{FaultEvent, FaultPlan, FaultPlanParams};
 pub use json::Json;
 pub use link::{Link, LinkParams};
 pub use metrics::{CounterId, GaugeId, MetricsRegistry, TimeSeries, TimerId};

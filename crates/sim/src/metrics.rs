@@ -269,30 +269,30 @@ impl MetricsRegistry {
     pub fn to_json(&self) -> Json {
         let mut counters = Json::obj();
         for (name, &v) in self.counter_names.iter().zip(&self.counters) {
-            counters = counters.field(name, v);
+            counters = counters.with(name, v);
         }
         let mut gauges = Json::obj();
         for (name, series) in self.gauge_names.iter().zip(&self.gauges) {
-            gauges = gauges.field(name, series.to_json());
+            gauges = gauges.with(name, series.to_json());
         }
         let mut timers = Json::obj();
         for (name, t) in self.timer_names.iter().zip(&self.timers) {
-            timers = timers.field(
+            timers = timers.with(
                 name,
                 Json::obj()
-                    .field("count", t.summary.count())
-                    .field("mean", t.summary.mean())
-                    .field("p50", t.quantile(0.50))
-                    .field("p95", t.quantile(0.95))
-                    .field("p99", t.quantile(0.99))
-                    .field("min", t.summary.min())
-                    .field("max", t.summary.max()),
+                    .with("count", t.summary.count())
+                    .with("mean", t.summary.mean())
+                    .with("p50", t.quantile(0.50))
+                    .with("p95", t.quantile(0.95))
+                    .with("p99", t.quantile(0.99))
+                    .with("min", t.summary.min())
+                    .with("max", t.summary.max()),
             );
         }
         Json::obj()
-            .field("counters", counters)
-            .field("gauges", gauges)
-            .field("timers", timers)
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("timers", timers)
     }
 }
 

@@ -40,6 +40,36 @@ pub enum TraceEventKind {
         /// Workload task index.
         task: u64,
     },
+    /// A device failed; its allocations were evicted.
+    DeviceFailed {
+        /// The failed device index.
+        device: u64,
+    },
+    /// A failed device came back with all slots free.
+    DeviceRecovered {
+        /// The recovered device index.
+        device: u64,
+    },
+    /// An interrupted deployment began migrating off a failed device.
+    MigrationStarted {
+        /// Workload task index.
+        task: u64,
+        /// The device whose failure interrupted the deployment.
+        device: u64,
+    },
+    /// An interrupted deployment was redeployed on surviving devices.
+    MigrationCompleted {
+        /// Workload task index.
+        task: u64,
+        /// Number of FPGAs the new deployment spans.
+        units: u32,
+    },
+    /// Migration retries were exhausted; the task is demoted (requeued or
+    /// dropped, per the recovery policy).
+    RetryExhausted {
+        /// Workload task index.
+        task: u64,
+    },
     /// Sampled queue depth.
     QueueDepth {
         /// Number of tasks waiting.
@@ -61,6 +91,11 @@ impl TraceEventKind {
             TraceEventKind::DeployRejected { .. } => "deploy_rejected",
             TraceEventKind::Completion { .. } => "completion",
             TraceEventKind::Release { .. } => "release",
+            TraceEventKind::DeviceFailed { .. } => "device_failed",
+            TraceEventKind::DeviceRecovered { .. } => "device_recovered",
+            TraceEventKind::MigrationStarted { .. } => "migration_started",
+            TraceEventKind::MigrationCompleted { .. } => "migration_completed",
+            TraceEventKind::RetryExhausted { .. } => "retry_exhausted",
             TraceEventKind::QueueDepth { .. } => "queue_depth",
             TraceEventKind::Occupancy { .. } => "occupancy",
         }
@@ -142,26 +177,33 @@ impl TraceRing {
             .iter()
             .map(|ev| {
                 let base = Json::obj()
-                    .field("t", ev.at.as_secs())
-                    .field("event", ev.kind.label());
+                    .with("t", ev.at.as_secs())
+                    .with("event", ev.kind.label());
                 match ev.kind {
                     TraceEventKind::Arrival { task }
                     | TraceEventKind::Completion { task }
-                    | TraceEventKind::Release { task } => base.field("task", task),
-                    TraceEventKind::Deploy { task, units } => {
-                        base.field("task", task).field("units", units as u64)
+                    | TraceEventKind::Release { task }
+                    | TraceEventKind::RetryExhausted { task } => base.with("task", task),
+                    TraceEventKind::Deploy { task, units }
+                    | TraceEventKind::MigrationCompleted { task, units } => {
+                        base.with("task", task).with("units", units as u64)
+                    }
+                    TraceEventKind::DeviceFailed { device }
+                    | TraceEventKind::DeviceRecovered { device } => base.with("device", device),
+                    TraceEventKind::MigrationStarted { task, device } => {
+                        base.with("task", task).with("device", device)
                     }
                     TraceEventKind::DeployRejected { task, reason } => {
-                        base.field("task", task).field("reason", reason)
+                        base.with("task", task).with("reason", reason)
                     }
-                    TraceEventKind::QueueDepth { depth } => base.field("depth", depth),
-                    TraceEventKind::Occupancy { fraction } => base.field("fraction", fraction),
+                    TraceEventKind::QueueDepth { depth } => base.with("depth", depth),
+                    TraceEventKind::Occupancy { fraction } => base.with("fraction", fraction),
                 }
             })
             .collect();
         Json::obj()
-            .field("dropped", self.dropped)
-            .field("events", Json::Arr(events))
+            .with("dropped", self.dropped)
+            .with("events", Json::Arr(events))
     }
 }
 
