@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|chaos|all] [--json PATH] [--seed N]
+//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|chaos|trace|all] [--json PATH] [--seed N]
 //! ```
 //!
 //! Runs covering Fig. 11, Fig. 12, or the chaos scenario also write a
@@ -11,31 +11,42 @@
 //! `--json`. The artifact root carries a `schema_version` so downstream
 //! consumers can detect layout changes; `--seed` re-seeds the chaos fault
 //! plan (default 2024).
+//!
+//! `trace` (not part of `all`) runs the span-instrumented chaos scenario
+//! and writes `target/repro-trace.json`: the critical-path latency
+//! decomposition plus a Chrome trace-event array — open the file directly
+//! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. A
+//! Prometheus text exposition of the run's metrics lands next to it as
+//! `.prom`. Both artifacts are byte-identical across same-seed runs.
 
 use vfpga_bench::{
     ablations, catalog::Catalog, chaos, density, fig11, fig12, isolation, overhead, tables,
 };
-use vfpga_sim::{Json, SimTime};
+use vfpga_sim::{chrome_trace_events, prometheus_text, Json, SimTime, SpanTracer};
 use vfpga_workload::fig11_tasks;
 
 /// Default location of the metrics artifact.
 const DEFAULT_ARTIFACT: &str = "target/repro-metrics.json";
 
+/// Default location of the trace artifact (the `trace` experiment).
+const DEFAULT_TRACE_ARTIFACT: &str = "target/repro-trace.json";
+
 /// Version of the metrics-artifact layout. Bump when the artifact's shape
 /// changes incompatibly (v1 was the unversioned PR-1 layout; v2 added this
-/// field and the chaos/recovery sections).
-const ARTIFACT_SCHEMA_VERSION: u64 = 2;
+/// field and the chaos/recovery sections; v3 added span counts, the
+/// critical-path section, and the `trace` experiment's artifact).
+const ARTIFACT_SCHEMA_VERSION: u64 = 3;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
-    let mut json_path = DEFAULT_ARTIFACT.to_string();
+    let mut json_path: Option<String> = None;
     let mut seed: u64 = 2024;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--json" {
             match args.get(i + 1) {
-                Some(p) => json_path = p.clone(),
+                Some(p) => json_path = Some(p.clone()),
                 None => {
                     eprintln!("--json requires a path");
                     std::process::exit(2);
@@ -88,6 +99,14 @@ fn main() {
     if all || which == "chaos" {
         artifact.push(("chaos", print_chaos(seed)));
     }
+    if which == "trace" {
+        // The trace experiment writes its own artifact (a loadable Chrome
+        // trace, not a metrics document) and is opt-in, not part of `all`.
+        let path = json_path
+            .clone()
+            .unwrap_or_else(|| DEFAULT_TRACE_ARTIFACT.to_string());
+        print_trace(seed, &path);
+    }
     if !all
         && ![
             "table2",
@@ -100,29 +119,36 @@ fn main() {
             "density",
             "isolation",
             "chaos",
+            "trace",
         ]
         .contains(&which.as_str())
     {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|all] [--json PATH] [--seed N]");
+        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|all] [--json PATH] [--seed N]");
         std::process::exit(2);
     }
     if !artifact.is_empty() {
+        let json_path = json_path.unwrap_or_else(|| DEFAULT_ARTIFACT.to_string());
         let mut root = Json::obj()
             .with("schema_version", ARTIFACT_SCHEMA_VERSION)
             .with("experiment", which.as_str());
         for (key, value) in artifact {
             root = root.with(key, value);
         }
-        if let Some(parent) = std::path::Path::new(&json_path).parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        match std::fs::write(&json_path, root.pretty()) {
-            Ok(()) => eprintln!("wrote metrics artifact to {json_path}"),
-            Err(e) => {
-                eprintln!("failed to write metrics artifact {json_path}: {e}");
-                std::process::exit(1);
-            }
+        write_artifact(&json_path, &root.pretty(), "metrics");
+    }
+}
+
+/// Writes an artifact, creating parent directories; exits on failure.
+fn write_artifact(path: &str, text: &str, what: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!("wrote {what} artifact to {path}"),
+        Err(e) => {
+            eprintln!("failed to write {what} artifact {path}: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -348,8 +374,78 @@ fn print_chaos(seed: u64) -> Json {
         eprintln!("chaos run did not exercise recovery (seed {seed}): no interruption migrated");
         std::process::exit(1);
     }
+    warn_on_dropped_trace_events(&run.report);
     println!();
     run.to_json()
+}
+
+/// Surfaces trace-ring evictions: a dropped event means the ring was too
+/// small for the run and the retained window is partial.
+fn warn_on_dropped_trace_events(report: &vfpga_runtime::CloudReport) {
+    let dropped = report.trace.dropped();
+    if dropped > 0 {
+        eprintln!(
+            "warning: scheduler trace ring dropped {dropped} events (retained {}); \
+             rerun with a larger trace capacity for a complete window",
+            report.trace.len()
+        );
+    }
+}
+
+fn print_trace(seed: u64, json_path: &str) {
+    println!("== Trace: span-instrumented chaos run (seed {seed}) ==");
+    let mut compile_spans = SpanTracer::new();
+    let catalog = Catalog::build_traced(&mut compile_spans);
+    let config = chaos::ChaosConfig {
+        seed,
+        ..chaos::ChaosConfig::default()
+    };
+    let run = chaos::run(&catalog, &config);
+    if let Err(violation) = run.check_invariants() {
+        eprintln!("chaos invariant violated: {violation}");
+        std::process::exit(1);
+    }
+    warn_on_dropped_trace_events(&run.report);
+    let r = &run.report;
+    let cp = &r.critical_path;
+    println!(
+        "spans: {} compile-flow + {} runtime ({} completed tasks)",
+        compile_spans.len(),
+        r.spans.len(),
+        cp.tasks.len()
+    );
+    for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+        if let Some(task) = cp.quantile_task(q) {
+            let (phase, d) = task.dominant();
+            println!(
+                "{label} task {}: {:.3} ms end-to-end, dominated by {phase} ({:.3} ms)",
+                task.trace.0,
+                task.total.as_ms(),
+                d.as_ms()
+            );
+        }
+    }
+    let events = chrome_trace_events(&[&compile_spans, &r.spans]);
+    let root = Json::obj()
+        .with("schema_version", ARTIFACT_SCHEMA_VERSION)
+        .with("experiment", "trace")
+        .with("seed", seed)
+        .with("trace_dropped", r.trace.dropped())
+        .with("spans", (compile_spans.len() + r.spans.len()) as u64)
+        .with("critical_path", cp.to_json())
+        .with("displayTimeUnit", "ms")
+        .with("traceEvents", events);
+    let text = root.pretty();
+    // Self-validate before writing: the artifact must round-trip through
+    // the parser (CI re-checks this on the written file).
+    if let Err(e) = Json::parse(&text) {
+        eprintln!("trace artifact failed self-validation: {e:?}");
+        std::process::exit(1);
+    }
+    write_artifact(json_path, &text, "trace");
+    let prom_path = format!("{}.prom", json_path.trim_end_matches(".json"));
+    write_artifact(&prom_path, &prometheus_text(&r.metrics), "prometheus");
+    println!();
 }
 
 fn print_overhead() {

@@ -9,12 +9,13 @@ use vfpga_accel::{
     CONTROL_PATH_MODULE, MOVED_TO_CONTROL, TOP_MODULE,
 };
 use vfpga_core::{
-    decompose, partition, DecomposeOptions, Decomposition, MappingDatabase, PartitionTree,
+    decompose_traced, partition_traced, DecomposeOptions, Decomposition, MappingDatabase,
+    PartitionTree,
 };
 use vfpga_fabric::{Cluster, DeviceType, MemoryKind};
 use vfpga_hsabs::{HsCompiler, InterfaceModel};
 use vfpga_runtime::{Deployment, Policy};
-use vfpga_sim::{LinkParams, SimTime};
+use vfpga_sim::{LinkParams, SimTime, SpanCtx, SpanTracer, TraceId};
 use vfpga_workload::{generate_program, RnnTask, SizeClass, SliceSpec};
 
 /// Ring link parameters of the custom-built cluster's secondary
@@ -97,6 +98,17 @@ impl Catalog {
     /// S/M/L tasks plus the two per-device Table 2 baselines, decomposed,
     /// partitioned (two iterations), and compiled for both device types.
     pub fn build() -> Self {
+        Self::build_traced(&mut SpanTracer::new())
+    }
+
+    /// [`build`](Catalog::build) with span tracing of the offline compile
+    /// flow: one `compile` control-plane span per instance (at sim time
+    /// zero — compilation happens before the cloud run) with nested
+    /// `decompose` and `partition` children carrying the decomposer stats
+    /// and partition fan-out. Concatenate this tracer with a run's spans in
+    /// [`chrome_trace_events`](vfpga_sim::chrome_trace_events) to see the
+    /// whole pipeline in one Perfetto timeline.
+    pub fn build_traced(spans: &mut SpanTracer) -> Self {
         let cluster = Cluster::paper_cluster();
         let types = cluster.device_types();
         let compiler = HsCompiler::default();
@@ -122,7 +134,19 @@ impl Catalog {
 
         for config in configs {
             let name = config.name.clone();
-            let (decomp, plan) = Self::compile_instance(&config, 2);
+            let root = spans.begin("compile", TraceId::NONE, None, SimTime::ZERO);
+            spans.attr(root, "instance", name.clone());
+            let (decomp, plan) = Self::compile_instance_traced(
+                &config,
+                2,
+                Some(SpanCtx {
+                    spans,
+                    trace: TraceId::NONE,
+                    parent: Some(root),
+                    at: SimTime::ZERO,
+                }),
+            );
+            spans.end(root, SimTime::ZERO);
             db.register(&name, &decomp, &plan, &types, &compiler, true)
                 .expect("catalog instance must compile");
             instances.insert(
@@ -181,15 +205,32 @@ impl Catalog {
         config: &AcceleratorConfig,
         iterations: usize,
     ) -> (Decomposition, PartitionTree) {
+        Self::compile_instance_traced(config, iterations, None)
+    }
+
+    /// [`compile_instance`](Catalog::compile_instance) with span tracing:
+    /// the decomposition and partitioning steps record `decompose` and
+    /// `partition` spans under the caller's compile-flow context.
+    pub fn compile_instance_traced(
+        config: &AcceleratorConfig,
+        iterations: usize,
+        mut ctx: Option<SpanCtx<'_>>,
+    ) -> (Decomposition, PartitionTree) {
         let design = generate_rtl(config);
         let mut opts = DecomposeOptions::new(CONTROL_PATH_MODULE);
         opts.move_to_control = MOVED_TO_CONTROL.iter().map(|s| s.to_string()).collect();
         opts.intra_parallelism
             .insert("dpu_array".to_string(), config.rows_per_cycle);
         let est = leaf_resource_estimator(config);
-        let decomp =
-            decompose(&design, TOP_MODULE, &opts, &est).expect("generated design decomposes");
-        let plan = partition(&decomp.tree, iterations);
+        let decomp = decompose_traced(
+            &design,
+            TOP_MODULE,
+            &opts,
+            &est,
+            ctx.as_mut().map(|c| c.reborrow()),
+        )
+        .expect("generated design decomposes");
+        let plan = partition_traced(&decomp.tree, iterations, ctx);
         (decomp, plan)
     }
 
@@ -325,6 +366,29 @@ mod tests {
             let entry = c.db.entry(name).unwrap();
             assert!(!entry.options.is_empty(), "{name} has options");
         }
+    }
+
+    #[test]
+    fn build_traced_records_one_compile_span_per_instance() {
+        let mut spans = SpanTracer::new();
+        let c = Catalog::build_traced(&mut spans);
+        let compiles: Vec<_> = spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == "compile")
+            .collect();
+        assert_eq!(compiles.len(), c.instances.len());
+        for root in &compiles {
+            let children: Vec<_> = spans
+                .spans()
+                .iter()
+                .filter(|s| s.parent == Some(root.id))
+                .collect();
+            assert_eq!(children.len(), 2, "decompose + partition per compile");
+            assert!(children.iter().any(|s| s.name == "decompose"));
+            assert!(children.iter().any(|s| s.name == "partition"));
+        }
+        assert_eq!(spans.open_count(), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use vfpga_fabric::{Cluster, DeviceId};
-use vfpga_sim::Rng;
+use vfpga_sim::{Rng, SpanCtx};
 
 use crate::vblock::VirtualBlockImage;
 use crate::HsError;
@@ -17,6 +17,9 @@ pub struct AllocationId(pub u64);
 struct Allocation {
     device: DeviceId,
     blocks: usize,
+    /// The concrete virtual-block slot indexes the image occupies
+    /// (first-fit, not necessarily contiguous).
+    slots: Vec<usize>,
 }
 
 /// Runtime health of one device as seen by the low-level controller.
@@ -102,6 +105,11 @@ pub struct LlcStats {
 pub struct LowLevelController {
     total_slots: Vec<usize>,
     free_slots: Vec<usize>,
+    /// Per-device slot occupancy bitmap; `free_slots` is always its free
+    /// count. Tracking *which* slots an image holds gives partial
+    /// reconfiguration a concrete target region (and the trace exporter
+    /// its one-thread-per-vblock lanes).
+    occupied: Vec<Vec<bool>>,
     health: Vec<DeviceHealth>,
     allocations: HashMap<u64, Allocation>,
     device_type_names: Vec<String>,
@@ -123,6 +131,7 @@ impl LowLevelController {
             .collect();
         LowLevelController {
             free_slots: total_slots.clone(),
+            occupied: total_slots.iter().map(|&n| vec![false; n]).collect(),
             health: vec![DeviceHealth::Healthy; total_slots.len()],
             total_slots,
             allocations: HashMap::new(),
@@ -191,6 +200,7 @@ impl LowLevelController {
         // Slot bookkeeping stays exact: evicted blocks return to the free
         // pool (the device simply is not placeable while failed).
         self.free_slots[device.0] = self.total_slots[device.0];
+        self.occupied[device.0].fill(false);
         // HashMap iteration order is unspecified; sort so chaos runs are
         // reproducible event-for-event.
         evicted.sort_by_key(|a| a.0);
@@ -279,6 +289,24 @@ impl LowLevelController {
             }
         }
         self.free_slots[device.0] -= image.blocks();
+        // First-fit over the slot bitmap: the lowest free slots host the
+        // image (virtual blocks are position-independent, so any free set
+        // works; first-fit keeps the assignment deterministic).
+        let mut slots = Vec::with_capacity(image.blocks());
+        for (slot, taken) in self.occupied[device.0].iter_mut().enumerate() {
+            if slots.len() == image.blocks() {
+                break;
+            }
+            if !*taken {
+                *taken = true;
+                slots.push(slot);
+            }
+        }
+        debug_assert_eq!(
+            slots.len(),
+            image.blocks(),
+            "bitmap disagrees with free count"
+        );
         let id = self.next_id;
         self.next_id += 1;
         self.allocations.insert(
@@ -286,11 +314,62 @@ impl LowLevelController {
             Allocation {
                 device,
                 blocks: image.blocks(),
+                slots,
             },
         );
         self.stats.configures += 1;
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupancy());
         Ok(AllocationId(id))
+    }
+
+    /// [`configure`](LowLevelController::configure) with span tracing: the
+    /// partial-reconfiguration request is recorded as a zero-duration
+    /// `reconfigure` span (configuration is instantaneous in sim time)
+    /// carrying the device, block count, occupied slots, and outcome. The
+    /// span is pinned to the device's export lane — process `fpga{device}`,
+    /// thread `vblock{first slot}` — so Perfetto shows per-device
+    /// reconfiguration activity.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`configure`](LowLevelController::configure).
+    pub fn configure_spanned(
+        &mut self,
+        device: DeviceId,
+        image: &VirtualBlockImage,
+        ctx: Option<SpanCtx<'_>>,
+    ) -> Result<AllocationId, HsError> {
+        let result = self.configure(device, image);
+        if let Some(ctx) = ctx {
+            let span = ctx
+                .spans
+                .begin("reconfigure", ctx.trace, ctx.parent, ctx.at);
+            ctx.spans.attr(span, "device", device.0);
+            ctx.spans.attr(span, "blocks", image.blocks());
+            match &result {
+                Ok(id) => {
+                    let slots = self.slots_of(*id).expect("just configured");
+                    let first = slots.first().copied().unwrap_or(0);
+                    ctx.spans.attr(span, "slot", first);
+                    ctx.spans.attr(span, "outcome", "configured");
+                    ctx.spans.set_lane(span, device.0 as u64 + 1, first as u64);
+                }
+                Err(e) => {
+                    ctx.spans.attr(span, "outcome", "failed");
+                    ctx.spans.attr(span, "error", e.label());
+                    ctx.spans
+                        .set_lane(span, device.0 as u64 + 1, vfpga_sim::CONTROL_TID);
+                }
+            }
+            ctx.spans.end(span, ctx.at);
+        }
+        result
+    }
+
+    /// The concrete slot indexes a live allocation occupies (ascending);
+    /// `None` for unknown or released ids.
+    pub fn slots_of(&self, id: AllocationId) -> Option<&[usize]> {
+        self.allocations.get(&id.0).map(|a| a.slots.as_slice())
     }
 
     /// Releases a previous configuration, freeing its slots.
@@ -305,6 +384,13 @@ impl LowLevelController {
             .remove(&id.0)
             .ok_or(HsError::UnknownAllocation(id.0))?;
         self.free_slots[alloc.device.0] += alloc.blocks;
+        for slot in alloc.slots {
+            // Eviction may have wiped the bitmap already (the allocation
+            // then no longer exists, so we cannot get here for it); a live
+            // release always clears exactly its own slots.
+            debug_assert!(self.occupied[alloc.device.0][slot], "slot freed twice");
+            self.occupied[alloc.device.0][slot] = false;
+        }
         self.stats.releases += 1;
         Ok(())
     }
@@ -530,6 +616,89 @@ mod tests {
         assert_eq!(a, run(42), "same seed, same fault stream");
         assert!(a.iter().any(|&ok| ok) && a.iter().any(|&ok| !ok));
         assert_ne!(a, run(43), "different seed should diverge");
+    }
+
+    #[test]
+    fn slot_bitmap_is_first_fit_and_reuses_released_slots() {
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        let img = image_for(&DeviceType::xcvu37p(), 100); // 1 slot
+        let a = ctl.configure(DeviceId(0), &img).unwrap();
+        let b = ctl.configure(DeviceId(0), &img).unwrap();
+        let c = ctl.configure(DeviceId(0), &img).unwrap();
+        assert_eq!(ctl.slots_of(a), Some(&[0][..]));
+        assert_eq!(ctl.slots_of(b), Some(&[1][..]));
+        assert_eq!(ctl.slots_of(c), Some(&[2][..]));
+        // Releasing the middle tenant frees slot 1; the next configure
+        // fills the hole (first fit), not the end of the device.
+        ctl.release(b).unwrap();
+        let d = ctl.configure(DeviceId(0), &img).unwrap();
+        assert_eq!(ctl.slots_of(d), Some(&[1][..]));
+        // A two-block image scatters across the lowest free slots.
+        let wide = image_for(&DeviceType::xcvu37p(), 1000);
+        assert!(wide.blocks() >= 2);
+        ctl.release(a).unwrap();
+        let e = ctl.configure(DeviceId(0), &wide).unwrap();
+        let slots = ctl.slots_of(e).unwrap();
+        assert_eq!(slots[0], 0, "hole at 0 must be reused first");
+        assert!(
+            slots.windows(2).all(|w| w[0] < w[1]),
+            "ascending: {slots:?}"
+        );
+        // Released/unknown ids have no slots.
+        assert_eq!(ctl.slots_of(b), None);
+        // Eviction clears the whole device bitmap: after recovery the first
+        // fit starts from slot 0 again.
+        ctl.evict_device(DeviceId(0));
+        ctl.recover_device(DeviceId(0));
+        let f = ctl.configure(DeviceId(0), &img).unwrap();
+        assert_eq!(ctl.slots_of(f), Some(&[0][..]));
+    }
+
+    #[test]
+    fn configure_spanned_records_outcome_and_lane() {
+        use vfpga_sim::{SimTime, SpanTracer, TraceId};
+        let cluster = Cluster::paper_cluster();
+        let mut ctl = LowLevelController::new(&cluster);
+        let img = image_for(&DeviceType::xcvu37p(), 100);
+        let mut spans = SpanTracer::new();
+        let at = SimTime::from_us(3.0);
+        let id = ctl
+            .configure_spanned(
+                DeviceId(0),
+                &img,
+                Some(SpanCtx {
+                    spans: &mut spans,
+                    trace: TraceId(5),
+                    parent: None,
+                    at,
+                }),
+            )
+            .unwrap();
+        let span = spans.span(vfpga_sim::SpanId(0));
+        assert_eq!(span.name, "reconfigure");
+        assert_eq!(span.trace, TraceId(5));
+        assert_eq!((span.begin, span.end), (at, Some(at)), "zero duration");
+        assert!(span.attr_is("outcome", "configured"));
+        let first = ctl.slots_of(id).unwrap()[0] as u64;
+        assert_eq!(span.lane, Some((1, first)), "fpga0 process, vblock thread");
+        // A failing configure records the error label on the control lane.
+        let err_ctx = SpanCtx {
+            spans: &mut spans,
+            trace: TraceId(6),
+            parent: None,
+            at,
+        };
+        assert!(ctl
+            .configure_spanned(DeviceId(3), &img, Some(err_ctx))
+            .is_err());
+        let span = spans.span(vfpga_sim::SpanId(1));
+        assert!(span.attr_is("outcome", "failed"));
+        assert!(span.attr_is("error", "device_type_mismatch"));
+        assert_eq!(span.lane, Some((4, vfpga_sim::CONTROL_TID)));
+        // `None` context traces nothing.
+        assert!(ctl.configure_spanned(DeviceId(0), &img, None).is_ok());
+        assert_eq!(spans.len(), 2);
     }
 
     #[test]

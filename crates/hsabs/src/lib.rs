@@ -88,6 +88,21 @@ pub enum HsError {
     TransientConfigureFailure(DeviceId),
 }
 
+impl HsError {
+    /// A short static label naming the variant, for span attributes and
+    /// metric names (no allocation, deterministic).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HsError::DoesNotFit { .. } => "does_not_fit",
+            HsError::InsufficientSlots { .. } => "insufficient_slots",
+            HsError::DeviceTypeMismatch { .. } => "device_type_mismatch",
+            HsError::UnknownAllocation(_) => "unknown_allocation",
+            HsError::DeviceFailed(_) => "device_failed",
+            HsError::TransientConfigureFailure(_) => "transient_configure_failure",
+        }
+    }
+}
+
 impl fmt::Display for HsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

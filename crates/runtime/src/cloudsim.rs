@@ -6,8 +6,8 @@ use std::collections::{HashMap, VecDeque};
 
 use vfpga_fabric::DeviceId;
 use vfpga_sim::{
-    EventQueue, FaultPlan, Json, MetricsRegistry, SimTime, Summary, ThroughputMeter, TimeSeries,
-    TraceEventKind, TraceRing,
+    CriticalPath, EventQueue, FaultPlan, Json, MetricsRegistry, SimTime, SpanId, SpanTracer,
+    Summary, ThroughputMeter, TimeSeries, TraceEventKind, TraceId, TraceRing,
 };
 use vfpga_workload::{RnnTask, TaskArrival};
 
@@ -140,6 +140,16 @@ pub struct CloudReport {
     pub metrics: MetricsRegistry,
     /// The most recent scheduler events (ring buffer).
     pub trace: TraceRing,
+    /// The causal span forest of the run: one `task` root per arrival with
+    /// contiguous phase children (`queue_wait`, `compute`, `migrate`) plus
+    /// nested control-plane markers (`deploy`, `reconfigure`, `backoff`,
+    /// `device_failure`). Export via
+    /// [`chrome_trace_events`](vfpga_sim::chrome_trace_events).
+    pub spans: SpanTracer,
+    /// Critical-path decomposition of every completed task's end-to-end
+    /// latency: per-task phase buckets that sum exactly to the total, with
+    /// the dominant phase at p50/p95/p99.
+    pub critical_path: CriticalPath,
 }
 
 impl CloudReport {
@@ -237,6 +247,8 @@ impl CloudReport {
                     .with("retained", self.trace.len())
                     .with("dropped", self.trace.dropped()),
             )
+            .with("spans", self.spans.len())
+            .with("critical_path", self.critical_path.to_json())
     }
 }
 
@@ -416,6 +428,18 @@ struct CloudSim<'a> {
     metrics: MetricsRegistry,
     m: Meters,
     trace: TraceRing,
+
+    /// The causal span forest. Per task the phase children of its root span
+    /// are kept *contiguous* — at any moment exactly one of `queue_wait`,
+    /// `compute`, or `migrate` is open — so the direct children partition
+    /// `[arrival, end]` and the critical-path buckets sum exactly.
+    spans: SpanTracer,
+    /// Each task's root `task` span; `None` once closed.
+    root_span: Vec<Option<SpanId>>,
+    /// Each task's currently open phase child.
+    phase_span: Vec<Option<SpanId>>,
+    /// An open `backoff` span (nested in `migrate`) awaiting its retry.
+    backoff_span: Vec<Option<SpanId>>,
 }
 
 impl<'a> CloudSim<'a> {
@@ -489,6 +513,47 @@ impl<'a> CloudSim<'a> {
             metrics,
             m,
             trace: TraceRing::new(trace_capacity),
+            spans: SpanTracer::new(),
+            root_span: vec![None; n],
+            phase_span: vec![None; n],
+            backoff_span: vec![None; n],
+        }
+    }
+
+    /// Closes the task's open phase child (if any) at `now`, keeping the
+    /// phase partition contiguous.
+    fn close_phase(&mut self, task_index: usize, now: SimTime) {
+        if let Some(span) = self.phase_span[task_index].take() {
+            self.spans.end(span, now);
+        }
+    }
+
+    /// Opens a new phase child under the task's root span.
+    fn open_phase(&mut self, task_index: usize, name: &'static str, now: SimTime) -> SpanId {
+        debug_assert!(self.phase_span[task_index].is_none(), "phase overlap");
+        let span = self.spans.begin(
+            name,
+            TraceId(task_index as u64),
+            self.root_span[task_index],
+            now,
+        );
+        self.phase_span[task_index] = Some(span);
+        span
+    }
+
+    /// Closes an open `backoff` span (the retry it was waiting for is now
+    /// happening, or the task moved on).
+    fn close_backoff(&mut self, task_index: usize, now: SimTime) {
+        if let Some(span) = self.backoff_span[task_index].take() {
+            self.spans.end(span, now);
+        }
+    }
+
+    /// Closes the task's root span with a final `outcome` attribute.
+    fn close_root(&mut self, task_index: usize, outcome: &'static str, now: SimTime) {
+        if let Some(span) = self.root_span[task_index].take() {
+            self.spans.attr(span, "outcome", outcome);
+            self.spans.end(span, now);
         }
     }
 
@@ -524,6 +589,11 @@ impl<'a> CloudSim<'a> {
                     self.metrics.inc(self.m.arrivals);
                     self.trace
                         .push(now, TraceEventKind::Arrival { task: i as u64 });
+                    let root = self.spans.begin("task", TraceId(i as u64), None, now);
+                    let instance = (self.instance_for)(&self.arrivals[i].task);
+                    self.spans.attr(root, "instance", instance);
+                    self.root_span[i] = Some(root);
+                    self.open_phase(i, "queue_wait", now);
                 }
                 Event::Completion { task_index, epoch } => {
                     if self.epoch[task_index] != epoch {
@@ -550,6 +620,9 @@ impl<'a> CloudSim<'a> {
                     epoch,
                     attempt,
                 } => {
+                    // The backoff this retry slept through is over either
+                    // way (stale retries close it too, so no span leaks).
+                    self.close_backoff(task_index, now);
                     if self.epoch[task_index] != epoch {
                         continue;
                     }
@@ -612,6 +685,8 @@ impl<'a> CloudSim<'a> {
                 task: task_index as u64,
             },
         );
+        self.close_phase(task_index, now);
+        self.close_root(task_index, "completed", now);
         self.last_completion = now;
         Ok(())
     }
@@ -625,7 +700,9 @@ impl<'a> CloudSim<'a> {
                 device: device as u64,
             },
         );
-        let interrupted = self.controller.handle_device_failure(DeviceId(device));
+        let interrupted =
+            self.controller
+                .handle_device_failure_spanned(DeviceId(device), &mut self.spans, now);
         for id in interrupted {
             let task_index = self
                 .task_of
@@ -645,6 +722,14 @@ impl<'a> CloudSim<'a> {
                     device: device as u64,
                 },
             );
+            // The compute phase was cut short; the migrate phase starts at
+            // the same instant so the partition stays gapless.
+            if let Some(span) = self.phase_span[task_index] {
+                self.spans.attr(span, "interrupted_by", device);
+            }
+            self.close_phase(task_index, now);
+            let migrate = self.open_phase(task_index, "migrate", now);
+            self.spans.attr(migrate, "device", device);
             // Immediate migration attempt; failures back off from here.
             // Migrating tasks get first claim on the capacity their
             // surviving units just freed, ahead of the admission queue.
@@ -663,7 +748,14 @@ impl<'a> CloudSim<'a> {
     ) -> Result<(), RuntimeError> {
         let task = self.arrivals[task_index].task;
         let name = (self.instance_for)(&task);
-        match self.controller.try_deploy_explained(&name)? {
+        let outcome = self.controller.try_deploy_spanned(
+            &name,
+            &mut self.spans,
+            TraceId(task_index as u64),
+            self.phase_span[task_index],
+            now,
+        )?;
+        match outcome {
             Ok(deployment) => {
                 self.complete_recovery(now, task_index, deployment);
             }
@@ -672,6 +764,18 @@ impl<'a> CloudSim<'a> {
                 self.metrics.inc(self.m.rejects[reason.index()]);
                 if attempt < self.recovery.max_retries {
                     let delay = self.recovery.backoff(attempt);
+                    // The wait until the retry renders as a `backoff` span
+                    // nested in the migrate phase; `MigrationRetry` closes
+                    // it when it fires.
+                    let span = self.spans.begin(
+                        "backoff",
+                        TraceId(task_index as u64),
+                        self.phase_span[task_index],
+                        now,
+                    );
+                    self.spans.attr(span, "attempt", attempt);
+                    self.spans.attr(span, "delay_us", delay.as_us());
+                    self.backoff_span[task_index] = Some(span);
                     self.events.schedule(
                         now.checked_add(delay).unwrap_or(SimTime::MAX),
                         Event::MigrationRetry {
@@ -691,9 +795,21 @@ impl<'a> CloudSim<'a> {
                         self.lost += 1;
                         self.metrics.inc(self.m.lost);
                         self.interrupted_pending[task_index] = None;
+                        if let Some(span) = self.phase_span[task_index] {
+                            self.spans.attr(span, "outcome", "exhausted");
+                        }
+                        self.close_phase(task_index, now);
+                        self.close_root(task_index, "lost", now);
                     } else {
                         self.requeued += 1;
                         self.queue.push_back(task_index);
+                        // The task waits like a fresh arrival: the migrate
+                        // phase hands over to a new queue_wait phase.
+                        if let Some(span) = self.phase_span[task_index] {
+                            self.spans.attr(span, "outcome", "requeued");
+                        }
+                        self.close_phase(task_index, now);
+                        self.open_phase(task_index, "queue_wait", now);
                     }
                 }
             }
@@ -732,6 +848,21 @@ impl<'a> CloudSim<'a> {
     fn start_service(&mut self, now: SimTime, task_index: usize, deployment: Deployment) {
         let task = self.arrivals[task_index].task;
         let service = (self.service_time)(&task, &deployment);
+        // Whatever phase led here (queue_wait or migrate) ends now; the
+        // compute phase renders on the first unit's device/vblock lane so
+        // Perfetto shows which FPGA slots the task occupied.
+        self.close_phase(task_index, now);
+        let compute = self.open_phase(task_index, "compute", now);
+        self.spans.attr(compute, "units", deployment.num_units());
+        if let Some(p) = deployment.placements.first() {
+            let slot = self
+                .controller
+                .allocation_slots(p.allocation)
+                .and_then(|s| s.first().copied())
+                .unwrap_or(0);
+            self.spans
+                .set_lane(compute, p.device.0 as u64 + 1, slot as u64);
+        }
         self.deployed_at[task_index] = now;
         self.epoch[task_index] += 1;
         self.task_of.insert(deployment.id.0, task_index);
@@ -766,7 +897,14 @@ impl<'a> CloudSim<'a> {
                 let idx = self.queue[pos];
                 let task = self.arrivals[idx].task;
                 let name = (self.instance_for)(&task);
-                match self.controller.try_deploy_explained(&name)? {
+                let outcome = self.controller.try_deploy_spanned(
+                    &name,
+                    &mut self.spans,
+                    TraceId(idx as u64),
+                    self.phase_span[idx],
+                    now,
+                )?;
+                match outcome {
                     Ok(deployment) => {
                         *admitted_slot = true;
                         admitted.push((idx, deployment));
@@ -856,9 +994,20 @@ impl<'a> CloudSim<'a> {
         );
     }
 
-    fn finish(self) -> CloudReport {
+    fn finish(mut self) -> CloudReport {
         let elapsed = self.last_completion;
         let never_deployed = self.queue.len() as u64;
+        // Tasks stranded in the queue when the run drained never deployed:
+        // their queue_wait phase and root close at the final event time so
+        // every span in the forest is complete before export.
+        let last = self.last_event_at;
+        let stranded: Vec<usize> = self.queue.iter().copied().collect();
+        for idx in stranded {
+            self.close_phase(idx, last);
+            self.close_root(idx, "never_deployed", last);
+        }
+        debug_assert_eq!(self.spans.open_count(), 0, "span leaked past the run");
+        let critical_path = CriticalPath::analyze(&self.spans);
         let occupancy_series = self.metrics.gauge_series(self.m.occupancy).clone();
         let queue_depth_series = self.metrics.gauge_series(self.m.depth).clone();
         let degraded_secs = self.degraded_time.as_secs();
@@ -895,6 +1044,8 @@ impl<'a> CloudSim<'a> {
             queue_depth_series,
             metrics: self.metrics,
             trace: self.trace,
+            spans: self.spans,
+            critical_path,
         };
         debug_assert!(
             report.accounts_for_all_arrivals(),
@@ -1232,6 +1383,95 @@ mod tests {
                 assert!(labels.contains("retry_exhausted"), "{labels:?}");
             }
         }
+    }
+
+    #[test]
+    fn spans_partition_latency_and_critical_path_reports() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let a = arrivals(60, 10.0);
+        let plan = chaos_plan(2024);
+        let report = run_cloud_sim_faulted(
+            &mut c,
+            &a,
+            &|_| "tiny".to_string(),
+            &fixed_service,
+            &plan,
+            RecoveryPolicy::default(),
+            DEFAULT_TRACE_CAPACITY,
+        )
+        .unwrap();
+        // Every span closed; roots cover every arrival.
+        assert_eq!(report.spans.open_count(), 0);
+        let roots: Vec<_> = report
+            .spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == "task")
+            .collect();
+        assert_eq!(roots.len(), 60);
+        // Phase buckets sum *exactly* (in integer picoseconds) to each
+        // completed task's end-to-end latency.
+        let cp = &report.critical_path;
+        assert_eq!(cp.tasks.len(), report.completed as usize);
+        for task in &cp.tasks {
+            assert_eq!(task.phase_sum(), task.total, "buckets must partition");
+        }
+        // The dominant-phase percentiles exist and name real phases.
+        let p99 = cp.quantile_task(0.99).expect("tasks completed");
+        assert!(["queue_wait", "compute", "migrate"].contains(&p99.dominant().0));
+        // The chaos run migrated tasks: some task carries a migrate bucket.
+        assert!(report.migrated > 0);
+        assert!(
+            cp.tasks
+                .iter()
+                .any(|t| t.phases.iter().any(|(n, _)| *n == "migrate")),
+            "a migrated task should expose a migrate bucket"
+        );
+        // Spans mention the control-plane machinery too.
+        let names: std::collections::BTreeSet<&str> =
+            report.spans.spans().iter().map(|s| s.name).collect();
+        for expect in ["deploy", "reconfigure", "device_failure"] {
+            assert!(names.contains(expect), "missing {expect} in {names:?}");
+        }
+        // The report JSON carries the critical-path section.
+        let json = report.to_json().compact();
+        assert!(json.contains(r#""critical_path""#), "{json}");
+        assert!(json.contains(r#""completed_tasks":"#), "{json}");
+    }
+
+    #[test]
+    fn never_deployed_tasks_close_their_spans() {
+        let (cluster, db) = small_db();
+        let big = db.entry("big").unwrap();
+        let multi_only: Vec<_> = big
+            .options
+            .iter()
+            .filter(|o| o.num_units() > 1)
+            .cloned()
+            .collect();
+        let mut db2 = MappingDatabase::new();
+        db2.register_entry(MappingEntry {
+            name: "huge".to_string(),
+            options: multi_only,
+            total_resources: big.total_resources,
+            compile_seconds: big.compile_seconds,
+        });
+        let mut c = SystemController::new(cluster, db2, Policy::Baseline);
+        let a = arrivals(10, 1.0);
+        let report = run_cloud_sim(&mut c, &a, &|_| "huge".to_string(), &fixed_service).unwrap();
+        assert_eq!(report.never_deployed, 10);
+        assert_eq!(report.spans.open_count(), 0);
+        let outcomes = report
+            .spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == "task" && s.attr_is("outcome", "never_deployed"))
+            .count();
+        assert_eq!(outcomes, 10);
+        // Nothing completed, so the critical path is empty but well-formed.
+        assert!(report.critical_path.tasks.is_empty());
+        assert!(report.critical_path.quantile_task(0.5).is_none());
     }
 
     #[test]

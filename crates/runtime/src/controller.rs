@@ -7,6 +7,7 @@ use vfpga_fabric::{Cluster, DeviceId};
 use vfpga_hsabs::{
     AllocationId, DeviceHealth, HsError, LowLevelController, TransientFaultInjector,
 };
+use vfpga_sim::{SimTime, SpanCtx, SpanId, SpanTracer, TraceId, CONTROL_TID};
 
 use crate::RuntimeError;
 
@@ -277,6 +278,32 @@ impl SystemController {
     ///
     /// Idempotent: failing an already-failed device interrupts nothing.
     pub fn handle_device_failure(&mut self, device: DeviceId) -> Vec<DeploymentId> {
+        self.handle_device_failure_inner(device)
+    }
+
+    /// [`handle_device_failure`] with span tracing: the whole eviction is
+    /// recorded as a zero-duration `device_failure` control-plane span
+    /// ([`TraceId::NONE`], the failed device's `control` lane) carrying the
+    /// device id and the number of interrupted deployments — so Perfetto
+    /// shows failure-handling markers on each FPGA row.
+    ///
+    /// [`handle_device_failure`]: SystemController::handle_device_failure
+    pub fn handle_device_failure_spanned(
+        &mut self,
+        device: DeviceId,
+        spans: &mut SpanTracer,
+        at: SimTime,
+    ) -> Vec<DeploymentId> {
+        let span = spans.begin("device_failure", TraceId::NONE, None, at);
+        spans.set_lane(span, device.0 as u64 + 1, CONTROL_TID);
+        spans.attr(span, "device", device.0);
+        let interrupted = self.handle_device_failure_inner(device);
+        spans.attr(span, "interrupted", interrupted.len());
+        spans.end(span, at);
+        interrupted
+    }
+
+    fn handle_device_failure_inner(&mut self, device: DeviceId) -> Vec<DeploymentId> {
         let was_healthy = self.llc.device_health(device) == DeviceHealth::Healthy;
         let evicted = self.llc.evict_device(device);
         if was_healthy {
@@ -342,7 +369,7 @@ impl SystemController {
         &mut self,
         instance: &str,
     ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
-        let outcome = self.deploy_inner(instance)?;
+        let outcome = self.deploy_inner(instance, None)?;
         match &outcome {
             Ok(_) => self.stats.deploys += 1,
             Err(reason) => self.stats.rejects[reason.index()] += 1,
@@ -350,9 +377,62 @@ impl SystemController {
         Ok(outcome)
     }
 
+    /// [`try_deploy_explained`] with span tracing: the decision is recorded
+    /// as a zero-duration `deploy` span under `parent` (the task's root
+    /// span in the cloud simulator) carrying the instance name plus the
+    /// outcome — `deployed` with the unit count, or `rejected` with the
+    /// [`RejectReason`] label. Each partial-reconfiguration request the
+    /// commit issues nests as a `reconfigure` child on the target device's
+    /// lane, so one glance at Perfetto shows *which* FPGAs an admission
+    /// touched (including rolled-back attempts).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`try_deploy_explained`].
+    ///
+    /// [`try_deploy_explained`]: SystemController::try_deploy_explained
+    pub fn try_deploy_spanned(
+        &mut self,
+        instance: &str,
+        spans: &mut SpanTracer,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        at: SimTime,
+    ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
+        let span = spans.begin("deploy", trace, parent, at);
+        spans.attr(span, "instance", instance.to_string());
+        let outcome = self.deploy_inner(
+            instance,
+            Some(SpanCtx {
+                spans,
+                trace,
+                parent: Some(span),
+                at,
+            }),
+        );
+        match &outcome {
+            Ok(Ok(d)) => {
+                self.stats.deploys += 1;
+                spans.attr(span, "outcome", "deployed");
+                spans.attr(span, "units", d.num_units());
+            }
+            Ok(Err(reason)) => {
+                self.stats.rejects[reason.index()] += 1;
+                spans.attr(span, "outcome", "rejected");
+                spans.attr(span, "reason", reason.as_str());
+            }
+            Err(_) => {
+                spans.attr(span, "outcome", "error");
+            }
+        }
+        spans.end(span, at);
+        outcome
+    }
+
     fn deploy_inner(
         &mut self,
         instance: &str,
+        mut ctx: Option<SpanCtx<'_>>,
     ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
         let entry = self
             .db
@@ -363,7 +443,7 @@ impl SystemController {
         // Statically provisioned baseline: the task runs on whatever free
         // device's preinstalled accelerator, preferring a matching install.
         if self.policy == Policy::Baseline && self.provisioned.is_some() {
-            return self.deploy_provisioned(instance);
+            return self.deploy_provisioned(instance, ctx);
         }
 
         let mut any_policy_eligible = false;
@@ -381,7 +461,11 @@ impl SystemController {
             for (unit, &device) in option.units.iter().zip(&devices) {
                 let type_name = self.cluster.device(device).device_type().name();
                 let image = &unit.images[type_name];
-                let alloc = match self.llc.configure(device, image) {
+                let alloc = match self.llc.configure_spanned(
+                    device,
+                    image,
+                    ctx.as_mut().map(|c| c.reborrow()),
+                ) {
                     Ok(a) => a,
                     Err(e) => {
                         // Roll back anything configured so far.
@@ -443,6 +527,7 @@ impl SystemController {
     fn deploy_provisioned(
         &mut self,
         instance: &str,
+        ctx: Option<SpanCtx<'_>>,
     ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
         let prov = self
             .provisioned
@@ -472,7 +557,7 @@ impl SystemController {
             .expect("validated at provisioning");
         let dt = self.cluster.device(device).device_type().name();
         let image = &option.units[0].images[dt];
-        let alloc = match self.llc.configure(device, image) {
+        let alloc = match self.llc.configure_spanned(device, image, ctx) {
             Ok(a) => a,
             Err(HsError::TransientConfigureFailure(_)) => {
                 return Ok(Err(RejectReason::TransientFault))
@@ -592,6 +677,13 @@ impl SystemController {
         }
         self.stats.releases += 1;
         Ok(())
+    }
+
+    /// The concrete virtual-block slot indexes backing one allocation
+    /// (ascending); `None` once released or evicted. The trace exporter
+    /// uses the first slot as the deployment's `vblock` lane.
+    pub fn allocation_slots(&self, allocation: AllocationId) -> Option<&[usize]> {
+        self.llc.slots_of(allocation)
     }
 
     /// Cluster-wide virtual-block occupancy (0..=1).
@@ -836,6 +928,102 @@ mod tests {
         assert_eq!(c.live_deployments(), 0);
         c.enable_transient_faults(0.0, 0);
         assert!(c.try_deploy("tiny").unwrap().is_some());
+    }
+
+    #[test]
+    fn spanned_deploy_records_decision_and_reconfigures() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let mut spans = SpanTracer::new();
+        let at = SimTime::from_us(10.0);
+        let root = spans.begin("task", TraceId(0), None, SimTime::ZERO);
+        let d = c
+            .try_deploy_spanned("tiny", &mut spans, TraceId(0), Some(root), at)
+            .unwrap()
+            .unwrap();
+        // One deploy span with nested reconfigure children, all closed.
+        let deploy = spans
+            .spans()
+            .iter()
+            .find(|s| s.name == "deploy")
+            .expect("deploy span");
+        assert_eq!(deploy.parent, Some(root));
+        assert!(deploy.attr_is("outcome", "deployed"));
+        assert_eq!((deploy.begin, deploy.end), (at, Some(at)));
+        let reconfigures: Vec<_> = spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == "reconfigure")
+            .collect();
+        assert_eq!(reconfigures.len(), d.num_units());
+        for r in &reconfigures {
+            assert_eq!(r.parent, Some(deploy.id));
+            assert!(r.attr_is("outcome", "configured"));
+            assert!(r.lane.is_some(), "reconfigure pinned to a device lane");
+        }
+        assert_eq!(spans.open_count(), 1, "only the root stays open");
+        // The lane's thread id matches the allocation's first slot.
+        let first_slot = c.allocation_slots(d.placements[0].allocation).unwrap()[0];
+        assert_eq!(
+            reconfigures[0].lane,
+            Some((d.placements[0].device.0 as u64 + 1, first_slot as u64))
+        );
+        // A rejection records the reason label.
+        let mut held = vec![d];
+        loop {
+            match c
+                .try_deploy_spanned("big", &mut spans, TraceId(1), None, at)
+                .unwrap()
+            {
+                Ok(d) => held.push(d),
+                Err(_) => break,
+            }
+            assert!(held.len() < 100);
+        }
+        let rejected = spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == "deploy")
+            .last()
+            .unwrap();
+        assert!(rejected.attr_is("outcome", "rejected"));
+        assert!(rejected.attr_is("reason", "insufficient_capacity"));
+        // Stats agree with the unspanned path's accounting.
+        assert_eq!(c.stats().deploys, held.len() as u64);
+        assert_eq!(c.stats().rejects_for(RejectReason::InsufficientCapacity), 1);
+    }
+
+    #[test]
+    fn spanned_device_failure_records_interrupted_count() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let mut spans = SpanTracer::new();
+        let mut held = Vec::new();
+        loop {
+            let d = c.try_deploy("tiny").unwrap().expect("capacity");
+            let on_zero = d.placements.iter().any(|p| p.device == DeviceId(0));
+            held.push(d);
+            if on_zero {
+                break;
+            }
+            assert!(held.len() < 100);
+        }
+        let at = SimTime::from_us(25.0);
+        let interrupted = c.handle_device_failure_spanned(DeviceId(0), &mut spans, at);
+        assert!(!interrupted.is_empty());
+        let span = spans.span(vfpga_sim::SpanId(0));
+        assert_eq!(span.name, "device_failure");
+        assert_eq!(span.trace, TraceId::NONE);
+        assert_eq!(span.lane, Some((1, CONTROL_TID)));
+        assert!(matches!(
+            span.attr("device"),
+            Some(vfpga_sim::SpanValue::U64(0))
+        ));
+        assert!(matches!(
+            span.attr("interrupted"),
+            Some(vfpga_sim::SpanValue::U64(n)) if *n == interrupted.len() as u64
+        ));
+        assert_eq!(spans.open_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Exporters bridging the in-repo observability types to standard tooling:
+//! Chrome trace-event JSON (Perfetto / `chrome://tracing`) for span trees
+//! and Prometheus text exposition for [`MetricsRegistry`].
+//!
+//! Both exporters are deterministic: spans export in id order, metadata
+//! derives from sorted sets, and metrics export in registration order — so
+//! a fixed-seed simulation yields byte-identical artifacts, which CI pins
+//! with `cmp`.
+
+use std::collections::BTreeSet;
+
+use crate::json::Json;
+use crate::metrics::MetricsRegistry;
+use crate::span::{SpanTracer, TraceId};
+
+/// The scheduler pseudo-process: spans with no device lane (queue wait,
+/// compute, migration phases) render here, one thread row per task.
+pub const SCHEDULER_PID: u64 = 0;
+
+/// Thread id of control-plane rows (device-failure handling, offline
+/// compilation) on any process.
+pub const CONTROL_TID: u64 = u64::MAX;
+
+fn process_name(pid: u64) -> String {
+    if pid == SCHEDULER_PID {
+        "scheduler".to_string()
+    } else {
+        format!("fpga{}", pid - 1)
+    }
+}
+
+fn thread_name(pid: u64, tid: u64) -> String {
+    if tid == CONTROL_TID {
+        "control".to_string()
+    } else if pid == SCHEDULER_PID {
+        format!("task{tid}")
+    } else {
+        format!("vblock{tid}")
+    }
+}
+
+/// Converts span forests to a Chrome trace-event array (the `traceEvents`
+/// value), loadable in Perfetto or `chrome://tracing`.
+///
+/// * Every closed span becomes one complete (`ph: "X"`) event with `ts` and
+///   `dur` in microseconds of sim time.
+/// * Spans pinned to a device lane render under one *process per FPGA
+///   device* and one *thread per virtual block* (the slot their image
+///   occupies); unpinned spans render under the `scheduler` process, one
+///   thread per task, so each task reads as a timeline row.
+/// * Metadata (`ph: "M"`) events naming every process and thread come
+///   first, derived from a sorted set for determinism.
+///
+/// Several tracers concatenate into one timeline (e.g. the offline
+/// compilation flow plus the cloud run).
+pub fn chrome_trace_events(tracers: &[&SpanTracer]) -> Json {
+    let mut lanes: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for tracer in tracers {
+        for span in tracer.spans() {
+            lanes.insert(lane_of(span));
+        }
+    }
+    let mut events: Vec<Json> = Vec::new();
+    let mut named_pids: BTreeSet<u64> = BTreeSet::new();
+    for &(pid, tid) in &lanes {
+        if named_pids.insert(pid) {
+            events.push(
+                Json::obj()
+                    .with("ph", "M")
+                    .with("name", "process_name")
+                    .with("pid", pid)
+                    .with("tid", 0u64)
+                    .with("args", Json::obj().with("name", process_name(pid))),
+            );
+        }
+        events.push(
+            Json::obj()
+                .with("ph", "M")
+                .with("name", "thread_name")
+                .with("pid", pid)
+                .with("tid", tid)
+                .with("args", Json::obj().with("name", thread_name(pid, tid))),
+        );
+    }
+    for tracer in tracers {
+        for span in tracer.spans() {
+            let Some(end) = span.end else {
+                // Open spans have no duration; the simulators close
+                // everything before export, so skipping loses nothing.
+                continue;
+            };
+            let (pid, tid) = lane_of(span);
+            let mut args = Json::obj();
+            if span.trace != TraceId::NONE {
+                args = args.with("trace", span.trace.0);
+            }
+            for (key, value) in &span.attrs {
+                args = args.with(key, value.to_json());
+            }
+            events.push(
+                Json::obj()
+                    .with("ph", "X")
+                    .with("name", span.name)
+                    .with("pid", pid)
+                    .with("tid", tid)
+                    .with("ts", span.begin.as_us())
+                    .with("dur", end.saturating_sub(span.begin).as_us())
+                    .with("args", args),
+            );
+        }
+    }
+    Json::Arr(events)
+}
+
+fn lane_of(span: &crate::span::Span) -> (u64, u64) {
+    match span.lane {
+        Some(lane) => lane,
+        None => (SCHEDULER_PID, span.trace.0),
+    }
+}
+
+/// Sanitizes a metric name to the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character maps to `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn fmt(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders a registry in the Prometheus text exposition format: counters
+/// as `counter`, gauges as `gauge` (last observed value), timers as
+/// `summary` with p50/p95/p99 quantiles plus `_sum`/`_count`. Names are
+/// sanitized (`rejected.no_free_device` → `rejected_no_free_device`) and
+/// emitted in registration order, so the exposition is deterministic.
+pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, series) in metrics.gauges() {
+        let name = sanitize(name);
+        let value = series.last().unwrap_or(0.0);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt(value)));
+    }
+    for (name, id) in metrics.timers() {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for q in [0.5, 0.95, 0.99] {
+            if let Some(v) = metrics.timer_quantile(id, q) {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", fmt(v)));
+            }
+        }
+        let summary = metrics.timer_summary(id);
+        out.push_str(&format!("{name}_sum {}\n", fmt(summary.sum())));
+        out.push_str(&format!("{name}_count {}\n", summary.count()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+    use crate::time::SimTime;
+
+    fn sample_tracer() -> SpanTracer {
+        let mut s = SpanTracer::new();
+        let root = s.begin("task", TraceId(0), None, SimTime::ZERO);
+        let w = s.begin("queue_wait", TraceId(0), Some(root), SimTime::ZERO);
+        s.end(w, SimTime::from_us(2.0));
+        let r = s.begin("reconfigure", TraceId(0), Some(root), SimTime::from_us(2.0));
+        s.set_lane(r, 1, 3);
+        s.attr(r, "device", 0u64);
+        s.end(r, SimTime::from_us(2.0));
+        let c = s.begin("compute", TraceId(0), Some(root), SimTime::from_us(2.0));
+        s.end(c, SimTime::from_us(9.0));
+        s.attr(root, "outcome", "completed");
+        s.end(root, SimTime::from_us(9.0));
+        s
+    }
+
+    #[test]
+    fn chrome_export_names_processes_and_threads() {
+        let s = sample_tracer();
+        let text = chrome_trace_events(&[&s]).compact();
+        assert!(text.contains(r#""name":"scheduler""#), "{text}");
+        assert!(text.contains(r#""name":"fpga0""#), "{text}");
+        assert!(text.contains(r#""name":"task0""#), "{text}");
+        assert!(text.contains(r#""name":"vblock3""#), "{text}");
+        assert!(text.contains(r#""ph":"X""#), "{text}");
+        // queue_wait: ts 0, dur 2us, on the scheduler lane.
+        assert!(text.contains(r#""name":"queue_wait""#), "{text}");
+        assert!(text.contains(r#""dur":2"#), "{text}");
+        // The parsed array alternates well-formed objects.
+        let doc = Json::parse(&text).unwrap();
+        let Json::Arr(events) = doc else {
+            panic!("expected array")
+        };
+        assert!(
+            events.len() >= 7,
+            "metadata + 4 spans, got {}",
+            events.len()
+        );
+        for e in &events {
+            assert!(e.field("ph").is_some());
+            assert!(e.field("pid").is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_export_skips_open_spans_and_merges_tracers() {
+        let a = sample_tracer();
+        let mut b = SpanTracer::new();
+        let open = b.begin("decompose", TraceId::NONE, None, SimTime::ZERO);
+        let _ = open;
+        let text = chrome_trace_events(&[&a, &b]).compact();
+        assert!(!text.contains(r#""name":"decompose""#), "{text}");
+        let mut c = SpanTracer::new();
+        let d = c.begin("decompose", TraceId::NONE, None, SimTime::ZERO);
+        c.end(d, SimTime::ZERO);
+        let text = chrome_trace_events(&[&a, &c]).compact();
+        assert!(text.contains(r#""name":"decompose""#), "{text}");
+        // Control-plane spans (TraceId::NONE) land on the control thread.
+        assert!(text.contains(r#""name":"control""#), "{text}");
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic() {
+        let s = sample_tracer();
+        assert_eq!(
+            chrome_trace_events(&[&s]).pretty(),
+            chrome_trace_events(&[&s]).pretty()
+        );
+    }
+
+    #[test]
+    fn lane_defaults_to_scheduler_per_task() {
+        let mut s = SpanTracer::new();
+        let id = s.begin("task", TraceId(7), None, SimTime::ZERO);
+        s.end(id, SimTime::ZERO);
+        assert_eq!(lane_of(s.span(SpanId(0))), (SCHEDULER_PID, 7));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("rejected.no_free_device");
+        m.add(c, 3);
+        let g = m.gauge("occupancy");
+        m.set_gauge(g, SimTime::ZERO, 0.25);
+        let t = m.timer("latency_s");
+        for i in 1..=100 {
+            m.record_timer(t, i as f64);
+        }
+        let text = prometheus_text(&m);
+        assert!(
+            text.contains("# TYPE rejected_no_free_device counter\nrejected_no_free_device 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE occupancy gauge\noccupancy 0.25\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE latency_s summary\n"), "{text}");
+        assert!(text.contains("latency_s{quantile=\"0.5\"} 50\n"), "{text}");
+        assert!(text.contains("latency_s{quantile=\"0.99\"} 99\n"), "{text}");
+        assert!(text.contains("latency_s_sum 5050\n"), "{text}");
+        assert!(text.contains("latency_s_count 100\n"), "{text}");
+        // Deterministic.
+        assert_eq!(text, prometheus_text(&m));
+    }
+
+    #[test]
+    fn prometheus_skips_quantiles_of_empty_timers() {
+        let mut m = MetricsRegistry::new();
+        m.timer("ttr_s");
+        let text = prometheus_text(&m);
+        assert!(!text.contains("quantile"), "{text}");
+        assert!(text.contains("ttr_s_count 0\n"), "{text}");
+    }
+
+    #[test]
+    fn sanitize_maps_invalid_chars() {
+        assert_eq!(
+            sanitize("rejected.policy_excluded"),
+            "rejected_policy_excluded"
+        );
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+}

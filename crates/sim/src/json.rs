@@ -316,13 +316,24 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar (the input came from &str, so
-                // boundaries are valid).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
-                out.push(c);
-                *pos += c.len_utf8();
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Consume one multi-byte UTF-8 scalar. Decode only the
+                // scalar's own bytes — validating the whole remaining
+                // input per character would make parsing quadratic.
+                let width = match b {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return Err(format!("invalid utf-8 lead byte at {}", *pos)),
+                };
+                let chunk = bytes.get(*pos..*pos + width).ok_or("unterminated string")?;
+                let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+                out.push(s.chars().next().ok_or("unterminated string")?);
+                *pos += width;
             }
         }
     }

@@ -26,21 +26,25 @@
 //! ```
 
 mod engine;
+mod export;
 mod fault;
 mod json;
 mod link;
 mod metrics;
 mod rng;
+mod span;
 mod stats;
 mod time;
 mod trace;
 
 pub use engine::EventQueue;
+pub use export::{chrome_trace_events, prometheus_text, CONTROL_TID, SCHEDULER_PID};
 pub use fault::{FaultEvent, FaultPlan, FaultPlanParams};
 pub use json::Json;
 pub use link::{Link, LinkParams};
 pub use metrics::{CounterId, GaugeId, MetricsRegistry, TimeSeries, TimerId};
 pub use rng::Rng;
+pub use span::{CriticalPath, PhaseBuckets, Span, SpanCtx, SpanId, SpanTracer, SpanValue, TraceId};
 pub use stats::{Histogram, Summary, ThroughputMeter};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceEventKind, TraceRing};

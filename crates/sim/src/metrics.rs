@@ -264,6 +264,34 @@ impl MetricsRegistry {
         self.timers[id.0].quantile(q)
     }
 
+    /// Iterates registered counters as `(name, value)` in registration
+    /// order (the exporters rely on this order being deterministic).
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.counters.iter().copied())
+    }
+
+    /// Iterates registered gauges as `(name, series)` in registration
+    /// order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.gauge_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.gauges.iter())
+    }
+
+    /// Iterates registered timers as `(name, id)` in registration order;
+    /// resolve summaries/quantiles through the id.
+    pub fn timers(&self) -> impl Iterator<Item = (&str, TimerId)> {
+        self.timer_names
+            .iter()
+            .map(String::as_str)
+            .enumerate()
+            .map(|(i, name)| (name, TimerId(i)))
+    }
+
     /// Serializes every metric: counters as numbers, gauges as time
     /// series, timers as `{count, mean, p50, p95, p99, min, max}`.
     pub fn to_json(&self) -> Json {
@@ -309,6 +337,44 @@ mod tests {
         m.inc(a);
         m.add(b, 4);
         assert_eq!(m.counter_value(a), 5);
+    }
+
+    #[test]
+    fn gauge_and_timer_registration_is_idempotent_by_name() {
+        // Regression: re-registering an existing name must return the
+        // existing handle for every metric kind — never a duplicate slot —
+        // so independent components share a metric safely.
+        let mut m = MetricsRegistry::new();
+        let g1 = m.gauge("occupancy");
+        let t1 = m.timer("latency_s");
+        let g2 = m.gauge("occupancy");
+        let t2 = m.timer("latency_s");
+        assert_eq!(g1, g2);
+        assert_eq!(t1, t2);
+        // Writes through either handle land in the same slot.
+        m.set_gauge(g1, SimTime::ZERO, 1.0);
+        m.set_gauge(g2, SimTime::from_us(1.0), 2.0);
+        assert_eq!(m.gauge_series(g1).samples().len(), 2);
+        m.record_timer(t1, 1.0);
+        m.record_timer(t2, 3.0);
+        assert_eq!(m.timer_summary(t1).count(), 2);
+        // Distinct names still get distinct slots, and the registry holds
+        // exactly one entry per name.
+        assert_ne!(m.gauge("depth"), g1);
+        assert_eq!(m.gauges().count(), 2);
+        assert_eq!(m.timers().count(), 1);
+        assert_eq!(m.counters().count(), 0);
+    }
+
+    #[test]
+    fn iteration_preserves_registration_order() {
+        let mut m = MetricsRegistry::new();
+        m.counter("b");
+        m.counter("a");
+        let names: Vec<&str> = m.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["b", "a"]);
+        let (name, id) = m.timers().next().unwrap_or(("none", TimerId(0)));
+        assert_eq!((name, id.0), ("none", 0));
     }
 
     #[test]

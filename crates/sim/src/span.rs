@@ -1,0 +1,604 @@
+//! Hierarchical span tracing: causal, sim-time-stamped latency attribution.
+//!
+//! The flat [`TraceRing`](crate::TraceRing) answers *what happened*; spans
+//! answer *where a task's time went*. A [`SpanTracer`] records a forest of
+//! begin/end intervals: each span carries the sim-time it covers, an
+//! optional parent (establishing causality), a [`TraceId`] correlating it
+//! with the task it serves, and key=value attributes. Ids are dense indexes
+//! assigned in begin order, so two runs of a deterministic simulation
+//! produce byte-identical span trees — the property the trace artifact's
+//! `cmp` check in CI pins.
+//!
+//! On top of the tree, [`CriticalPath`] decomposes every completed task's
+//! end-to-end latency into its phase buckets (queue wait, compute,
+//! migration, ...). Phases are recorded contiguously in integer picoseconds,
+//! so the buckets sum *exactly* to the task's total latency — no float
+//! residue — and the dominant phase at the p50/p95/p99 latency quantiles
+//! falls out directly.
+//!
+//! ```
+//! use vfpga_sim::{SimTime, SpanTracer, TraceId};
+//!
+//! let mut spans = SpanTracer::new();
+//! let task = spans.begin("task", TraceId(0), None, SimTime::ZERO);
+//! let wait = spans.begin("queue_wait", TraceId(0), Some(task), SimTime::ZERO);
+//! spans.end(wait, SimTime::from_us(3.0));
+//! let compute = spans.begin("compute", TraceId(0), Some(task), SimTime::from_us(3.0));
+//! spans.end(compute, SimTime::from_us(10.0));
+//! spans.attr(task, "outcome", "completed");
+//! spans.end(task, SimTime::from_us(10.0));
+//! let cp = vfpga_sim::CriticalPath::analyze(&spans);
+//! assert_eq!(cp.tasks.len(), 1);
+//! assert_eq!(cp.tasks[0].dominant().0, "compute");
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::time::SimTime;
+
+/// Identifies one span within its [`SpanTracer`]: a dense index assigned in
+/// begin order (deterministic for a deterministic simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// Correlates spans serving the same task across layers. The cloud
+/// simulator uses the task's arrival index; control-plane work that serves
+/// no particular task uses [`TraceId::NONE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Control-plane spans not attributable to one task (device-failure
+    /// handling, offline compilation).
+    pub const NONE: TraceId = TraceId(u64::MAX);
+}
+
+/// One attribute value. `Str` covers the common static labels without
+/// allocating; `Text` carries dynamic strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanValue {
+    /// Unsigned integer attribute.
+    U64(u64),
+    /// Floating-point attribute.
+    F64(f64),
+    /// Static string attribute (no allocation).
+    Str(&'static str),
+    /// Owned string attribute.
+    Text(String),
+}
+
+impl From<u64> for SpanValue {
+    fn from(v: u64) -> Self {
+        SpanValue::U64(v)
+    }
+}
+
+impl From<usize> for SpanValue {
+    fn from(v: usize) -> Self {
+        SpanValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for SpanValue {
+    fn from(v: u32) -> Self {
+        SpanValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for SpanValue {
+    fn from(v: f64) -> Self {
+        SpanValue::F64(v)
+    }
+}
+
+impl From<&'static str> for SpanValue {
+    fn from(v: &'static str) -> Self {
+        SpanValue::Str(v)
+    }
+}
+
+impl From<String> for SpanValue {
+    fn from(v: String) -> Self {
+        SpanValue::Text(v)
+    }
+}
+
+impl SpanValue {
+    /// Serializes the value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            SpanValue::U64(v) => Json::from(*v),
+            SpanValue::F64(v) => Json::from(*v),
+            SpanValue::Str(v) => Json::from(*v),
+            SpanValue::Text(v) => Json::from(v.as_str()),
+        }
+    }
+}
+
+/// One recorded span: a named sim-time interval with causal links.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// This span's id (its index in the tracer).
+    pub id: SpanId,
+    /// The enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// The task this span serves ([`TraceId::NONE`] for control-plane
+    /// work).
+    pub trace: TraceId,
+    /// Phase name (`"queue_wait"`, `"deploy"`, `"reconfigure"`, ...).
+    pub name: &'static str,
+    /// When the span opened.
+    pub begin: SimTime,
+    /// When the span closed; `None` while still open.
+    pub end: Option<SimTime>,
+    /// Export lane override `(pid, tid)` for the Chrome trace exporter
+    /// (process = FPGA device, thread = virtual-block slot). Spans without
+    /// one land on the scheduler process, one row per task.
+    pub lane: Option<(u64, u64)>,
+    /// Key=value attributes in recording order.
+    pub attrs: Vec<(&'static str, SpanValue)>,
+}
+
+impl Span {
+    /// The span's duration; `None` while open.
+    pub fn duration(&self) -> Option<SimTime> {
+        self.end.map(|e| e.saturating_sub(self.begin))
+    }
+
+    /// First attribute recorded under `key`.
+    pub fn attr(&self, key: &str) -> Option<&SpanValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the span carries `key` = `value` (as a string attribute).
+    pub fn attr_is(&self, key: &str, value: &str) -> bool {
+        matches!(
+            self.attr(key),
+            Some(SpanValue::Str(s)) if *s == value
+        ) || matches!(self.attr(key), Some(SpanValue::Text(s)) if s == value)
+    }
+}
+
+/// Records a forest of spans with deterministic ids.
+///
+/// The tracer is append-only: `begin` pushes a span and returns its index,
+/// `end` closes it in place. Nothing is ever dropped — the cloud simulator
+/// produces O(events) spans, which the runs the harness drives keep
+/// comfortably bounded.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracer {
+    spans: Vec<Span>,
+    open: usize,
+}
+
+impl SpanTracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        SpanTracer::default()
+    }
+
+    /// Opens a span at `at`. `parent` must be an id this tracer issued.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `parent` is unknown or begins after `at` —
+    /// a child cannot causally precede its parent.
+    pub fn begin(
+        &mut self,
+        name: &'static str,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        at: SimTime,
+    ) -> SpanId {
+        if let Some(p) = parent {
+            debug_assert!(
+                (p.0 as usize) < self.spans.len(),
+                "parent span {p:?} was never issued"
+            );
+            debug_assert!(
+                self.spans[p.0 as usize].begin <= at,
+                "child at {at:?} precedes parent begin {:?}",
+                self.spans[p.0 as usize].begin
+            );
+        }
+        let id = SpanId(self.spans.len() as u64);
+        self.spans.push(Span {
+            id,
+            parent,
+            trace,
+            name,
+            begin: at,
+            end: None,
+            lane: None,
+            attrs: Vec::new(),
+        });
+        self.open += 1;
+        id
+    }
+
+    /// Closes a span at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is already closed or `at` precedes its begin.
+    pub fn end(&mut self, id: SpanId, at: SimTime) {
+        let span = &mut self.spans[id.0 as usize];
+        assert!(
+            span.end.is_none(),
+            "span {id:?} ({}) ended twice",
+            span.name
+        );
+        assert!(
+            at >= span.begin,
+            "span {id:?} ({}) ends at {at:?} before its begin {:?}",
+            span.name,
+            span.begin
+        );
+        span.end = Some(at);
+        self.open -= 1;
+    }
+
+    /// Records an attribute on a span (allowed before or after `end`).
+    pub fn attr(&mut self, id: SpanId, key: &'static str, value: impl Into<SpanValue>) {
+        self.spans[id.0 as usize].attrs.push((key, value.into()));
+    }
+
+    /// Pins a span to an export lane: Chrome-trace process `pid` (device)
+    /// and thread `tid` (virtual-block slot).
+    pub fn set_lane(&mut self, id: SpanId, pid: u64, tid: u64) {
+        self.spans[id.0 as usize].lane = Some((pid, tid));
+    }
+
+    /// Closes every still-open span at `at` (spans whose end never arrived,
+    /// e.g. tasks still queued when the simulation drained). Ends that
+    /// would precede a begin clamp to the begin.
+    pub fn end_all_open(&mut self, at: SimTime) {
+        for span in &mut self.spans {
+            if span.end.is_none() {
+                span.end = Some(at.max(span.begin));
+                self.open -= 1;
+            }
+        }
+    }
+
+    /// Number of spans recorded (open and closed).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans still open.
+    pub fn open_count(&self) -> usize {
+        self.open
+    }
+
+    /// All spans in id (begin) order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// One span by id.
+    pub fn span(&self, id: SpanId) -> &Span {
+        &self.spans[id.0 as usize]
+    }
+}
+
+/// One completed task's end-to-end latency, decomposed into phase buckets.
+///
+/// Buckets are the durations of the root span's direct children grouped by
+/// name, in integer picoseconds. Because the cloud simulator records phases
+/// contiguously (each phase opens the instant the previous one closes),
+/// the buckets sum exactly to the end-to-end latency.
+#[derive(Debug, Clone)]
+pub struct PhaseBuckets {
+    /// The task (trace) these buckets describe.
+    pub trace: TraceId,
+    /// End-to-end latency (root span duration).
+    pub total: SimTime,
+    /// `(phase name, summed duration)`, sorted by name.
+    pub phases: Vec<(&'static str, SimTime)>,
+}
+
+impl PhaseBuckets {
+    /// Sum of all buckets (equals [`total`](PhaseBuckets::total) when the
+    /// phases partition the root interval, which the property tests
+    /// assert).
+    pub fn phase_sum(&self) -> SimTime {
+        self.phases
+            .iter()
+            .fold(SimTime::ZERO, |acc, &(_, d)| acc + d)
+    }
+
+    /// The phase holding the most time (first by name on exact ties);
+    /// `("idle", total)` if the task recorded no phases at all.
+    pub fn dominant(&self) -> (&'static str, SimTime) {
+        let mut best: Option<(&'static str, SimTime)> = None;
+        for &(name, d) in &self.phases {
+            if best.is_none_or(|(_, bd)| d > bd) {
+                best = Some((name, d));
+            }
+        }
+        best.unwrap_or(("idle", self.total))
+    }
+
+    /// Serializes as `{total_s, dominant_phase, phases_s: {...}}`.
+    pub fn to_json(&self) -> Json {
+        let mut phases = Json::obj();
+        for &(name, d) in &self.phases {
+            phases = phases.with(name, d.as_secs());
+        }
+        Json::obj()
+            .with("trace", self.trace.0)
+            .with("total_s", self.total.as_secs())
+            .with("dominant_phase", self.dominant().0)
+            .with("phases_s", phases)
+    }
+}
+
+/// Critical-path profile over a span tree: one [`PhaseBuckets`] per
+/// *completed* task, plus quantile views.
+///
+/// A task is a root span (no parent) named `"task"` whose `outcome`
+/// attribute is `"completed"`; interrupted-then-lost and never-deployed
+/// tasks are excluded since they have no end-to-end latency to decompose.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Per-task buckets in ascending trace order.
+    pub tasks: Vec<PhaseBuckets>,
+}
+
+impl CriticalPath {
+    /// Builds the profile from a tracer's span forest.
+    pub fn analyze(spans: &SpanTracer) -> CriticalPath {
+        let mut tasks = Vec::new();
+        for root in spans.spans() {
+            if root.parent.is_some() || root.name != "task" {
+                continue;
+            }
+            let Some(end) = root.end else { continue };
+            if !root.attr_is("outcome", "completed") {
+                continue;
+            }
+            let mut buckets: BTreeMap<&'static str, SimTime> = BTreeMap::new();
+            for child in spans.spans() {
+                if child.parent != Some(root.id) {
+                    continue;
+                }
+                let d = child.duration().unwrap_or(SimTime::ZERO);
+                *buckets.entry(child.name).or_insert(SimTime::ZERO) += d;
+            }
+            tasks.push(PhaseBuckets {
+                trace: root.trace,
+                total: end.saturating_sub(root.begin),
+                phases: buckets.into_iter().collect(),
+            });
+        }
+        tasks.sort_by_key(|t| t.trace);
+        CriticalPath { tasks }
+    }
+
+    /// The task at latency quantile `q` (same rank rule as the metrics
+    /// timers: ceil(q*n), clamped); `None` if no task completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn quantile_task(&self, q: f64) -> Option<&PhaseBuckets> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.tasks.is_empty() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
+        // Ties break by trace id (the vec is already in trace order), so
+        // the pick is deterministic.
+        order.sort_by_key(|&i| (self.tasks[i].total, self.tasks[i].trace));
+        let rank = ((q * order.len() as f64).ceil() as usize).clamp(1, order.len());
+        Some(&self.tasks[order[rank - 1]])
+    }
+
+    /// Total time per phase across all completed tasks, sorted by name.
+    pub fn phase_totals(&self) -> Vec<(&'static str, SimTime)> {
+        let mut totals: BTreeMap<&'static str, SimTime> = BTreeMap::new();
+        for t in &self.tasks {
+            for &(name, d) in &t.phases {
+                *totals.entry(name).or_insert(SimTime::ZERO) += d;
+            }
+        }
+        totals.into_iter().collect()
+    }
+
+    /// Serializes the profile: task count, cross-task phase totals, and
+    /// the p50/p95/p99 task breakdowns.
+    pub fn to_json(&self) -> Json {
+        let mut totals = Json::obj();
+        for (name, d) in self.phase_totals() {
+            totals = totals.with(name, d.as_secs());
+        }
+        let quantile = |q: f64| match self.quantile_task(q) {
+            Some(t) => t.to_json(),
+            None => Json::Null,
+        };
+        Json::obj()
+            .with("completed_tasks", self.tasks.len())
+            .with("phase_totals_s", totals)
+            .with("p50", quantile(0.50))
+            .with("p95", quantile(0.95))
+            .with("p99", quantile(0.99))
+    }
+}
+
+/// Borrowed span context threaded through layer boundaries: the tracer plus
+/// the trace/parent/time a callee should attach its spans to. Layers that
+/// can be called both traced and untraced take an `Option<SpanCtx>`.
+#[derive(Debug)]
+pub struct SpanCtx<'a> {
+    /// The tracer recording the run.
+    pub spans: &'a mut SpanTracer,
+    /// The task being served.
+    pub trace: TraceId,
+    /// The span the callee's spans nest under.
+    pub parent: Option<SpanId>,
+    /// The sim time of the enclosing operation (layer calls are
+    /// instantaneous in sim time; their spans are zero-duration markers).
+    pub at: SimTime,
+}
+
+impl SpanCtx<'_> {
+    /// Reborrows the context for a nested call without consuming it.
+    pub fn reborrow(&mut self) -> SpanCtx<'_> {
+        SpanCtx {
+            spans: self.spans,
+            trace: self.trace,
+            parent: self.parent,
+            at: self.at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_ids_are_dense() {
+        let mut s = SpanTracer::new();
+        let root = s.begin("task", TraceId(3), None, SimTime::from_us(1.0));
+        let child = s.begin("queue_wait", TraceId(3), Some(root), SimTime::from_us(1.0));
+        assert_eq!(root, SpanId(0));
+        assert_eq!(child, SpanId(1));
+        assert_eq!(s.open_count(), 2);
+        s.end(child, SimTime::from_us(4.0));
+        s.end(root, SimTime::from_us(4.0));
+        assert_eq!(s.open_count(), 0);
+        assert_eq!(s.span(child).parent, Some(root));
+        assert_eq!(s.span(child).duration(), Some(SimTime::from_us(3.0)));
+        assert_eq!(s.span(root).trace, TraceId(3));
+    }
+
+    #[test]
+    fn attrs_record_in_order_and_lookup_first() {
+        let mut s = SpanTracer::new();
+        let id = s.begin("deploy", TraceId(0), None, SimTime::ZERO);
+        s.attr(id, "outcome", "rejected");
+        s.attr(id, "units", 4u64);
+        s.attr(id, "share", 0.5);
+        s.end(id, SimTime::ZERO);
+        let span = s.span(id);
+        assert!(span.attr_is("outcome", "rejected"));
+        assert_eq!(span.attr("units"), Some(&SpanValue::U64(4)));
+        assert_eq!(span.attr("share"), Some(&SpanValue::F64(0.5)));
+        assert_eq!(span.attr("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ended twice")]
+    fn double_end_panics() {
+        let mut s = SpanTracer::new();
+        let id = s.begin("x", TraceId(0), None, SimTime::ZERO);
+        s.end(id, SimTime::ZERO);
+        s.end(id, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "before its begin")]
+    fn end_before_begin_panics() {
+        let mut s = SpanTracer::new();
+        let id = s.begin("x", TraceId(0), None, SimTime::from_us(2.0));
+        s.end(id, SimTime::from_us(1.0));
+    }
+
+    #[test]
+    fn end_all_open_closes_leftovers() {
+        let mut s = SpanTracer::new();
+        let a = s.begin("task", TraceId(0), None, SimTime::ZERO);
+        let b = s.begin("queue_wait", TraceId(0), Some(a), SimTime::from_us(1.0));
+        s.end_all_open(SimTime::from_us(5.0));
+        assert_eq!(s.open_count(), 0);
+        assert_eq!(s.span(a).end, Some(SimTime::from_us(5.0)));
+        assert_eq!(s.span(b).end, Some(SimTime::from_us(5.0)));
+        // Idempotent.
+        s.end_all_open(SimTime::from_us(9.0));
+        assert_eq!(s.span(a).end, Some(SimTime::from_us(5.0)));
+    }
+
+    fn completed_task(
+        s: &mut SpanTracer,
+        trace: u64,
+        at_us: f64,
+        wait_us: f64,
+        compute_us: f64,
+    ) -> SpanId {
+        let t0 = SimTime::from_us(at_us);
+        let t1 = SimTime::from_us(at_us + wait_us);
+        let t2 = SimTime::from_us(at_us + wait_us + compute_us);
+        let root = s.begin("task", TraceId(trace), None, t0);
+        let w = s.begin("queue_wait", TraceId(trace), Some(root), t0);
+        s.end(w, t1);
+        let c = s.begin("compute", TraceId(trace), Some(root), t1);
+        s.end(c, t2);
+        s.attr(root, "outcome", "completed");
+        s.end(root, t2);
+        root
+    }
+
+    #[test]
+    fn critical_path_buckets_sum_exactly() {
+        let mut s = SpanTracer::new();
+        completed_task(&mut s, 0, 0.0, 3.0, 7.0);
+        completed_task(&mut s, 1, 5.0, 0.0, 20.0);
+        // An incomplete task must be excluded.
+        let lost = s.begin("task", TraceId(2), None, SimTime::ZERO);
+        s.attr(lost, "outcome", "lost");
+        s.end(lost, SimTime::from_us(1.0));
+        let cp = CriticalPath::analyze(&s);
+        assert_eq!(cp.tasks.len(), 2);
+        for t in &cp.tasks {
+            assert_eq!(t.phase_sum(), t.total, "buckets must sum exactly");
+        }
+        assert_eq!(cp.tasks[0].total, SimTime::from_us(10.0));
+        assert_eq!(cp.tasks[0].dominant().0, "compute");
+        // p50 is the faster task, p99 the slower one.
+        assert_eq!(cp.quantile_task(0.50).unwrap().trace, TraceId(0));
+        assert_eq!(cp.quantile_task(0.99).unwrap().trace, TraceId(1));
+        let totals = cp.phase_totals();
+        assert_eq!(
+            totals,
+            vec![
+                ("compute", SimTime::from_us(27.0)),
+                ("queue_wait", SimTime::from_us(3.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn critical_path_serializes_with_quantiles() {
+        let mut s = SpanTracer::new();
+        completed_task(&mut s, 0, 0.0, 1.0, 2.0);
+        let text = CriticalPath::analyze(&s).to_json().compact();
+        assert!(text.contains(r#""completed_tasks":1"#), "{text}");
+        assert!(text.contains(r#""dominant_phase":"compute""#), "{text}");
+        assert!(text.contains(r#""p99""#), "{text}");
+        let empty = CriticalPath::analyze(&SpanTracer::new())
+            .to_json()
+            .compact();
+        assert!(empty.contains(r#""p50":null"#), "{empty}");
+    }
+
+    #[test]
+    fn dominant_ties_break_by_name() {
+        let b = PhaseBuckets {
+            trace: TraceId(0),
+            total: SimTime::from_us(2.0),
+            phases: vec![
+                ("compute", SimTime::from_us(1.0)),
+                ("queue_wait", SimTime::from_us(1.0)),
+            ],
+        };
+        assert_eq!(b.dominant().0, "compute");
+    }
+}
