@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|chaos|trace|all] [--json PATH] [--seed N]
+//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|all] [--json PATH] [--seed N]
 //! ```
 //!
 //! Runs covering Fig. 11, Fig. 12, or the chaos scenario also write a
@@ -18,9 +18,17 @@
 //! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. A
 //! Prometheus text exposition of the run's metrics lands next to it as
 //! `.prom`. Both artifacts are byte-identical across same-seed runs.
+//!
+//! `bench` (not part of `all` either) runs the saturated-admission
+//! benchmark — the shipped fast path vs. the cache-and-gating-off
+//! baseline over identical 10k-task inputs — writes
+//! `target/BENCH_admission.json`, and exits non-zero if outcomes
+//! diverge, the probe reduction falls under 3x, or
+//! `deploy_attempts_per_admission` exceeds the checked-in ceiling.
 
 use vfpga_bench::{
-    ablations, catalog::Catalog, chaos, density, fig11, fig12, isolation, overhead, tables,
+    ablations, admission, catalog::Catalog, chaos, density, fig11, fig12, isolation, overhead,
+    tables,
 };
 use vfpga_sim::{chrome_trace_events, prometheus_text, Json, SimTime, SpanTracer};
 use vfpga_workload::fig11_tasks;
@@ -31,11 +39,24 @@ const DEFAULT_ARTIFACT: &str = "target/repro-metrics.json";
 /// Default location of the trace artifact (the `trace` experiment).
 const DEFAULT_TRACE_ARTIFACT: &str = "target/repro-trace.json";
 
+/// Default location of the admission-bench artifact (the `bench`
+/// experiment).
+const DEFAULT_BENCH_ARTIFACT: &str = "target/BENCH_admission.json";
+
+/// Regression ceiling on the bench's `deploy_attempts_per_admission`
+/// (worst scenario, shipped configuration). The current fast path lands
+/// well under this; `repro bench` (and CI's bench job) fails when a
+/// change pushes the admission hot loop back above it.
+const ATTEMPTS_PER_ADMISSION_CEILING: f64 = 8.0;
+
 /// Version of the metrics-artifact layout. Bump when the artifact's shape
 /// changes incompatibly (v1 was the unversioned PR-1 layout; v2 added this
 /// field and the chaos/recovery sections; v3 added span counts, the
-/// critical-path section, and the `trace` experiment's artifact).
-const ARTIFACT_SCHEMA_VERSION: u64 = 3;
+/// critical-path section, and the `trace` experiment's artifact; v4 split
+/// the report's `rejections` into attempt/distinct-task views, added the
+/// `requeue_wait_s` and recovery `redeployments` fields, and added the
+/// `bench` experiment's `BENCH_admission.json`).
+const ARTIFACT_SCHEMA_VERSION: u64 = 4;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -107,6 +128,15 @@ fn main() {
             .unwrap_or_else(|| DEFAULT_TRACE_ARTIFACT.to_string());
         print_trace(seed, &path);
     }
+    if which == "bench" {
+        // The admission bench is opt-in (not part of `all`): it runs the
+        // 10k-task saturated scenario four times and its artifact is a
+        // perf document, not a metrics one.
+        let path = json_path
+            .clone()
+            .unwrap_or_else(|| DEFAULT_BENCH_ARTIFACT.to_string());
+        print_bench(seed, &path);
+    }
     if !all
         && ![
             "table2",
@@ -120,11 +150,12 @@ fn main() {
             "isolation",
             "chaos",
             "trace",
+            "bench",
         ]
         .contains(&which.as_str())
     {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|all] [--json PATH] [--seed N]");
+        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|all] [--json PATH] [--seed N]");
         std::process::exit(2);
     }
     if !artifact.is_empty() {
@@ -445,6 +476,78 @@ fn print_trace(seed: u64, json_path: &str) {
     write_artifact(json_path, &text, "trace");
     let prom_path = format!("{}.prom", json_path.trim_end_matches(".json"));
     write_artifact(&prom_path, &prometheus_text(&r.metrics), "prometheus");
+    println!();
+}
+
+fn print_bench(seed: u64, json_path: &str) {
+    println!(
+        "== Bench: saturated admission, fast path vs pre-optimization baseline (seed {seed}) =="
+    );
+    let catalog = Catalog::build();
+    let config = admission::BenchConfig {
+        seed,
+        ..admission::BenchConfig::default()
+    };
+    let bench = admission::run(&catalog, &config);
+    for s in &bench.scenarios {
+        println!(
+            "{:<7} current:  {:>8} probes ({:>9} cache hits), {:>6.2} per admission, {:>9.1} ms wall",
+            s.name,
+            s.current.probes,
+            s.current.cache_hits,
+            s.current.attempts_per_admission(),
+            s.current.wall_ms
+        );
+        println!(
+            "{:<7} baseline: {:>8} probes ({:>9} cache hits), {:>6.2} per admission, {:>9.1} ms wall",
+            "",
+            s.baseline.probes,
+            s.baseline.cache_hits,
+            s.baseline.attempts_per_admission(),
+            s.baseline.wall_ms
+        );
+        println!(
+            "{:<7} ratio: {:.1}x fewer probes, {:.1}x wall-clock; outcomes match: {}",
+            "",
+            s.probe_ratio(),
+            s.wall_ratio(),
+            s.outcomes_match
+        );
+    }
+    // The bench is also the regression gate: fail loudly rather than
+    // writing an artifact that records a regression as if it were fine.
+    if !bench.outcomes_match() {
+        eprintln!("bench FAILED: fast path changed admission outcomes");
+        std::process::exit(1);
+    }
+    if bench.min_probe_ratio() < 3.0 {
+        eprintln!(
+            "bench FAILED: probe reduction {:.2}x is below the required 3x",
+            bench.min_probe_ratio()
+        );
+        std::process::exit(1);
+    }
+    let per_admission = bench.attempts_per_admission();
+    if per_admission > ATTEMPTS_PER_ADMISSION_CEILING {
+        eprintln!(
+            "bench FAILED: {per_admission:.2} deploy attempts per admission exceeds the ceiling {ATTEMPTS_PER_ADMISSION_CEILING}"
+        );
+        std::process::exit(1);
+    }
+    let root = Json::obj()
+        .with("schema_version", ARTIFACT_SCHEMA_VERSION)
+        .with("experiment", "bench")
+        .with(
+            "attempts_per_admission_ceiling",
+            ATTEMPTS_PER_ADMISSION_CEILING,
+        )
+        .with("bench", bench.to_json());
+    let text = root.pretty();
+    if let Err(e) = Json::parse(&text) {
+        eprintln!("bench artifact failed self-validation: {e:?}");
+        std::process::exit(1);
+    }
+    write_artifact(json_path, &text, "bench");
     println!();
 }
 

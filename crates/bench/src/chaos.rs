@@ -34,6 +34,12 @@ pub struct ChaosConfig {
     pub configure_failure_prob: f64,
     /// Migration retry/backoff policy.
     pub recovery: RecoveryPolicy,
+    /// Whether the controller's capacity-epoch feasibility cache is on
+    /// (the default). The cache replays capacity rejections, so a run is
+    /// byte-identical either way — the A/B determinism suite pins that —
+    /// and this knob exists exactly so that suite (and the admission
+    /// bench) can measure the uncached path.
+    pub feasibility_cache: bool,
 }
 
 impl Default for ChaosConfig {
@@ -45,6 +51,7 @@ impl Default for ChaosConfig {
             mttr: SimTime::from_ms(0.4),
             configure_failure_prob: 0.05,
             recovery: RecoveryPolicy::default(),
+            feasibility_cache: true,
         }
     }
 }
@@ -134,6 +141,7 @@ pub fn run(catalog: &Catalog, config: &ChaosConfig) -> ChaosReport {
     );
     let mut controller =
         SystemController::new(catalog.cluster.clone(), catalog.db.clone(), Policy::Full);
+    controller.set_feasibility_cache(config.feasibility_cache);
     let report = run_cloud_sim_faulted(
         &mut controller,
         &arrivals,

@@ -18,6 +18,7 @@
 //! [`harness`] module.
 
 pub mod ablations;
+pub mod admission;
 pub mod catalog;
 pub mod chaos;
 pub mod density;

@@ -1,6 +1,7 @@
 //! The mapping database the system controller searches at deployment time.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use vfpga_fabric::{DeviceType, ResourceVec};
 use vfpga_hsabs::{HsCompiler, VirtualBlockImage};
@@ -69,9 +70,14 @@ pub struct MappingEntry {
 
 /// The database of compiled mappings (Fig. 7): one entry per registered
 /// accelerator instance.
+///
+/// Entries are stored behind [`Arc`] so the deployment hot path can hold a
+/// cheap shared handle across a placement attempt instead of deep-cloning
+/// every option, unit, and image of the entry per attempt. Entries are
+/// immutable once registered (re-registration replaces the whole `Arc`).
 #[derive(Debug, Clone, Default)]
 pub struct MappingDatabase {
-    entries: BTreeMap<String, MappingEntry>,
+    entries: BTreeMap<String, Arc<MappingEntry>>,
 }
 
 impl MappingDatabase {
@@ -174,7 +180,7 @@ impl MappingDatabase {
             total_resources,
             compile_seconds,
         };
-        self.entries.insert(name.to_string(), entry);
+        self.entries.insert(name.to_string(), Arc::new(entry));
         Ok(&self.entries[name])
     }
 
@@ -183,17 +189,24 @@ impl MappingDatabase {
     /// the compile pipeline would not produce on its own (e.g. an instance
     /// offering only multi-FPGA deployment options).
     pub fn register_entry(&mut self, entry: MappingEntry) {
-        self.entries.insert(entry.name.clone(), entry);
+        self.entries.insert(entry.name.clone(), Arc::new(entry));
     }
 
     /// The entry for an instance, if registered.
     pub fn entry(&self, name: &str) -> Option<&MappingEntry> {
-        self.entries.get(name)
+        self.entries.get(name).map(|e| &**e)
+    }
+
+    /// A shared handle to the entry for an instance, if registered. This
+    /// is the deployment fast path: cloning the `Arc` is a refcount bump,
+    /// not a deep copy of every compiled image.
+    pub fn entry_shared(&self, name: &str) -> Option<Arc<MappingEntry>> {
+        self.entries.get(name).cloned()
     }
 
     /// Iterates over all entries in name order.
     pub fn iter(&self) -> impl Iterator<Item = &MappingEntry> {
-        self.entries.values()
+        self.entries.values().map(|e| &**e)
     }
 
     /// Number of registered instances.

@@ -116,6 +116,13 @@ pub struct LowLevelController {
     next_id: u64,
     stats: LlcStats,
     injector: Option<TransientFaultInjector>,
+    /// Bumped on every operation that can *increase* free capacity
+    /// somewhere (release, eviction, recovery). Successful configures do
+    /// not bump it: they only shrink capacity, so any placement that was
+    /// infeasible before a configure is still infeasible after it. Upper
+    /// layers key feasibility caches on this value — a cached capacity
+    /// rejection stays valid exactly as long as the epoch is unchanged.
+    capacity_epoch: u64,
 }
 
 impl LowLevelController {
@@ -139,7 +146,18 @@ impl LowLevelController {
             next_id: 0,
             stats: LlcStats::default(),
             injector: None,
+            capacity_epoch: 0,
         }
+    }
+
+    /// The current capacity epoch: a counter bumped by every release,
+    /// eviction, and recovery — the operations after which a previously
+    /// infeasible placement may have become feasible. While the epoch is
+    /// unchanged, free capacity can only have shrunk (configures never
+    /// bump it), so capacity-based rejections observed at this epoch
+    /// remain valid.
+    pub fn capacity_epoch(&self) -> u64 {
+        self.capacity_epoch
     }
 
     /// Installs (or clears) the transient configure-failure injector.
@@ -188,6 +206,10 @@ impl LowLevelController {
         }
         self.health[device.0] = DeviceHealth::Failed;
         self.stats.device_failures += 1;
+        // Eviction invalidates allocation ids upper layers may still hold
+        // (and therefore their capacity bookkeeping), so it opens a new
+        // epoch even though the failed device itself reports zero slots.
+        self.capacity_epoch += 1;
         let mut evicted: Vec<AllocationId> = Vec::new();
         self.allocations.retain(|id, a| {
             if a.device == device {
@@ -214,6 +236,7 @@ impl LowLevelController {
         if self.health[device.0] == DeviceHealth::Failed {
             self.health[device.0] = DeviceHealth::Healthy;
             self.stats.device_recoveries += 1;
+            self.capacity_epoch += 1;
             debug_assert_eq!(
                 self.allocations_on(device),
                 0,
@@ -392,6 +415,7 @@ impl LowLevelController {
             self.occupied[alloc.device.0][slot] = false;
         }
         self.stats.releases += 1;
+        self.capacity_epoch += 1;
         Ok(())
     }
 

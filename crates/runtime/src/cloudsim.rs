@@ -19,6 +19,42 @@ use crate::RuntimeError;
 /// evictions while bounding memory for longer runs.
 pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
 
+/// How many queued tasks one admission wave scans. Bounded so a deep
+/// backlog keeps arrival order roughly fair without making every wave
+/// O(queue).
+const SCAN_WINDOW: usize = 64;
+
+/// Knobs for the admission scheduler that change how much work a run
+/// performs — never *what* it admits. Both default on;
+/// [`run_cloud_sim_tuned`] exists so the bench harness can turn them off
+/// and measure the unoptimized path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionTuning {
+    /// Skip admission waves while the queue head is saturated and the
+    /// controller's capacity epoch is unchanged. A skipped wave is one
+    /// that provably could not admit anything: every task in the scan
+    /// window was just rejected for capacity, capacity can only have
+    /// shrunk since (the epoch tracks every release/evict/recover), and
+    /// no new task entered the window — so gating never changes admission
+    /// decisions or their sim-times, only the number of re-probes (and
+    /// with them the attempt-level rejection counters).
+    pub wave_gating: bool,
+    /// Record the causal span forest. Disabling skips span bookkeeping
+    /// entirely — the report's `spans` and `critical_path` come out empty
+    /// — for benchmark-scale workloads where the forest would dominate
+    /// memory.
+    pub trace_spans: bool,
+}
+
+impl Default for AdmissionTuning {
+    fn default() -> Self {
+        AdmissionTuning {
+            wave_gating: true,
+            trace_spans: true,
+        }
+    }
+}
+
 /// How the simulator recovers deployments interrupted by a device failure.
 ///
 /// An interrupted task immediately attempts to redeploy on the surviving
@@ -95,8 +131,14 @@ pub struct CloudReport {
     pub latency_p95: Option<f64>,
     /// 99th-percentile end-to-end latency in seconds.
     pub latency_p99: Option<f64>,
-    /// Queueing delay statistics (arrival to first deployment).
+    /// Queueing delay statistics (arrival to first deployment). One-shot
+    /// per task by design; the *second* wait of a task demoted back to
+    /// the queue after exhausting migration retries is reported
+    /// separately in [`requeue_wait`](CloudReport::requeue_wait).
     pub queue_wait: Summary,
+    /// Queueing delay of requeued tasks (demotion after retry exhaustion
+    /// to redeployment from the admission queue), in seconds.
+    pub requeue_wait: Summary,
     /// Time-weighted mean cluster occupancy over the run (utilization).
     pub mean_occupancy: f64,
     /// Highest sampled cluster occupancy.
@@ -105,8 +147,14 @@ pub struct CloudReport {
     pub peak_queue_depth: u64,
     /// Rejected deployment attempts, indexed by
     /// [`RejectReason::index`]; one task retried many times counts each
-    /// attempt.
+    /// attempt, so under saturation this scales with how often the
+    /// scheduler re-probed, not with the workload. The per-task view is
+    /// [`rejected_tasks`](CloudReport::rejected_tasks).
     pub rejections: [u64; 4],
+    /// Distinct tasks rejected at least once per reason, indexed by
+    /// [`RejectReason::index`]; a task counts once per reason no matter
+    /// how many waves re-attempted it.
+    pub rejected_tasks: [u64; 4],
     /// Device failures injected during the run.
     pub device_failures: u64,
     /// Device recoveries during the run.
@@ -117,6 +165,14 @@ pub struct CloudReport {
     /// Interruptions recovered by redeployment (via the migration retry
     /// path or later, from the admission queue after demotion).
     pub migrated: u64,
+    /// Successful redeployments of interrupted tasks — the controller
+    /// deploys that served a recovery rather than a first admission.
+    /// Counts both recovery paths, so the `deploys` metric (first
+    /// admissions) plus this equals the controller's lifetime deploy
+    /// count. Currently equal to [`migrated`](CloudReport::migrated) by
+    /// construction; kept separate so the deploy-side accounting closes
+    /// without reference to the interruption bookkeeping.
+    pub redeployments: u64,
     /// Interruptions demoted to the admission queue after exhausting
     /// migration retries.
     pub requeued: u64,
@@ -163,6 +219,11 @@ impl CloudReport {
         self.rejections.iter().sum()
     }
 
+    /// Distinct tasks rejected at least once for one reason.
+    pub fn rejected_tasks_for(&self, reason: RejectReason) -> u64 {
+        self.rejected_tasks[reason.index()]
+    }
+
     /// Whether every arrival is accounted for (completed, reported as
     /// never deployed, or classified lost) — the invariant all cloudsim
     /// and chaos tests pin.
@@ -183,10 +244,13 @@ impl CloudReport {
     /// Serializes the report (without raw trace events; those stay
     /// available programmatically via [`CloudReport::trace`]).
     pub fn to_json(&self) -> Json {
-        let mut rejections = Json::obj();
+        let mut attempts = Json::obj();
+        let mut tasks = Json::obj();
         for reason in RejectReason::ALL {
-            rejections = rejections.with(reason.as_str(), self.rejections_for(reason));
+            attempts = attempts.with(reason.as_str(), self.rejections_for(reason));
+            tasks = tasks.with(reason.as_str(), self.rejected_tasks_for(reason));
         }
+        let rejections = Json::obj().with("attempts", attempts).with("tasks", tasks);
         Json::obj()
             .with("arrivals", self.arrivals)
             .with("completed", self.completed)
@@ -214,6 +278,14 @@ impl CloudReport {
                     .with("max", self.queue_wait.max()),
             )
             .with(
+                "requeue_wait_s",
+                Json::obj()
+                    .with("count", self.requeue_wait.count())
+                    .with("mean", self.requeue_wait.mean())
+                    .with("min", self.requeue_wait.min())
+                    .with("max", self.requeue_wait.max()),
+            )
+            .with(
                 "occupancy",
                 Json::obj()
                     .with("mean", self.mean_occupancy)
@@ -234,6 +306,7 @@ impl CloudReport {
                     .with("device_recoveries", self.device_recoveries)
                     .with("interrupted", self.interrupted)
                     .with("migrated", self.migrated)
+                    .with("redeployments", self.redeployments)
                     .with("requeued", self.requeued)
                     .with("lost", self.lost)
                     .with("scale_down_redeployments", self.scale_down_redeployments)
@@ -346,6 +419,36 @@ pub fn run_cloud_sim_faulted(
     recovery: RecoveryPolicy,
     trace_capacity: usize,
 ) -> Result<CloudReport, RuntimeError> {
+    run_cloud_sim_tuned(
+        controller,
+        arrivals,
+        instance_for,
+        service_time,
+        faults,
+        recovery,
+        trace_capacity,
+        AdmissionTuning::default(),
+    )
+}
+
+/// [`run_cloud_sim_faulted`] with explicit [`AdmissionTuning`] — the bench
+/// harness's entry point for measuring the admission fast path against the
+/// unoptimized scheduler.
+///
+/// # Errors
+///
+/// Propagates controller errors ([`RuntimeError::UnknownInstance`] etc.).
+#[allow(clippy::too_many_arguments)]
+pub fn run_cloud_sim_tuned(
+    controller: &mut SystemController,
+    arrivals: &[TaskArrival],
+    instance_for: &dyn Fn(&RnnTask) -> String,
+    service_time: &dyn Fn(&RnnTask, &Deployment) -> SimTime,
+    faults: &FaultPlan,
+    recovery: RecoveryPolicy,
+    trace_capacity: usize,
+    tuning: AdmissionTuning,
+) -> Result<CloudReport, RuntimeError> {
     let mut sim = CloudSim::new(
         controller,
         arrivals,
@@ -354,6 +457,7 @@ pub fn run_cloud_sim_faulted(
         faults,
         recovery,
         trace_capacity,
+        tuning,
     );
     sim.run()?;
     Ok(sim.finish())
@@ -370,9 +474,11 @@ struct Meters {
     device_recoveries: vfpga_sim::CounterId,
     interrupted: vfpga_sim::CounterId,
     migrations: vfpga_sim::CounterId,
+    redeployments: vfpga_sim::CounterId,
     lost: vfpga_sim::CounterId,
     latency: vfpga_sim::TimerId,
     queue_wait: vfpga_sim::TimerId,
+    requeue_wait: vfpga_sim::TimerId,
     service: vfpga_sim::TimerId,
     time_to_recovery: vfpga_sim::TimerId,
     depth: vfpga_sim::GaugeId,
@@ -404,21 +510,38 @@ struct CloudSim<'a> {
     interrupted_pending: Vec<Option<(SimTime, u32)>>,
     /// Whether a task's first-deployment queue wait was recorded.
     waited: Vec<bool>,
+    /// `Some(when)` while a task demoted after retry exhaustion waits in
+    /// the admission queue (its second queue wait).
+    requeued_at: Vec<Option<SimTime>>,
     traced_reject: Vec<bool>,
+    /// Per-task bitmask of [`RejectReason::index`] bits already counted
+    /// into `rejected_tasks`.
+    reject_seen: Vec<u8>,
 
     meter: ThroughputMeter,
     latency: Summary,
     queue_wait: Summary,
+    requeue_wait: Summary,
     time_to_recovery: Summary,
     last_completion: SimTime,
     rejections: [u64; 4],
+    rejected_tasks: [u64; 4],
     device_failures: u64,
     device_recoveries: u64,
     interrupted: u64,
     migrated: u64,
+    redeployments: u64,
     requeued: u64,
     lost: u64,
     scale_down_redeployments: u64,
+
+    /// Wave gating (from [`AdmissionTuning`]): `Some(epoch)` after a wave
+    /// rejected every scanned task with the capacity epoch at `epoch`.
+    /// While the epoch is unchanged and nothing new entered the scan
+    /// window, further waves are skipped — they could only replay the
+    /// same rejections.
+    gating: bool,
+    saturated_at: Option<u64>,
 
     /// Degraded-mode integration state.
     last_event_at: SimTime,
@@ -443,6 +566,7 @@ struct CloudSim<'a> {
 }
 
 impl<'a> CloudSim<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         controller: &'a mut SystemController,
         arrivals: &'a [TaskArrival],
@@ -451,6 +575,7 @@ impl<'a> CloudSim<'a> {
         faults: &'a FaultPlan,
         recovery: RecoveryPolicy,
         trace_capacity: usize,
+        tuning: AdmissionTuning,
     ) -> Self {
         let mut metrics = MetricsRegistry::new();
         let m = Meters {
@@ -468,9 +593,11 @@ impl<'a> CloudSim<'a> {
             device_recoveries: metrics.counter("device_recoveries"),
             interrupted: metrics.counter("interrupted"),
             migrations: metrics.counter("migrations"),
+            redeployments: metrics.counter("redeployments"),
             lost: metrics.counter("lost"),
             latency: metrics.timer("latency_s"),
             queue_wait: metrics.timer("queue_wait_s"),
+            requeue_wait: metrics.timer("requeue_wait_s"),
             service: metrics.timer("service_s"),
             time_to_recovery: metrics.timer("time_to_recovery_s"),
             depth: metrics.gauge("queue_depth"),
@@ -493,27 +620,38 @@ impl<'a> CloudSim<'a> {
             epoch: vec![0; n],
             interrupted_pending: vec![None; n],
             waited: vec![false; n],
+            requeued_at: vec![None; n],
             traced_reject: vec![false; n],
+            reject_seen: vec![0; n],
             meter: ThroughputMeter::new(),
             latency: Summary::new(),
             queue_wait: Summary::new(),
+            requeue_wait: Summary::new(),
             time_to_recovery: Summary::new(),
             last_completion: SimTime::ZERO,
             rejections: [0; 4],
+            rejected_tasks: [0; 4],
             device_failures: 0,
             device_recoveries: 0,
             interrupted: 0,
             migrated: 0,
+            redeployments: 0,
             requeued: 0,
             lost: 0,
             scale_down_redeployments: 0,
+            gating: tuning.wave_gating,
+            saturated_at: None,
             last_event_at: SimTime::ZERO,
             degraded_time: SimTime::ZERO,
             degraded_occ_weighted: 0.0,
             metrics,
             m,
             trace: TraceRing::new(trace_capacity),
-            spans: SpanTracer::new(),
+            spans: if tuning.trace_spans {
+                SpanTracer::new()
+            } else {
+                SpanTracer::disabled()
+            },
             root_span: vec![None; n],
             phase_span: vec![None; n],
             backoff_span: vec![None; n],
@@ -585,7 +723,7 @@ impl<'a> CloudSim<'a> {
             self.integrate_degraded(now);
             match event {
                 Event::Arrival(i) => {
-                    self.queue.push_back(i);
+                    self.enqueue(i);
                     self.metrics.inc(self.m.arrivals);
                     self.trace
                         .push(now, TraceEventKind::Arrival { task: i as u64 });
@@ -630,7 +768,19 @@ impl<'a> CloudSim<'a> {
                 }
                 Event::RetryNudge => {}
             }
-            let saw_transient = self.admission_wave(now)?;
+            // Admission gating: while the gate epoch matches, capacity can
+            // only have shrunk since the last all-rejected wave and
+            // nothing new entered the scan window, so the wave is skipped
+            // — it would replay the identical rejections. A gate-setting
+            // wave saw no transient fault, so a skipped wave also cannot
+            // strand retryable work (no feasible placement means no
+            // configure attempt and no injector draw).
+            let gated = self.saturated_at == Some(self.controller.capacity_epoch());
+            let saw_transient = if gated {
+                false
+            } else {
+                self.admission_wave(now)?
+            };
             self.sample_gauges(now);
             if saw_transient && self.events.is_empty() && !self.queue.is_empty() {
                 // Without a nudge the run would drain here and strand
@@ -644,6 +794,33 @@ impl<'a> CloudSim<'a> {
             "tasks still running after the event queue drained"
         );
         Ok(())
+    }
+
+    /// Appends a task to the admission queue, clearing the saturation
+    /// gate when the task lands inside the scan window: a wave that
+    /// rejected everything it scanned says nothing about an instance it
+    /// never probed, so the next wave must run. A task queued beyond the
+    /// window cannot be scanned until the queue drains past it — which
+    /// itself requires an admission, i.e. a capacity-epoch change — so
+    /// the gate may stand.
+    fn enqueue(&mut self, task_index: usize) {
+        if self.queue.len() < SCAN_WINDOW {
+            self.saturated_at = None;
+        }
+        self.queue.push_back(task_index);
+    }
+
+    /// Books one rejected deployment attempt: the per-attempt counters
+    /// always tick; the distinct-task counter ticks once per (task,
+    /// reason).
+    fn record_rejection(&mut self, task_index: usize, reason: RejectReason) {
+        self.rejections[reason.index()] += 1;
+        self.metrics.inc(self.m.rejects[reason.index()]);
+        let bit = 1u8 << reason.index();
+        if self.reject_seen[task_index] & bit == 0 {
+            self.reject_seen[task_index] |= bit;
+            self.rejected_tasks[reason.index()] += 1;
+        }
     }
 
     /// Accumulates degraded-mode time/occupancy for the interval since the
@@ -760,8 +937,7 @@ impl<'a> CloudSim<'a> {
                 self.complete_recovery(now, task_index, deployment);
             }
             Err(reason) => {
-                self.rejections[reason.index()] += 1;
-                self.metrics.inc(self.m.rejects[reason.index()]);
+                self.record_rejection(task_index, reason);
                 if attempt < self.recovery.max_retries {
                     let delay = self.recovery.backoff(attempt);
                     // The wait until the retry renders as a `backoff` span
@@ -802,7 +978,8 @@ impl<'a> CloudSim<'a> {
                         self.close_root(task_index, "lost", now);
                     } else {
                         self.requeued += 1;
-                        self.queue.push_back(task_index);
+                        self.requeued_at[task_index] = Some(now);
+                        self.enqueue(task_index);
                         // The task waits like a fresh arrival: the migrate
                         // phase hands over to a new queue_wait phase.
                         if let Some(span) = self.phase_span[task_index] {
@@ -824,11 +1001,27 @@ impl<'a> CloudSim<'a> {
         let (since, old_units) = self.interrupted_pending[task_index]
             .take()
             .expect("recovery completes a pending interruption");
+        if let Some(requeued) = self.requeued_at[task_index].take() {
+            // The task's second stint in the admission queue (demotion
+            // after retry exhaustion) ends here; the one-shot `queue_wait`
+            // summary covers only the first, so this wait is recorded
+            // separately.
+            let wait = now.saturating_sub(requeued).as_secs();
+            self.requeue_wait.record(wait);
+            self.metrics.record_timer(self.m.requeue_wait, wait);
+        }
         let ttr = now.saturating_sub(since).as_secs();
         self.time_to_recovery.record(ttr);
         self.metrics.record_timer(self.m.time_to_recovery, ttr);
         self.migrated += 1;
         self.metrics.inc(self.m.migrations);
+        // This deployment served a recovery, not a first admission: the
+        // `deploys` metric (and its `Deploy` trace event) never ticks for
+        // it — on the wave path admission skips straight here — so the
+        // deploy-side accounting has its own counter. `deploys +
+        // redeployments` equals the controller's lifetime deploy count.
+        self.redeployments += 1;
+        self.metrics.inc(self.m.redeployments);
         if (deployment.num_units() as u32) > old_units {
             self.scale_down_redeployments += 1;
         }
@@ -887,7 +1080,6 @@ impl<'a> CloudSim<'a> {
     /// configure fault (retryable; the caller may need to self-schedule a
     /// retry if no other event is pending).
     fn admission_wave(&mut self, now: SimTime) -> Result<bool, RuntimeError> {
-        const SCAN_WINDOW: usize = 64;
         let mut saw_transient = false;
         loop {
             let window = self.queue.len().min(SCAN_WINDOW);
@@ -910,8 +1102,7 @@ impl<'a> CloudSim<'a> {
                         admitted.push((idx, deployment));
                     }
                     Err(reason) => {
-                        self.rejections[reason.index()] += 1;
-                        self.metrics.inc(self.m.rejects[reason.index()]);
+                        self.record_rejection(idx, reason);
                         saw_transient |= reason == RejectReason::TransientFault;
                         // Trace only a task's first rejection: under
                         // saturation every task is re-tried per wave and
@@ -930,6 +1121,14 @@ impl<'a> CloudSim<'a> {
                 }
             }
             if admitted.is_empty() {
+                // The wave ends with everything it scanned rejected. If no
+                // rejection was transient (a transient could succeed on
+                // the very next attempt), arm the gate: until the capacity
+                // epoch changes or a new task enters the scan window,
+                // re-running this wave is provably futile.
+                if self.gating && !saw_transient && !self.queue.is_empty() {
+                    self.saturated_at = Some(self.controller.capacity_epoch());
+                }
                 return Ok(saw_transient);
             }
             let mut pos = 0;
@@ -1023,14 +1222,17 @@ impl<'a> CloudSim<'a> {
             latency_p95: self.metrics.timer_quantile(self.m.latency, 0.95),
             latency_p99: self.metrics.timer_quantile(self.m.latency, 0.99),
             queue_wait: self.queue_wait,
+            requeue_wait: self.requeue_wait,
             mean_occupancy: occupancy_series.mean_until(elapsed).unwrap_or(0.0),
             peak_occupancy: occupancy_series.max().unwrap_or(0.0),
             peak_queue_depth: queue_depth_series.max().unwrap_or(0.0) as u64,
             rejections: self.rejections,
+            rejected_tasks: self.rejected_tasks,
             device_failures: self.device_failures,
             device_recoveries: self.device_recoveries,
             interrupted: self.interrupted,
             migrated: self.migrated,
+            redeployments: self.redeployments,
             requeued: self.requeued,
             scale_down_redeployments: self.scale_down_redeployments,
             time_to_recovery: self.time_to_recovery,
@@ -1472,6 +1674,213 @@ mod tests {
         // Nothing completed, so the critical path is empty but well-formed.
         assert!(report.critical_path.tasks.is_empty());
         assert!(report.critical_path.quantile_task(0.5).is_none());
+    }
+
+    #[test]
+    fn requeued_tasks_record_second_wait_and_redeployments() {
+        // Every device fails almost immediately (mttf << horizon) and
+        // stays down far longer than the retry budget: interrupted tasks
+        // exhaust their migration retries, demote to the admission queue,
+        // and redeploy via the wave once devices recover. Regressions
+        // pinned here: the wave-path redeploy used to take the
+        // `complete_recovery` early-continue without ever counting into
+        // the deploy-side metrics, and the second queue wait was never
+        // recorded (`waited` is one-shot).
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let a = arrivals(8, 2.0);
+        let plan = FaultPlan::generate(
+            FaultPlanParams {
+                mttf: SimTime::from_us(1.0),
+                mttr: SimTime::from_us(400.0),
+                configure_failure_prob: 0.0,
+                horizon: SimTime::from_us(40.0),
+            },
+            4,
+            5,
+        );
+        assert!(plan.failures() >= 4, "all devices must go down");
+        let report = run_cloud_sim_faulted(
+            &mut c,
+            &a,
+            &|_| "tiny".to_string(),
+            &fixed_service,
+            &plan,
+            RecoveryPolicy {
+                max_retries: 1,
+                base_backoff: SimTime::from_us(5.0),
+                drop_on_exhaustion: false,
+            },
+            DEFAULT_TRACE_CAPACITY,
+        )
+        .unwrap();
+        assert!(report.accounts_for_all_arrivals());
+        assert!(report.requeued > 0, "scenario must demote tasks");
+        assert!(report.redeployments > 0);
+        assert_eq!(report.redeployments, report.migrated);
+        // The deploy-side accounting closes: first admissions (the
+        // `deploys` metric) plus redeployments equal the controller's
+        // lifetime deploy count. Before the fix, wave-path recoveries
+        // fell through both counters.
+        let mut m = report.metrics.clone();
+        let deploys = m.counter("deploys");
+        let redeploys = m.counter("redeployments");
+        assert_eq!(
+            m.counter_value(deploys) + m.counter_value(redeploys),
+            c.stats().deploys,
+            "deploys + redeployments must equal controller deploys"
+        );
+        // The second stint in the queue is measured, and the first-wait
+        // summary stays one-shot per task.
+        assert!(report.requeue_wait.count() > 0);
+        assert!(report.requeue_wait.count() <= report.requeued);
+        assert!(report.queue_wait.count() <= report.arrivals);
+        let json = report.to_json().compact();
+        assert!(json.contains(r#""requeue_wait_s""#), "{json}");
+        assert!(json.contains(r#""redeployments""#), "{json}");
+    }
+
+    #[test]
+    fn rejection_breakdown_counts_attempts_and_distinct_tasks() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Baseline);
+        let a = arrivals(80, 1.0);
+        let report = run_cloud_sim(&mut c, &a, &|_| "tiny".to_string(), &fixed_service).unwrap();
+        let reason = RejectReason::InsufficientCapacity;
+        // The per-task view is bounded by the workload no matter how many
+        // waves re-attempted the same queued tasks; before the fix only
+        // the per-attempt counters existed, scaling with event count.
+        let tasks = report.rejected_tasks_for(reason);
+        assert!(tasks > 0);
+        assert!(tasks <= report.arrivals);
+        assert!(
+            report.rejections_for(reason) > tasks,
+            "saturation re-attempts: {} attempts vs {} tasks",
+            report.rejections_for(reason),
+            tasks
+        );
+        for r in RejectReason::ALL {
+            assert!(report.rejections_for(r) >= report.rejected_tasks_for(r));
+        }
+        // The artifact names both views.
+        let json = report.to_json().compact();
+        assert!(json.contains(r#""rejections":{"attempts":{"#), "{json}");
+        assert!(json.contains(r#""tasks":{"#), "{json}");
+    }
+
+    #[test]
+    fn wave_gating_preserves_admission_decisions() {
+        // Deep saturation with the queue well past the scan window: the
+        // gate actually skips waves (fewer attempt-level rejections), yet
+        // every outcome-visible quantity matches the ungated run.
+        let (cluster, db) = small_db();
+        let a = arrivals(200, 0.5);
+        let run = |wave_gating: bool| {
+            let mut c = SystemController::new(cluster.clone(), db.clone(), Policy::Baseline);
+            run_cloud_sim_tuned(
+                &mut c,
+                &a,
+                &|_| "tiny".to_string(),
+                &fixed_service,
+                &FaultPlan::none(),
+                RecoveryPolicy::default(),
+                DEFAULT_TRACE_CAPACITY,
+                AdmissionTuning {
+                    wave_gating,
+                    trace_spans: true,
+                },
+            )
+            .unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.completed, off.completed);
+        assert_eq!(on.never_deployed, off.never_deployed);
+        assert_eq!(on.lost, off.lost);
+        assert_eq!(on.elapsed, off.elapsed);
+        assert_eq!(on.throughput_per_s, off.throughput_per_s);
+        assert_eq!(on.latency_p50, off.latency_p50);
+        assert_eq!(on.latency_p99, off.latency_p99);
+        assert_eq!(on.rejected_tasks, off.rejected_tasks);
+        assert_eq!(on.queue_wait.count(), off.queue_wait.count());
+        assert_eq!(on.queue_wait.mean(), off.queue_wait.mean());
+        assert!(
+            on.total_rejections() < off.total_rejections(),
+            "gating must skip futile re-probes: {} vs {}",
+            on.total_rejections(),
+            off.total_rejections()
+        );
+    }
+
+    #[test]
+    fn wave_gating_is_transparent_under_chaos() {
+        let (cluster, db) = small_db();
+        let a = arrivals(80, 1.0);
+        let plan = chaos_plan(7);
+        let run = |wave_gating: bool| {
+            let mut c = SystemController::new(cluster.clone(), db.clone(), Policy::Full);
+            run_cloud_sim_tuned(
+                &mut c,
+                &a,
+                &|_| "tiny".to_string(),
+                &fixed_service,
+                &plan,
+                RecoveryPolicy::default(),
+                DEFAULT_TRACE_CAPACITY,
+                AdmissionTuning {
+                    wave_gating,
+                    trace_spans: true,
+                },
+            )
+            .unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(on.accounts_for_all_arrivals());
+        assert_eq!(on.completed, off.completed);
+        assert_eq!(on.never_deployed, off.never_deployed);
+        assert_eq!(on.lost, off.lost);
+        assert_eq!(on.elapsed, off.elapsed);
+        assert_eq!(on.migrated, off.migrated);
+        assert_eq!(on.redeployments, off.redeployments);
+        assert_eq!(on.requeued, off.requeued);
+        assert_eq!(on.rejected_tasks, off.rejected_tasks);
+        assert_eq!(on.latency_p99, off.latency_p99);
+        assert!(on.total_rejections() <= off.total_rejections());
+    }
+
+    #[test]
+    fn span_tracing_off_changes_no_outcomes() {
+        let (cluster, db) = small_db();
+        let a = arrivals(60, 10.0);
+        let plan = chaos_plan(2024);
+        let run = |trace_spans: bool| {
+            let mut c = SystemController::new(cluster.clone(), db.clone(), Policy::Full);
+            run_cloud_sim_tuned(
+                &mut c,
+                &a,
+                &|_| "tiny".to_string(),
+                &fixed_service,
+                &plan,
+                RecoveryPolicy::default(),
+                DEFAULT_TRACE_CAPACITY,
+                AdmissionTuning {
+                    wave_gating: true,
+                    trace_spans,
+                },
+            )
+            .unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(off.spans.is_empty());
+        assert!(off.critical_path.tasks.is_empty());
+        assert!(!on.spans.is_empty());
+        assert_eq!(on.completed, off.completed);
+        assert_eq!(on.elapsed, off.elapsed);
+        assert_eq!(on.migrated, off.migrated);
+        assert_eq!(on.latency_p99, off.latency_p99);
+        assert_eq!(on.rejections, off.rejections);
     }
 
     #[test]

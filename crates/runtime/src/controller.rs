@@ -84,13 +84,23 @@ pub struct ControllerStats {
     pub deploys: u64,
     /// Releases performed.
     pub releases: u64,
-    /// Rejected attempts, indexed by [`RejectReason::index`].
+    /// Rejected attempts, indexed by [`RejectReason::index`]. Counts
+    /// every attempt, whether it was answered by a full placement probe
+    /// or by the feasibility cache.
     pub rejects: [u64; 4],
     /// Device failures handled via
     /// [`SystemController::handle_device_failure`].
     pub device_failures: u64,
     /// Live deployments interrupted by device failures.
     pub interrupted: u64,
+    /// Deployment attempts that ran a full placement probe (database
+    /// lookup + option scan) rather than being answered from the
+    /// feasibility cache. `probes + cache_hits` is the total attempt
+    /// count; the bench artifact reports `probes` as `deploy_attempts`.
+    pub probes: u64,
+    /// Deployment attempts answered by the capacity-epoch feasibility
+    /// cache without probing.
+    pub cache_hits: u64,
 }
 
 impl ControllerStats {
@@ -168,6 +178,18 @@ pub struct SystemController {
     live: HashMap<u64, Vec<(DeviceId, AllocationId)>>,
     next_id: u64,
     stats: ControllerStats,
+    /// Device-type names in `cluster.device_types()` order; the indexed
+    /// placement fast path works in these indexes instead of allocating
+    /// type-name `String`s per probe.
+    type_names: Vec<String>,
+    /// Each device's index into `type_names`.
+    device_type_idx: Vec<usize>,
+    /// Capacity-epoch feasibility cache: instance name → (epoch, reason)
+    /// of its last capacity rejection. While the LLC's capacity epoch is
+    /// unchanged, free capacity can only have shrunk, so the rejection is
+    /// replayed without re-probing. Transient faults are never cached.
+    feas_cache: HashMap<String, (u64, RejectReason)>,
+    cache_enabled: bool,
 }
 
 impl SystemController {
@@ -176,6 +198,20 @@ impl SystemController {
     pub fn new(cluster: Cluster, db: MappingDatabase, policy: Policy) -> Self {
         let llc = LowLevelController::new(&cluster);
         let device_taken = vec![false; cluster.len()];
+        let type_names: Vec<String> = cluster
+            .device_types()
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect();
+        let device_type_idx: Vec<usize> = cluster
+            .iter()
+            .map(|d| {
+                type_names
+                    .iter()
+                    .position(|n| n == d.device_type().name())
+                    .expect("every device's type appears in device_types()")
+            })
+            .collect();
         SystemController {
             cluster,
             db,
@@ -186,7 +222,29 @@ impl SystemController {
             live: HashMap::new(),
             next_id: 0,
             stats: ControllerStats::default(),
+            type_names,
+            device_type_idx,
+            feas_cache: HashMap::new(),
+            cache_enabled: true,
         }
+    }
+
+    /// Enables or disables the capacity-epoch feasibility cache (on by
+    /// default). Disabling exists for A/B determinism tests and the bench
+    /// baseline: both modes must admit the same tasks at the same
+    /// sim-times — the cache only short-circuits probes whose outcome is
+    /// already known. Toggling clears any cached rejections.
+    pub fn set_feasibility_cache(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        self.feas_cache.clear();
+    }
+
+    /// The low-level controller's capacity epoch: bumped on every
+    /// release, eviction, and recovery. Schedulers use it to skip
+    /// admission work that cannot succeed (see
+    /// [`set_feasibility_cache`](SystemController::set_feasibility_cache)).
+    pub fn capacity_epoch(&self) -> u64 {
+        self.llc.capacity_epoch()
     }
 
     /// Statically provisions the cluster (baseline policy): device `i`
@@ -432,13 +490,49 @@ impl SystemController {
     fn deploy_inner(
         &mut self,
         instance: &str,
+        ctx: Option<SpanCtx<'_>>,
+    ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
+        // Feasibility-cache fast path: while the capacity epoch is
+        // unchanged, free capacity can only have shrunk, so an instance
+        // rejected for capacity reasons at this epoch is still rejected.
+        // The replayed outcome (and any span the caller records around
+        // it) is exactly what a full probe would produce — capacity
+        // rejections touch no device state and emit no reconfigure
+        // spans — which is what keeps cache-on and cache-off runs
+        // byte-identical.
+        if self.cache_enabled {
+            if let Some(&(epoch, reason)) = self.feas_cache.get(instance) {
+                if epoch == self.llc.capacity_epoch() {
+                    self.stats.cache_hits += 1;
+                    return Ok(Err(reason));
+                }
+            }
+        }
+        self.stats.probes += 1;
+        let outcome = self.probe_inner(instance, ctx)?;
+        if let Err(reason) = outcome {
+            // A transient fault says nothing about capacity — an
+            // immediate retry may succeed — so it is never cached.
+            if self.cache_enabled && reason != RejectReason::TransientFault {
+                self.feas_cache
+                    .insert(instance.to_string(), (self.llc.capacity_epoch(), reason));
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// One full placement probe: database lookup, option scan, commit.
+    /// [`deploy_inner`](Self::deploy_inner) wraps it with the feasibility
+    /// cache.
+    fn probe_inner(
+        &mut self,
+        instance: &str,
         mut ctx: Option<SpanCtx<'_>>,
     ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
         let entry = self
             .db
-            .entry(instance)
-            .ok_or_else(|| RuntimeError::UnknownInstance(instance.to_string()))?
-            .clone();
+            .entry_shared(instance)
+            .ok_or_else(|| RuntimeError::UnknownInstance(instance.to_string()))?;
 
         // Statically provisioned baseline: the task runs on whatever free
         // device's preinstalled accelerator, preferring a matching install.
@@ -446,13 +540,20 @@ impl SystemController {
             return self.deploy_provisioned(instance, ctx);
         }
 
+        // Per-type free-slot summary, computed once per probe: the most
+        // free slots any single device of each type offers. A unit that
+        // cannot fit the *best* device of any eligible type cannot fit at
+        // all, so whole options are rejected below without scanning
+        // devices.
+        let max_free = self.type_max_free();
+
         let mut any_policy_eligible = false;
         for option in &entry.options {
             if self.policy == Policy::Baseline && option.num_units() > 1 {
                 continue;
             }
             any_policy_eligible = true;
-            let Some(devices) = self.find_placement(option) else {
+            let Some(devices) = self.find_placement(option, &max_free) else {
                 continue;
             };
             // Commit the placement.
@@ -529,11 +630,7 @@ impl SystemController {
         instance: &str,
         ctx: Option<SpanCtx<'_>>,
     ) -> Result<Result<Deployment, RejectReason>, RuntimeError> {
-        let prov = self
-            .provisioned
-            .as_ref()
-            .expect("checked by caller")
-            .clone();
+        let prov = self.provisioned.as_ref().expect("checked by caller");
         let mut candidates: Vec<DeviceId> = self
             .cluster
             .device_ids()
@@ -547,9 +644,8 @@ impl SystemController {
         let installed = prov[device.0].clone();
         let entry = self
             .db
-            .entry(&installed)
-            .expect("validated at provisioning")
-            .clone();
+            .entry_shared(&installed)
+            .expect("validated at provisioning");
         let option = entry
             .options
             .iter()
@@ -583,48 +679,99 @@ impl SystemController {
         }))
     }
 
+    /// The most free slots any single placeable device of each type
+    /// offers right now (indexed like `type_names`). Computed once per
+    /// probe; [`option_may_fit`](Self::option_may_fit) compares unit
+    /// block counts against it to reject whole options without the
+    /// per-device scan.
+    fn type_max_free(&self) -> Vec<usize> {
+        let mut max_free = vec![0usize; self.type_names.len()];
+        for device in self.cluster.device_ids() {
+            // Whole-device granularity: a taken baseline device offers
+            // nothing, matching the scan's filter below.
+            if self.policy == Policy::Baseline && self.device_taken[device.0] {
+                continue;
+            }
+            let t = self.device_type_idx[device.0];
+            max_free[t] = max_free[t].max(self.llc.slots_free(device));
+        }
+        max_free
+    }
+
+    /// Necessary condition for an option to place: every unit fits the
+    /// best device of at least one eligible type. Ignores units competing
+    /// for the same slots, so `true` still needs the full scan — but a
+    /// `false` skips it, and under saturation that is the common case.
+    fn option_may_fit(
+        &self,
+        option: &vfpga_core::DeploymentOption,
+        restrict: Option<usize>,
+        max_free: &[usize],
+    ) -> bool {
+        option.units.iter().all(|unit| {
+            self.type_names.iter().enumerate().any(|(t, name)| {
+                if restrict.is_some_and(|r| r != t) {
+                    return false;
+                }
+                unit.images
+                    .get(name)
+                    .is_some_and(|img| img.blocks() <= max_free[t])
+            })
+        })
+    }
+
     /// Finds devices for each unit of an option under the active policy,
     /// without committing. Units are assigned best-fit (most-loaded
     /// feasible device first) with ring proximity as tie-break.
-    fn find_placement(&self, option: &vfpga_core::DeploymentOption) -> Option<Vec<DeviceId>> {
-        let type_candidates: Vec<Option<String>> = match self.policy {
-            // Restricted: try each device type exclusively.
-            Policy::Restricted => self
-                .cluster
-                .device_types()
-                .iter()
-                .map(|t| Some(t.name().to_string()))
-                .collect(),
-            _ => vec![None],
-        };
-
-        for restrict in &type_candidates {
-            if let Some(placement) = self.find_placement_with(option, restrict.as_deref()) {
-                return Some(placement);
-            }
+    fn find_placement(
+        &self,
+        option: &vfpga_core::DeploymentOption,
+        max_free: &[usize],
+    ) -> Option<Vec<DeviceId>> {
+        match self.policy {
+            // Restricted: try each device type exclusively, in
+            // `device_types()` order.
+            Policy::Restricted => (0..self.type_names.len()).find_map(|t| {
+                self.option_may_fit(option, Some(t), max_free)
+                    .then(|| self.find_placement_with(option, Some(t)))
+                    .flatten()
+            }),
+            _ => self
+                .option_may_fit(option, None, max_free)
+                .then(|| self.find_placement_with(option, None))
+                .flatten(),
         }
-        None
     }
 
     fn find_placement_with(
         &self,
         option: &vfpga_core::DeploymentOption,
-        restrict_type: Option<&str>,
+        restrict: Option<usize>,
     ) -> Option<Vec<DeviceId>> {
         let mut free: Vec<usize> = self
             .cluster
             .device_ids()
             .map(|d| self.llc.slots_free(d))
             .collect();
+        // Per-unit block counts by type index, resolved once instead of a
+        // string-keyed map lookup per (unit, device) pair.
+        let blocks_by_type: Vec<Vec<Option<usize>>> = option
+            .units
+            .iter()
+            .map(|unit| {
+                self.type_names
+                    .iter()
+                    .map(|name| unit.images.get(name).map(|img| img.blocks()))
+                    .collect()
+            })
+            .collect();
         let mut chosen: Vec<DeviceId> = Vec::new();
-        for unit in &option.units {
+        for blocks_of in &blocks_by_type {
             let mut best: Option<(usize, usize, DeviceId)> = None; // (free_after, hops, dev)
             for device in self.cluster.device_ids() {
-                let dt = self.cluster.device(device).device_type();
-                if let Some(t) = restrict_type {
-                    if dt.name() != t {
-                        continue;
-                    }
+                let t = self.device_type_idx[device.0];
+                if restrict.is_some_and(|r| r != t) {
+                    continue;
                 }
                 if self.policy == Policy::Baseline {
                     // Whole-device granularity: device must be untouched.
@@ -633,13 +780,13 @@ impl SystemController {
                         continue;
                     }
                 }
-                let Some(image) = unit.images.get(dt.name()) else {
+                let Some(blocks) = blocks_of[t] else {
                     continue;
                 };
-                if free[device.0] < image.blocks() {
+                if free[device.0] < blocks {
                     continue;
                 }
-                let free_after = free[device.0] - image.blocks();
+                let free_after = free[device.0] - blocks;
                 let hops = chosen
                     .first()
                     .map(|&f| self.cluster.ring_hops(f, device))
@@ -650,8 +797,8 @@ impl SystemController {
                 }
             }
             let (_, _, device) = best?;
-            let dt = self.cluster.device(device).device_type();
-            free[device.0] -= unit.images[dt.name()].blocks();
+            free[device.0] -= blocks_of[self.device_type_idx[device.0]]
+                .expect("chosen device's type has an image");
             chosen.push(device);
         }
         Some(chosen)
@@ -1024,6 +1171,111 @@ mod tests {
             Some(vfpga_sim::SpanValue::U64(n)) if *n == interrupted.len() as u64
         ));
         assert_eq!(spans.open_count(), 0);
+    }
+
+    #[test]
+    fn feasibility_cache_replays_rejections_until_epoch_changes() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let mut held = Vec::new();
+        while let Some(d) = c.try_deploy("big").unwrap() {
+            held.push(d);
+            assert!(held.len() < 100);
+        }
+        let probes_after_fill = c.stats().probes;
+        assert_eq!(c.stats().cache_hits, 0, "no repeats yet");
+        // Saturated: further attempts replay the cached rejection without
+        // probing, and the reason is stable.
+        for _ in 0..5 {
+            let rejected = c.try_deploy_explained("big").unwrap().unwrap_err();
+            assert_eq!(rejected, RejectReason::InsufficientCapacity);
+        }
+        assert_eq!(c.stats().probes, probes_after_fill);
+        assert_eq!(c.stats().cache_hits, 5);
+        // Attempt-level rejection counters still tick per attempt.
+        assert_eq!(
+            c.stats().rejects_for(RejectReason::InsufficientCapacity),
+            6,
+            "the probed rejection plus five cached replays"
+        );
+        // A release bumps the epoch: the next attempt probes again and
+        // succeeds.
+        c.release(&held.pop().unwrap()).unwrap();
+        assert!(c.try_deploy("big").unwrap().is_some());
+        assert!(c.stats().probes > probes_after_fill);
+    }
+
+    #[test]
+    fn cache_disabled_probes_every_attempt_with_identical_outcomes() {
+        let (cluster, db) = small_db();
+        let run = |cache: bool| {
+            let mut c = SystemController::new(cluster.clone(), db.clone(), Policy::Full);
+            c.set_feasibility_cache(cache);
+            let mut outcomes = Vec::new();
+            let mut held = Vec::new();
+            for _ in 0..40 {
+                match c.try_deploy_explained("big").unwrap() {
+                    Ok(d) => {
+                        outcomes.push(Ok(d
+                            .placements
+                            .iter()
+                            .map(|p| p.device)
+                            .collect::<Vec<_>>()));
+                        held.push(d);
+                    }
+                    Err(r) => outcomes.push(Err(r)),
+                }
+            }
+            let stats = *c.stats();
+            (outcomes, stats)
+        };
+        let (on, on_stats) = run(true);
+        let (off, off_stats) = run(false);
+        assert_eq!(
+            format!("{on:?}"),
+            format!("{off:?}"),
+            "cache must not change admission decisions or placements"
+        );
+        assert_eq!(off_stats.cache_hits, 0);
+        assert_eq!(off_stats.probes, 40, "cache off probes every attempt");
+        assert!(
+            on_stats.probes < off_stats.probes,
+            "cache on must skip saturated probes ({} vs {})",
+            on_stats.probes,
+            off_stats.probes
+        );
+        assert_eq!(on_stats.probes + on_stats.cache_hits, 40);
+    }
+
+    #[test]
+    fn capacity_epoch_bumps_on_every_capacity_changing_operation() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let e0 = c.capacity_epoch();
+        let d = c.try_deploy("tiny").unwrap().unwrap();
+        assert_eq!(
+            c.capacity_epoch(),
+            e0,
+            "a configure only shrinks capacity and must not open an epoch"
+        );
+        c.release(&d).unwrap();
+        let e1 = c.capacity_epoch();
+        assert!(e1 > e0, "release opens an epoch");
+        c.handle_device_failure(DeviceId(0));
+        let e2 = c.capacity_epoch();
+        assert!(e2 > e1, "eviction opens an epoch");
+        // Idempotent re-failure does not.
+        c.handle_device_failure(DeviceId(0));
+        assert_eq!(c.capacity_epoch(), e2);
+        c.handle_device_recovery(DeviceId(0));
+        let e3 = c.capacity_epoch();
+        assert!(e3 > e2, "recovery opens an epoch");
+        c.handle_device_recovery(DeviceId(0));
+        assert_eq!(
+            c.capacity_epoch(),
+            e3,
+            "recovering a healthy device is a no-op"
+        );
     }
 
     #[test]

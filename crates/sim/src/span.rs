@@ -42,6 +42,13 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpanId(pub u64);
 
+impl SpanId {
+    /// The id a [disabled](SpanTracer::disabled) tracer hands out: every
+    /// operation on it is a no-op, so callers thread span ids through
+    /// unconditionally and never branch on whether tracing is on.
+    pub const DISCARDED: SpanId = SpanId(u64::MAX);
+}
+
 /// Correlates spans serving the same task across layers. The cloud
 /// simulator uses the task's arrival index; control-plane work that serves
 /// no particular task uses [`TraceId::NONE`].
@@ -166,16 +173,52 @@ impl Span {
 /// `end` closes it in place. Nothing is ever dropped — the cloud simulator
 /// produces O(events) spans, which the runs the harness drives keep
 /// comfortably bounded.
-#[derive(Debug, Clone, Default)]
+///
+/// A tracer can be constructed [`disabled`](SpanTracer::disabled) for runs
+/// that only care about throughput (the admission benchmark): `begin` then
+/// returns [`SpanId::DISCARDED`] without recording, and every other
+/// operation on that id is a no-op, so instrumented code needs no
+/// `if traced` branches.
+#[derive(Debug, Clone)]
 pub struct SpanTracer {
     spans: Vec<Span>,
     open: usize,
+    enabled: bool,
+}
+
+impl Default for SpanTracer {
+    // Deliberately manual: a derived Default would set `enabled: false`
+    // and silently drop every span recorded through it.
+    fn default() -> Self {
+        SpanTracer {
+            spans: Vec::new(),
+            open: 0,
+            enabled: true,
+        }
+    }
 }
 
 impl SpanTracer {
     /// Creates an empty tracer.
     pub fn new() -> Self {
         SpanTracer::default()
+    }
+
+    /// Creates a tracer that records nothing: `begin` returns
+    /// [`SpanId::DISCARDED`] and `end`/`attr`/`set_lane` on that id are
+    /// no-ops. Used by benchmark runs to measure the scheduler without
+    /// span-recording overhead.
+    pub fn disabled() -> Self {
+        SpanTracer {
+            spans: Vec::new(),
+            open: 0,
+            enabled: false,
+        }
+    }
+
+    /// Whether this tracer records spans.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
     }
 
     /// Opens a span at `at`. `parent` must be an id this tracer issued.
@@ -191,6 +234,9 @@ impl SpanTracer {
         parent: Option<SpanId>,
         at: SimTime,
     ) -> SpanId {
+        if !self.enabled {
+            return SpanId::DISCARDED;
+        }
         if let Some(p) = parent {
             debug_assert!(
                 (p.0 as usize) < self.spans.len(),
@@ -223,6 +269,9 @@ impl SpanTracer {
     ///
     /// Panics if the span is already closed or `at` precedes its begin.
     pub fn end(&mut self, id: SpanId, at: SimTime) {
+        if id == SpanId::DISCARDED {
+            return;
+        }
         let span = &mut self.spans[id.0 as usize];
         assert!(
             span.end.is_none(),
@@ -241,12 +290,18 @@ impl SpanTracer {
 
     /// Records an attribute on a span (allowed before or after `end`).
     pub fn attr(&mut self, id: SpanId, key: &'static str, value: impl Into<SpanValue>) {
+        if id == SpanId::DISCARDED {
+            return;
+        }
         self.spans[id.0 as usize].attrs.push((key, value.into()));
     }
 
     /// Pins a span to an export lane: Chrome-trace process `pid` (device)
     /// and thread `tid` (virtual-block slot).
     pub fn set_lane(&mut self, id: SpanId, pid: u64, tid: u64) {
+        if id == SpanId::DISCARDED {
+            return;
+        }
         self.spans[id.0 as usize].lane = Some((pid, tid));
     }
 
@@ -478,6 +533,22 @@ mod tests {
         assert_eq!(s.span(child).parent, Some(root));
         assert_eq!(s.span(child).duration(), Some(SimTime::from_us(3.0)));
         assert_eq!(s.span(root).trace, TraceId(3));
+    }
+
+    #[test]
+    fn disabled_tracer_discards_everything() {
+        let mut s = SpanTracer::disabled();
+        assert!(!s.is_enabled());
+        let id = s.begin("task", TraceId(0), None, SimTime::ZERO);
+        assert_eq!(id, SpanId::DISCARDED);
+        s.attr(id, "outcome", "completed");
+        s.set_lane(id, 1, 2);
+        s.end(id, SimTime::from_us(5.0));
+        s.end_all_open(SimTime::from_us(9.0));
+        assert!(s.is_empty());
+        assert_eq!(s.open_count(), 0);
+        // The default construction records (a derived Default would not).
+        assert!(SpanTracer::default().is_enabled());
     }
 
     #[test]
