@@ -46,7 +46,7 @@ fn bench_partition() {
 fn bench_scaleout_tools() {
     let task = RnnTask::new(RnnKind::Gru, 1024, 64);
     let rnn = generate_program(task, SliceSpec::new(0, 2));
-    let window = remote_window(&vfpga_isa::IsaConfig::default(), 0, 2);
+    let window = remote_window(&vfpga_isa::IsaConfig::default(), 0, 2).unwrap();
     bench("insert_communication/gru1024_t64", || {
         insert_communication(&rnn.program, &rnn.state_slots, &window).unwrap()
     });

@@ -23,7 +23,8 @@
 use std::time::Instant;
 
 use vfpga_runtime::{
-    run_cloud_sim_tuned, AdmissionTuning, CloudReport, Policy, RecoveryPolicy, SystemController,
+    run_cloud_sim_tuned, AdmissionTuning, CloudReport, ElasticityPolicy, Policy, RecoveryPolicy,
+    SystemController,
 };
 use vfpga_sim::{FaultPlan, FaultPlanParams, Json, SimTime};
 use vfpga_workload::{generate_workload, Composition};
@@ -219,6 +220,7 @@ fn timed_run(
         // dominate wall-clock and memory, and the comparison must time
         // the scheduler, not the tracer.
         trace_spans: false,
+        elasticity: ElasticityPolicy::DISABLED,
     };
     let start = Instant::now();
     let report = run_cloud_sim_tuned(

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|all] [--json PATH] [--seed N]
+//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|all] [--json PATH] [--seed N]
 //! ```
 //!
 //! Runs covering Fig. 11, Fig. 12, or the chaos scenario also write a
@@ -25,10 +25,17 @@
 //! `target/BENCH_admission.json`, and exits non-zero if outcomes
 //! diverge, the probe reduction falls under 3x, or
 //! `deploy_attempts_per_admission` exceeds the checked-in ceiling.
+//!
+//! `elastic` (also opt-in) runs the elastic-reprovisioning A/B — the
+//! scheduler with [`vfpga_runtime::ElasticityPolicy::FULL`] vs. the
+//! plain scheduler over an identical bursty 10k-task workload — writes
+//! `target/BENCH_elastic.json`, and exits non-zero unless p95 latency
+//! strictly improves, both levers fire, and every outcome invariant
+//! holds in both modes.
 
 use vfpga_bench::{
-    ablations, admission, catalog::Catalog, chaos, density, fig11, fig12, isolation, overhead,
-    tables,
+    ablations, admission, catalog::Catalog, chaos, density, elastic, fig11, fig12, isolation,
+    overhead, tables,
 };
 use vfpga_sim::{chrome_trace_events, prometheus_text, Json, SimTime, SpanTracer};
 use vfpga_workload::fig11_tasks;
@@ -43,6 +50,10 @@ const DEFAULT_TRACE_ARTIFACT: &str = "target/repro-trace.json";
 /// experiment).
 const DEFAULT_BENCH_ARTIFACT: &str = "target/BENCH_admission.json";
 
+/// Default location of the elastic-reprovisioning artifact (the
+/// `elastic` experiment).
+const DEFAULT_ELASTIC_ARTIFACT: &str = "target/BENCH_elastic.json";
+
 /// Regression ceiling on the bench's `deploy_attempts_per_admission`
 /// (worst scenario, shipped configuration). The current fast path lands
 /// well under this; `repro bench` (and CI's bench job) fails when a
@@ -55,8 +66,11 @@ const ATTEMPTS_PER_ADMISSION_CEILING: f64 = 8.0;
 /// critical-path section, and the `trace` experiment's artifact; v4 split
 /// the report's `rejections` into attempt/distinct-task views, added the
 /// `requeue_wait_s` and recovery `redeployments` fields, and added the
-/// `bench` experiment's `BENCH_admission.json`).
-const ARTIFACT_SCHEMA_VERSION: u64 = 4;
+/// `bench` experiment's `BENCH_admission.json`; v5 added the elasticity
+/// block to the report serialization — `promotions`, `preemptions`,
+/// `units_gained`, `units_lost`, the saved/added service summaries — and
+/// the `elastic` experiment's `BENCH_elastic.json`).
+const ARTIFACT_SCHEMA_VERSION: u64 = 5;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -137,6 +151,14 @@ fn main() {
             .unwrap_or_else(|| DEFAULT_BENCH_ARTIFACT.to_string());
         print_bench(seed, &path);
     }
+    if which == "elastic" {
+        // The elastic A/B is opt-in (not part of `all`): it runs the 10k
+        // bursty scenario twice and its artifact is a perf document.
+        let path = json_path
+            .clone()
+            .unwrap_or_else(|| DEFAULT_ELASTIC_ARTIFACT.to_string());
+        print_elastic(seed, &path);
+    }
     if !all
         && ![
             "table2",
@@ -151,11 +173,12 @@ fn main() {
             "chaos",
             "trace",
             "bench",
+            "elastic",
         ]
         .contains(&which.as_str())
     {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|all] [--json PATH] [--seed N]");
+        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|all] [--json PATH] [--seed N]");
         std::process::exit(2);
     }
     if !artifact.is_empty() {
@@ -548,6 +571,60 @@ fn print_bench(seed: u64, json_path: &str) {
         std::process::exit(1);
     }
     write_artifact(json_path, &text, "bench");
+    println!();
+}
+
+fn print_elastic(seed: u64, json_path: &str) {
+    println!("== Bench: elastic reprovisioning on vs off, bursty workload (seed {seed}) ==");
+    let catalog = Catalog::build();
+    let config = elastic::ElasticConfig {
+        seed,
+        ..elastic::ElasticConfig::default()
+    };
+    let bench = elastic::run(&catalog, &config);
+    for (label, run) in [("on", &bench.on), ("off", &bench.off)] {
+        println!(
+            "elasticity {label:<3} p50 {:>8.3} ms, p95 {:>8.3} ms, p99 {:>8.3} ms, qwait {:>7.3} ms, {:>9.1} ms wall",
+            run.p50 * 1e3,
+            run.p95 * 1e3,
+            run.p99 * 1e3,
+            run.mean_queue_wait * 1e3,
+            run.wall_ms
+        );
+    }
+    println!(
+        "reprovisioner: {} promotions (+{} units, {:.3} ms saved each), {} preemptions (-{} units)",
+        bench.on.promotions,
+        bench.on.units_gained,
+        bench.on.promotion_saved_mean * 1e3,
+        bench.on.preemptions,
+        bench.on.units_lost
+    );
+    println!(
+        "p95: {:.3} ms -> {:.3} ms ({:.2}x, {:.3} ms shorter)",
+        bench.off.p95 * 1e3,
+        bench.on.p95 * 1e3,
+        bench.p95_ratio(),
+        bench.p95_delta() * 1e3
+    );
+    // The bench is also the regression gate: fail loudly rather than
+    // writing an artifact that records a regression as if it were fine.
+    if !bench.passes() {
+        for failure in bench.failures() {
+            eprintln!("elastic FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
+    let root = Json::obj()
+        .with("schema_version", ARTIFACT_SCHEMA_VERSION)
+        .with("experiment", "elastic")
+        .with("bench", bench.to_json());
+    let text = root.pretty();
+    if let Err(e) = Json::parse(&text) {
+        eprintln!("elastic artifact failed self-validation: {e:?}");
+        std::process::exit(1);
+    }
+    write_artifact(json_path, &text, "elastic");
     println!();
 }
 

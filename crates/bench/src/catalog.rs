@@ -287,8 +287,9 @@ impl Catalog {
     ///   aggregate on-chip capacity (each deployed unit instantiates the
     ///   parameterized memory module on its own device, so capacity scales
     ///   with the unit count), and
-    /// * partially-overlapped inter-FPGA traffic for multi-unit
-    ///   deployments.
+    /// * partially-overlapped inter-FPGA traffic for deployments spanning
+    ///   more than one *device* — co-located units exchange state through
+    ///   local DRAM and pay no ring cost.
     pub fn service_time(&self, task: &RnnTask, deployment: &Deployment, policy: Policy) -> SimTime {
         // The baseline system runs every task on the accelerator that was
         // statically compiled onto its device offline (the paper's "low
@@ -341,9 +342,13 @@ impl Catalog {
         };
         let mut total = SimTime::from_secs(base.as_secs() * stream_factor);
 
-        // Inter-FPGA traffic for multi-unit deployments: cut bandwidth per
-        // timestep over the ring, half hidden by the overlap optimization.
-        if deployment.num_units() > 1 {
+        // Inter-FPGA traffic for deployments spanning distinct devices:
+        // cut bandwidth per timestep over the ring, half hidden by the
+        // overlap optimization. Gated on the device count, not the unit
+        // count — a 2-unit deployment packed onto one FPGA has
+        // `max_ring_hops == 0` and its inter-unit state never leaves the
+        // device.
+        if deployment.num_devices() > 1 {
             let link = ring_link();
             let per_step = link.serialization_time(deployment.cut_bandwidth.div_ceil(8))
                 + SimTime::from_ns(link.latency.as_ns() * deployment.max_ring_hops as f64);
@@ -402,6 +407,66 @@ mod tests {
         let one_l = l.options.iter().find(|o| o.num_units() == 1).unwrap();
         assert!(!one_l.units[0].images.contains_key("XCKU115"));
         assert!(one_l.units[0].images.contains_key("XCVU37P"));
+    }
+
+    #[test]
+    fn colocated_units_pay_no_ring_penalty() {
+        use vfpga_fabric::DeviceId;
+        use vfpga_runtime::{DeploymentId, Placement};
+        use vfpga_workload::RnnKind;
+
+        let c = Catalog::build();
+        // A small task whose weights fit a single bw-s unit, so the
+        // streaming factor is 1.0 in every variant below and service time
+        // differs only through the ring term.
+        let task = RnnTask::new(RnnKind::Gru, 512, 64);
+        let dev = DeviceId(0);
+        let make = |placements: Vec<Placement>, hops: usize| Deployment {
+            id: DeploymentId(0),
+            instance: "bw-s".to_string(),
+            installed_instance: None,
+            placements,
+            crossings_per_op: 2,
+            cut_bandwidth: 4096,
+            max_ring_hops: hops,
+        };
+        let unit = |device: DeviceId, alloc: u64, share: f64| Placement {
+            device,
+            allocation: vfpga_hsabs::AllocationId(alloc),
+            compute_share: share,
+        };
+        let single = make(vec![unit(dev, 1, 1.0)], 0);
+        let colocated = make(vec![unit(dev, 1, 0.5), unit(dev, 2, 0.5)], 0);
+        // Regression: the ring penalty used to be gated on num_units() > 1,
+        // so two units packed onto ONE device were charged phantom ring
+        // serialization even with max_ring_hops == 0.
+        let t_single = c.service_time(&task, &single, Policy::Full);
+        let t_colocated = c.service_time(&task, &colocated, Policy::Full);
+        assert_eq!(
+            t_single, t_colocated,
+            "co-located units must match equivalent single-unit capacity"
+        );
+        // Spanning two distinct same-type devices does pay the ring.
+        let mut same_type = None;
+        let ids: Vec<DeviceId> = c.cluster.device_ids().collect();
+        'outer: for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                if c.cluster.device(a).device_type().name()
+                    == c.cluster.device(b).device_type().name()
+                {
+                    same_type = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = same_type.expect("paper cluster has a same-type pair");
+        let hops = c.cluster.ring_hops(a, b);
+        let spread = make(vec![unit(a, 1, 0.5), unit(b, 2, 0.5)], hops);
+        let t_spread = c.service_time(&task, &spread, Policy::Full);
+        assert!(
+            t_spread > t_colocated,
+            "distinct devices must pay the ring: {t_spread:?} vs {t_colocated:?}"
+        );
     }
 
     #[test]

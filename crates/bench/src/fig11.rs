@@ -103,7 +103,8 @@ pub fn sweep(task: RnnTask, machines: usize, added: &[SimTime], optimized: bool)
         let mut sims: Vec<CycleSim> = (0..machines)
             .map(|m| {
                 let rnn = generate_program(task, SliceSpec::new(m, machines));
-                let window = remote_window(&cfg.isa, m, machines);
+                let window =
+                    remote_window(&cfg.isa, m, machines).expect("ISA holds the sync window");
                 let mut program = insert_communication(&rnn.program, &rnn.state_slots, &window)
                     .expect("state slots fit channels");
                 if optimized {

@@ -22,6 +22,7 @@ pub mod admission;
 pub mod catalog;
 pub mod chaos;
 pub mod density;
+pub mod elastic;
 pub mod fig11;
 pub mod fig12;
 pub mod harness;

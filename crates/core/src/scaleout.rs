@@ -32,16 +32,36 @@ pub const SYNC_CHANNELS: u32 = 64;
 /// The pre-defined address window for a machine: the top `2 *
 /// SYNC_CHANNELS` DRAM slots are reserved (the paper suggests out-of-range
 /// addresses; reserving the top of the space keeps programs validatable).
-pub fn remote_window(isa: &IsaConfig, machine_index: usize, num_machines: usize) -> RemoteWindow {
+///
+/// # Errors
+///
+/// Returns [`CoreError::Isa`] if the ISA's DRAM is too small to carve out
+/// the reserved window (`dram_slots < 2 * SYNC_CHANNELS`); previously this
+/// underflowed `u32` into a bogus window near `u32::MAX`.
+pub fn remote_window(
+    isa: &IsaConfig,
+    machine_index: usize,
+    num_machines: usize,
+) -> Result<RemoteWindow, CoreError> {
+    let reserved = 2 * SYNC_CHANNELS;
+    if isa.dram_slots < reserved {
+        return Err(CoreError::Isa(vfpga_isa::IsaError::Validation {
+            index: 0,
+            message: format!(
+                "{} DRAM slots cannot hold the {reserved}-slot sync window",
+                isa.dram_slots
+            ),
+        }));
+    }
     let recv_base = isa.dram_slots - SYNC_CHANNELS;
     let send_base = recv_base - SYNC_CHANNELS;
-    RemoteWindow {
+    Ok(RemoteWindow {
         send_base,
         recv_base,
         channels: SYNC_CHANNELS,
         machine_index,
         num_machines,
-    }
+    })
 }
 
 /// Rewrites a scaled-down machine's program so that designated *state
@@ -202,13 +222,31 @@ mod tests {
     use vfpga_isa::{assemble, VReg};
 
     fn window() -> RemoteWindow {
-        remote_window(&IsaConfig::default(), 0, 2)
+        remote_window(&IsaConfig::default(), 0, 2).unwrap()
+    }
+
+    #[test]
+    fn small_isa_window_is_rejected_not_wrapped() {
+        // Regression: `dram_slots: 16` (the ISA test config) underflowed
+        // the u32 base computation into a window near u32::MAX.
+        let mut isa = IsaConfig::default();
+        isa.dram_slots = 16;
+        let err = remote_window(&isa, 0, 2);
+        assert!(err.is_err(), "16-slot DRAM must not fit a 128-slot window");
+        // One slot short of the reserved region still fails; exactly the
+        // reserved size succeeds with send_base at zero.
+        isa.dram_slots = 2 * SYNC_CHANNELS - 1;
+        assert!(remote_window(&isa, 0, 2).is_err());
+        isa.dram_slots = 2 * SYNC_CHANNELS;
+        let w = remote_window(&isa, 0, 2).unwrap();
+        assert_eq!(w.send_base, 0);
+        assert_eq!(w.recv_base, SYNC_CHANNELS);
     }
 
     #[test]
     fn window_sits_at_top_of_dram() {
         let isa = IsaConfig::default();
-        let w = remote_window(&isa, 1, 4);
+        let w = remote_window(&isa, 1, 4).unwrap();
         assert_eq!(w.recv_base + w.channels, isa.dram_slots);
         assert_eq!(w.send_base + w.channels, w.recv_base);
         assert_eq!(w.machine_index, 1);

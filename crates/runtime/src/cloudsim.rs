@@ -6,12 +6,12 @@ use std::collections::{HashMap, VecDeque};
 
 use vfpga_fabric::DeviceId;
 use vfpga_sim::{
-    CriticalPath, EventQueue, FaultPlan, Json, MetricsRegistry, SimTime, SpanId, SpanTracer,
-    Summary, ThroughputMeter, TimeSeries, TraceEventKind, TraceId, TraceRing,
+    CriticalPath, EventQueue, FaultPlan, Json, MetricsRegistry, SimTime, SpanCtx, SpanId,
+    SpanTracer, Summary, ThroughputMeter, TimeSeries, TraceEventKind, TraceId, TraceRing,
 };
 use vfpga_workload::{RnnTask, TaskArrival};
 
-use crate::controller::{Deployment, RejectReason, SystemController};
+use crate::controller::{Deployment, RejectReason, ScaleDown, SystemController};
 use crate::RuntimeError;
 
 /// Default capacity of the scheduler-event trace ring kept by
@@ -24,10 +24,54 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
 /// O(queue).
 const SCAN_WINDOW: usize = 64;
 
-/// Knobs for the admission scheduler that change how much work a run
-/// performs — never *what* it admits. Both default on;
-/// [`run_cloud_sim_tuned`] exists so the bench harness can turn them off
-/// and measure the unoptimized path.
+/// Dynamic-elasticity knobs for the reprovisioner: whether the scheduler
+/// may resize *running* deployments in response to capacity-epoch
+/// movement. Both off by default — unlike the [`AdmissionTuning`]
+/// fast-path knobs, elasticity changes *what* the scheduler does, so it
+/// is an explicit opt-in, and every run with it off stays byte-identical
+/// to the pre-elasticity scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ElasticityPolicy {
+    /// Promote running deployments to higher-unit mapping variants when
+    /// idle capacity appears (and no task is queued for it), preferring
+    /// co-located / low-ring-hop placements. A promotion only happens
+    /// when the candidate's service time beats the current one, so it
+    /// strictly shortens the task's remaining work.
+    pub promote: bool,
+    /// Preemptively scale down the cheapest running victim (fewest lost
+    /// units, least remaining work) when queued tasks cannot be admitted,
+    /// so they stop starving behind grown tenants. Only *borrowed* units
+    /// are ever reclaimed: a deployment can be demoted back toward the
+    /// shape admission gave it, never below — promotion is a revocable
+    /// loan of idle capacity, not a transfer.
+    pub preempt: bool,
+}
+
+impl ElasticityPolicy {
+    /// No resizing — the default, byte-identical to the pre-elasticity
+    /// scheduler.
+    pub const DISABLED: ElasticityPolicy = ElasticityPolicy {
+        promote: false,
+        preempt: false,
+    };
+
+    /// Both promotion and preemptive scale-down.
+    pub const FULL: ElasticityPolicy = ElasticityPolicy {
+        promote: true,
+        preempt: true,
+    };
+
+    /// Whether any reprovisioning is enabled.
+    pub fn any(self) -> bool {
+        self.promote || self.preempt
+    }
+}
+
+/// Knobs for the admission scheduler. `wave_gating` and `trace_spans`
+/// change how much work a run performs — never *what* it admits — and
+/// default on; [`run_cloud_sim_tuned`] exists so the bench harness can
+/// turn them off and measure the unoptimized path. `elasticity` opts into
+/// the reprovisioner and defaults off (see [`ElasticityPolicy`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionTuning {
     /// Skip admission waves while the queue head is saturated and the
@@ -44,6 +88,8 @@ pub struct AdmissionTuning {
     /// — for benchmark-scale workloads where the forest would dominate
     /// memory.
     pub trace_spans: bool,
+    /// Dynamic reprovisioning of running deployments (off by default).
+    pub elasticity: ElasticityPolicy,
 }
 
 impl Default for AdmissionTuning {
@@ -51,6 +97,7 @@ impl Default for AdmissionTuning {
         AdmissionTuning {
             wave_gating: true,
             trace_spans: true,
+            elasticity: ElasticityPolicy::DISABLED,
         }
     }
 }
@@ -182,6 +229,22 @@ pub struct CloudReport {
     pub scale_down_redeployments: u64,
     /// Time from interruption to successful redeployment, in seconds.
     pub time_to_recovery: Summary,
+    /// Running deployments the reprovisioner grew to a higher-unit
+    /// variant (zero unless [`ElasticityPolicy::promote`] is on).
+    pub promotions: u64,
+    /// Running deployments the reprovisioner preemptively shrank to admit
+    /// queued work (zero unless [`ElasticityPolicy::preempt`] is on).
+    pub preemptions: u64,
+    /// Units gained across all promotions.
+    pub units_gained: u64,
+    /// Units lost across all preemptive scale-downs.
+    pub units_lost: u64,
+    /// Remaining-service time each promotion saved its task, in seconds
+    /// (old remaining minus new remaining; positive by construction).
+    pub promotion_saved: Summary,
+    /// Remaining-service time each preemption added to its victim, in
+    /// seconds (new remaining minus old remaining).
+    pub preemption_added: Summary,
     /// Sim time spent with at least one device failed.
     pub degraded_time: SimTime,
     /// Time-weighted mean occupancy of the surviving devices while
@@ -313,6 +376,30 @@ impl CloudReport {
                     .with("mean_time_to_recovery_s", self.mean_time_to_recovery_s())
                     .with("degraded_time_s", self.degraded_time.as_secs())
                     .with("degraded_mean_occupancy", self.degraded_mean_occupancy),
+            )
+            .with(
+                "elasticity",
+                Json::obj()
+                    .with("promotions", self.promotions)
+                    .with("preemptions", self.preemptions)
+                    .with("units_gained", self.units_gained)
+                    .with("units_lost", self.units_lost)
+                    .with(
+                        "promotion_saved_s",
+                        Json::obj()
+                            .with("count", self.promotion_saved.count())
+                            .with("mean", self.promotion_saved.mean())
+                            .with("min", self.promotion_saved.min())
+                            .with("max", self.promotion_saved.max()),
+                    )
+                    .with(
+                        "preemption_added_s",
+                        Json::obj()
+                            .with("count", self.preemption_added.count())
+                            .with("mean", self.preemption_added.mean())
+                            .with("min", self.preemption_added.min())
+                            .with("max", self.preemption_added.max()),
+                    ),
             )
             .with(
                 "trace",
@@ -476,6 +563,8 @@ struct Meters {
     migrations: vfpga_sim::CounterId,
     redeployments: vfpga_sim::CounterId,
     lost: vfpga_sim::CounterId,
+    promotions: vfpga_sim::CounterId,
+    preemptions: vfpga_sim::CounterId,
     latency: vfpga_sim::TimerId,
     queue_wait: vfpga_sim::TimerId,
     requeue_wait: vfpga_sim::TimerId,
@@ -534,6 +623,32 @@ struct CloudSim<'a> {
     requeued: u64,
     lost: u64,
     scale_down_redeployments: u64,
+
+    /// Elastic reprovisioning (from [`AdmissionTuning`]).
+    elasticity: ElasticityPolicy,
+    /// Each running task's full service time under its current deployment
+    /// (denominator of the work-fraction model on resize).
+    service_total: Vec<SimTime>,
+    /// When each running task's scheduled `Completion` will fire; the
+    /// remaining work at any instant is `completion_at - now`.
+    completion_at: Vec<SimTime>,
+    /// Units each running task was *admitted* with (its last non-elastic
+    /// deployment). Units above this watermark are borrowed via promotion
+    /// and are the only ones preemption may reclaim.
+    base_units: Vec<u32>,
+    /// Capacity epoch of the last promotion pass; a pass runs at most once
+    /// per epoch (capacity unchanged means the scan would repeat).
+    last_promo_epoch: Option<u64>,
+    /// Capacity epoch of the last *unproductive* preemption pass; while it
+    /// matches, preemption is skipped so a saturated queue cannot demote
+    /// more than one victim per capacity change.
+    last_preempt_epoch: Option<u64>,
+    promotions: u64,
+    preemptions: u64,
+    units_gained: u64,
+    units_lost: u64,
+    promotion_saved: Summary,
+    preemption_added: Summary,
 
     /// Wave gating (from [`AdmissionTuning`]): `Some(epoch)` after a wave
     /// rejected every scanned task with the capacity epoch at `epoch`.
@@ -595,6 +710,8 @@ impl<'a> CloudSim<'a> {
             migrations: metrics.counter("migrations"),
             redeployments: metrics.counter("redeployments"),
             lost: metrics.counter("lost"),
+            promotions: metrics.counter("promotions"),
+            preemptions: metrics.counter("preemptions"),
             latency: metrics.timer("latency_s"),
             queue_wait: metrics.timer("queue_wait_s"),
             requeue_wait: metrics.timer("requeue_wait_s"),
@@ -639,6 +756,18 @@ impl<'a> CloudSim<'a> {
             requeued: 0,
             lost: 0,
             scale_down_redeployments: 0,
+            elasticity: tuning.elasticity,
+            service_total: vec![SimTime::ZERO; n],
+            completion_at: vec![SimTime::ZERO; n],
+            base_units: vec![0; n],
+            last_promo_epoch: None,
+            last_preempt_epoch: None,
+            promotions: 0,
+            preemptions: 0,
+            units_gained: 0,
+            units_lost: 0,
+            promotion_saved: Summary::new(),
+            preemption_added: Summary::new(),
             gating: tuning.wave_gating,
             saturated_at: None,
             last_event_at: SimTime::ZERO,
@@ -781,6 +910,9 @@ impl<'a> CloudSim<'a> {
             } else {
                 self.admission_wave(now)?
             };
+            if self.elasticity.any() {
+                self.reprovision(now)?;
+            }
             self.sample_gauges(now);
             if saw_transient && self.events.is_empty() && !self.queue.is_empty() {
                 // Without a nudge the run would drain here and strand
@@ -1059,14 +1191,289 @@ impl<'a> CloudSim<'a> {
         self.deployed_at[task_index] = now;
         self.epoch[task_index] += 1;
         self.task_of.insert(deployment.id.0, task_index);
+        self.base_units[task_index] = deployment.num_units() as u32;
         self.running[task_index] = Some(deployment);
+        self.service_total[task_index] = service;
+        self.completion_at[task_index] = now.checked_add(service).unwrap_or(SimTime::MAX);
         self.events.schedule(
-            now.checked_add(service).unwrap_or(SimTime::MAX),
+            self.completion_at[task_index],
             Event::Completion {
                 task_index,
                 epoch: self.epoch[task_index],
             },
         );
+    }
+
+    /// One elastic-reprovisioning pass, run after the admission wave
+    /// whenever any [`ElasticityPolicy`] knob is on.
+    ///
+    /// Preemption first: while tasks starve in the queue, the cheapest
+    /// victim is scaled down and the admission wave re-run; the loop stops
+    /// as soon as a demotion fails to admit anything, and an unproductive
+    /// pass arms a per-capacity-epoch latch so a saturated queue cannot
+    /// demote more than one victim per capacity change. Promotion only
+    /// runs when the queue is empty — growing a tenant while work is
+    /// waiting would invert the policy's priorities — and at most once per
+    /// capacity epoch.
+    fn reprovision(&mut self, now: SimTime) -> Result<(), RuntimeError> {
+        if self.elasticity.preempt
+            && !self.queue.is_empty()
+            && self.last_preempt_epoch != Some(self.controller.capacity_epoch())
+        {
+            let mut productive = false;
+            while !self.queue.is_empty() {
+                let Some(victim) = self.cheapest_victim(now) else {
+                    break;
+                };
+                if !self.preempt_victim(now, victim)? {
+                    break;
+                }
+                let before = self.queue.len();
+                self.admission_wave(now)?;
+                if self.queue.len() == before {
+                    break;
+                }
+                productive = true;
+            }
+            if !productive {
+                self.last_preempt_epoch = Some(self.controller.capacity_epoch());
+            }
+        }
+        if self.elasticity.promote && self.queue.is_empty() {
+            let epoch = self.controller.capacity_epoch();
+            if self.last_promo_epoch != Some(epoch) {
+                self.last_promo_epoch = Some(epoch);
+                self.promote_pass(now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Picks the cheapest preemption victim: among running tasks holding
+    /// borrowed units (promoted above their admitted shape) with a
+    /// strictly smaller mapping variant to fall back to, the one losing
+    /// the fewest units, breaking ties by least remaining work (least
+    /// slowdown added), then lowest task index for determinism. Tasks at
+    /// their admitted shape are never victims — demoting an organically
+    /// placed tenant trades its (possibly streaming-inflated) slowdown
+    /// for a stranger's queue wait, which measurably inflates the tail.
+    fn cheapest_victim(&self, now: SimTime) -> Option<usize> {
+        self.running
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let d = slot.as_ref()?;
+                if (d.num_units() as u32) <= self.base_units[i] {
+                    return None;
+                }
+                let target = self.controller.scale_down_target(d)?;
+                let remaining = self.completion_at[i].saturating_sub(now);
+                if remaining == SimTime::ZERO {
+                    return None;
+                }
+                Some((d.num_units() - target, remaining, i))
+            })
+            .min()
+            .map(|(_, _, i)| i)
+    }
+
+    /// Preemptively scales `victim` down to free capacity for the queue.
+    /// Returns whether capacity was actually freed (a demotion or a
+    /// displacement); `false` means the victim turned out unshrinkable
+    /// and the caller should stop preempting.
+    fn preempt_victim(&mut self, now: SimTime, victim: usize) -> Result<bool, RuntimeError> {
+        let d = self.running[victim].clone().expect("victim is running");
+        let from_units = d.num_units() as u32;
+        let span = self.spans.begin(
+            "reprovision",
+            TraceId(victim as u64),
+            self.phase_span[victim],
+            now,
+        );
+        self.spans.attr(span, "kind", "preempt");
+        let outcome = self.controller.demote_deployment(
+            &d,
+            Some(SpanCtx {
+                spans: &mut self.spans,
+                trace: TraceId(victim as u64),
+                parent: Some(span),
+                at: now,
+            }),
+        )?;
+        match outcome {
+            ScaleDown::Demoted(nd) => {
+                let to_units = nd.num_units() as u32;
+                self.spans.attr(span, "outcome", "demoted");
+                self.spans.attr(span, "from_units", from_units as u64);
+                self.spans.attr(span, "to_units", to_units as u64);
+                self.spans.end(span, now);
+                self.preemptions += 1;
+                self.metrics.inc(self.m.preemptions);
+                self.units_lost += (from_units - to_units) as u64;
+                self.trace.push(
+                    now,
+                    TraceEventKind::PreemptiveScaleDown {
+                        task: victim as u64,
+                        from_units,
+                        to_units,
+                    },
+                );
+                let (old_rem, new_rem) = self.resize_running(now, victim, nd);
+                self.preemption_added
+                    .record(new_rem.as_secs() - old_rem.as_secs());
+                Ok(true)
+            }
+            ScaleDown::AlreadyMinimal => {
+                self.spans.attr(span, "outcome", "kept");
+                self.spans.end(span, now);
+                Ok(false)
+            }
+            ScaleDown::Displaced => {
+                // Every smaller variant flaked during commit: the victim's
+                // resources are gone, so it rides the same interruption /
+                // migration machinery a device failure uses (and counts
+                // into the same accounting).
+                self.spans.attr(span, "outcome", "displaced");
+                self.spans.end(span, now);
+                let old = self.running[victim].take().expect("victim was running");
+                self.task_of.remove(&old.id.0);
+                let device = old.placements.first().map_or(0, |p| p.device.0 as u64);
+                self.epoch[victim] += 1;
+                self.interrupted += 1;
+                self.metrics.inc(self.m.interrupted);
+                self.interrupted_pending[victim] = Some((now, old.num_units() as u32));
+                self.trace.push(
+                    now,
+                    TraceEventKind::MigrationStarted {
+                        task: victim as u64,
+                        device,
+                    },
+                );
+                self.close_phase(victim, now);
+                let migrate = self.open_phase(victim, "migrate", now);
+                self.spans.attr(migrate, "device", device);
+                self.attempt_migration(now, victim, 0)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// One promotion scan over the running tasks: each is offered the
+    /// co-located-first larger variants and promoted when the candidate's
+    /// service time beats the current one — under the work-fraction model
+    /// the remaining work scales with the total, so a strictly better
+    /// service time strictly shortens what is left.
+    fn promote_pass(&mut self, now: SimTime) -> Result<(), RuntimeError> {
+        for i in 0..self.running.len() {
+            let Some(d) = self.running[i].clone() else {
+                continue;
+            };
+            if self.completion_at[i].saturating_sub(now) == SimTime::ZERO {
+                continue;
+            }
+            let from_units = d.num_units() as u32;
+            let task = self.arrivals[i].task;
+            let service_time = self.service_time;
+            let old_secs = self.service_total[i].as_secs();
+            let mut accept =
+                move |cand: &Deployment| service_time(&task, cand).as_secs() < old_secs;
+            let span = self
+                .spans
+                .begin("reprovision", TraceId(i as u64), self.phase_span[i], now);
+            self.spans.attr(span, "kind", "promote");
+            let promoted = self.controller.promote_deployment(
+                &d,
+                &mut accept,
+                Some(SpanCtx {
+                    spans: &mut self.spans,
+                    trace: TraceId(i as u64),
+                    parent: Some(span),
+                    at: now,
+                }),
+            )?;
+            match promoted {
+                Some(nd) => {
+                    let to_units = nd.num_units() as u32;
+                    self.spans.attr(span, "outcome", "promoted");
+                    self.spans.attr(span, "from_units", from_units as u64);
+                    self.spans.attr(span, "to_units", to_units as u64);
+                    self.spans.end(span, now);
+                    self.promotions += 1;
+                    self.metrics.inc(self.m.promotions);
+                    self.units_gained += (to_units - from_units) as u64;
+                    self.trace.push(
+                        now,
+                        TraceEventKind::ScaleUp {
+                            task: i as u64,
+                            from_units,
+                            to_units,
+                        },
+                    );
+                    let (old_rem, new_rem) = self.resize_running(now, i, nd);
+                    self.promotion_saved
+                        .record(old_rem.as_secs() - new_rem.as_secs());
+                }
+                None => {
+                    self.spans.attr(span, "outcome", "kept");
+                    self.spans.end(span, now);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Swaps a running task onto `new_deployment` at `now`, carrying its
+    /// progress over as a work fraction: the remaining time is rescaled
+    /// by the ratio of the new shape's service time to the old one. The
+    /// compute phase closes and reopens at the same instant so the span
+    /// partition stays gapless (two compute buckets simply sum in the
+    /// critical-path analysis). Returns `(old_remaining, new_remaining)`.
+    fn resize_running(
+        &mut self,
+        now: SimTime,
+        task_index: usize,
+        new_deployment: Deployment,
+    ) -> (SimTime, SimTime) {
+        let old = self.running[task_index]
+            .take()
+            .expect("resized task was running");
+        self.task_of.remove(&old.id.0);
+        let old_remaining = self.completion_at[task_index].saturating_sub(now);
+        let old_total = self.service_total[task_index];
+        let task = self.arrivals[task_index].task;
+        let new_total = (self.service_time)(&task, &new_deployment);
+        let frac = if old_total > SimTime::ZERO {
+            old_remaining.as_secs() / old_total.as_secs()
+        } else {
+            0.0
+        };
+        let new_remaining = SimTime::from_secs(new_total.as_secs() * frac);
+        self.close_phase(task_index, now);
+        let compute = self.open_phase(task_index, "compute", now);
+        self.spans
+            .attr(compute, "units", new_deployment.num_units());
+        if let Some(p) = new_deployment.placements.first() {
+            let slot = self
+                .controller
+                .allocation_slots(p.allocation)
+                .and_then(|s| s.first().copied())
+                .unwrap_or(0);
+            self.spans
+                .set_lane(compute, p.device.0 as u64 + 1, slot as u64);
+        }
+        self.epoch[task_index] += 1;
+        self.task_of.insert(new_deployment.id.0, task_index);
+        self.running[task_index] = Some(new_deployment);
+        self.service_total[task_index] = new_total;
+        self.completion_at[task_index] = now.checked_add(new_remaining).unwrap_or(SimTime::MAX);
+        self.events.schedule(
+            self.completion_at[task_index],
+            Event::Completion {
+                task_index,
+                epoch: self.epoch[task_index],
+            },
+        );
+        (old_remaining, new_remaining)
     }
 
     /// Admits as many queued tasks as capacity allows. Tasks request
@@ -1236,6 +1643,12 @@ impl<'a> CloudSim<'a> {
             requeued: self.requeued,
             scale_down_redeployments: self.scale_down_redeployments,
             time_to_recovery: self.time_to_recovery,
+            promotions: self.promotions,
+            preemptions: self.preemptions,
+            units_gained: self.units_gained,
+            units_lost: self.units_lost,
+            promotion_saved: self.promotion_saved,
+            preemption_added: self.preemption_added,
             degraded_time: self.degraded_time,
             degraded_mean_occupancy: if degraded_secs > 0.0 {
                 self.degraded_occ_weighted / degraded_secs
@@ -1788,6 +2201,7 @@ mod tests {
                 AdmissionTuning {
                     wave_gating,
                     trace_spans: true,
+                    elasticity: ElasticityPolicy::DISABLED,
                 },
             )
             .unwrap()
@@ -1830,6 +2244,7 @@ mod tests {
                 AdmissionTuning {
                     wave_gating,
                     trace_spans: true,
+                    elasticity: ElasticityPolicy::DISABLED,
                 },
             )
             .unwrap()
@@ -1867,6 +2282,7 @@ mod tests {
                 AdmissionTuning {
                     wave_gating: true,
                     trace_spans,
+                    elasticity: ElasticityPolicy::DISABLED,
                 },
             )
             .unwrap()
@@ -1915,6 +2331,116 @@ mod tests {
         assert!(
             report.rejections_for(RejectReason::TransientFault) > 0,
             "30% flake rate must surface in the breakdown"
+        );
+    }
+
+    /// Service that improves with parallel units — the shape promotion
+    /// exists for (e.g. a weight set that stops streaming once spread).
+    fn scaling_service(_t: &RnnTask, d: &Deployment) -> SimTime {
+        SimTime::from_us(100.0 / d.num_units() as f64)
+    }
+
+    fn elastic_run(
+        cluster: &vfpga_fabric::Cluster,
+        db: &MappingDatabase,
+        a: &[TaskArrival],
+        elasticity: ElasticityPolicy,
+    ) -> CloudReport {
+        let mut c = SystemController::new(cluster.clone(), db.clone(), Policy::Full);
+        run_cloud_sim_tuned(
+            &mut c,
+            a,
+            &|_| "tiny".to_string(),
+            &scaling_service,
+            &FaultPlan::none(),
+            RecoveryPolicy::default(),
+            DEFAULT_TRACE_CAPACITY,
+            AdmissionTuning {
+                elasticity,
+                ..AdmissionTuning::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn promotion_grows_idle_deployments_and_shortens_service() {
+        let (cluster, db) = small_db();
+        // Sparse arrivals: the cluster is idle around every task, so each
+        // deployment should be promoted off its greedy 1-unit placement.
+        let a = arrivals(4, 300.0);
+        let on = elastic_run(
+            &cluster,
+            &db,
+            &a,
+            ElasticityPolicy {
+                promote: true,
+                preempt: false,
+            },
+        );
+        let off = elastic_run(&cluster, &db, &a, ElasticityPolicy::DISABLED);
+        assert!(on.accounts_for_all_arrivals());
+        assert_eq!(on.completed, 4);
+        assert!(on.promotions >= 1, "idle capacity must trigger promotion");
+        assert!(on.units_gained >= 1);
+        assert_eq!(on.preemptions, 0, "promote-only policy never preempts");
+        assert!(
+            on.latency.mean() < off.latency.mean(),
+            "promotion must shorten service: {} vs {}",
+            on.latency.mean(),
+            off.latency.mean()
+        );
+        assert!(on.promotion_saved.count() >= 1);
+        assert!(on.promotion_saved.min().unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn preemption_reclaims_promoted_capacity_for_queued_work() {
+        let (cluster, db) = small_db();
+        // A lone early task gets promoted into the idle cluster; a burst
+        // then piles up behind it, which preemption must relieve.
+        let mut a = arrivals(1, 0.0);
+        for _ in 0..40 {
+            a.push(TaskArrival {
+                at: SimTime::from_us(10.0),
+                task: RnnTask::new(RnnKind::Lstm, 512, 5),
+            });
+        }
+        let on = elastic_run(&cluster, &db, &a, ElasticityPolicy::FULL);
+        assert!(on.accounts_for_all_arrivals());
+        assert_eq!(on.completed, a.len() as u64);
+        assert!(on.promotions >= 1, "the early task must be promoted");
+        assert!(
+            on.preemptions >= 1,
+            "the burst must claw promoted units back"
+        );
+        assert!(on.units_lost >= 1);
+        assert!(on.preemption_added.count() >= 1);
+    }
+
+    #[test]
+    fn elasticity_off_is_identical_to_default_tuning() {
+        let (cluster, db) = small_db();
+        let a = arrivals(60, 2.0);
+        let explicit = elastic_run(&cluster, &db, &a, ElasticityPolicy::DISABLED);
+        let mut c = SystemController::new(cluster.clone(), db.clone(), Policy::Full);
+        let default = run_cloud_sim_tuned(
+            &mut c,
+            &a,
+            &|_| "tiny".to_string(),
+            &scaling_service,
+            &FaultPlan::none(),
+            RecoveryPolicy::default(),
+            DEFAULT_TRACE_CAPACITY,
+            AdmissionTuning::default(),
+        )
+        .unwrap();
+        assert_eq!(default.promotions, 0);
+        assert_eq!(default.preemptions, 0);
+        assert_eq!(
+            explicit.to_json().pretty(),
+            default.to_json().pretty(),
+            "default tuning must mean elasticity off, byte for byte"
         );
     }
 }

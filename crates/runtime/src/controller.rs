@@ -157,6 +157,33 @@ impl Deployment {
     pub fn num_units(&self) -> usize {
         self.placements.len()
     }
+
+    /// Number of *distinct* devices hosting the deployment's units.
+    /// Co-located units (several units on one FPGA) exchange state through
+    /// local DRAM and never touch the ring.
+    pub fn num_devices(&self) -> usize {
+        let mut devices: Vec<_> = self.placements.iter().map(|p| p.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        devices.len()
+    }
+}
+
+/// Outcome of a preemptive scale-down request
+/// ([`SystemController::demote_deployment`]).
+#[derive(Debug)]
+pub enum ScaleDown {
+    /// The deployment now runs as the returned smaller variant; the old
+    /// allocation was released.
+    Demoted(Deployment),
+    /// No strictly smaller mapping option exists (or the policy forbids
+    /// resizing); nothing changed.
+    AlreadyMinimal,
+    /// The old allocation was released but every smaller variant failed
+    /// to commit (transient reconfiguration faults on every candidate).
+    /// The deployment is gone; its task must re-enter the caller's
+    /// migration/admission machinery like an interrupted one.
+    Displaced,
 }
 
 /// The system controller (Fig. 7): searches the mapping database for
@@ -824,6 +851,271 @@ impl SystemController {
         }
         self.stats.releases += 1;
         Ok(())
+    }
+
+    /// Unit count of the largest mapping option strictly smaller than
+    /// `deployment` — the variant a preemptive scale-down would land on —
+    /// or `None` when the deployment is already minimal (or the policy
+    /// forbids resizing). Lets schedulers rank demotion victims by how
+    /// few units each would lose without committing anything.
+    pub fn scale_down_target(&self, deployment: &Deployment) -> Option<usize> {
+        if self.policy == Policy::Baseline {
+            return None;
+        }
+        let entry = self.db.entry_shared(&deployment.instance)?;
+        entry
+            .options
+            .iter()
+            .map(vfpga_core::DeploymentOption::num_units)
+            .filter(|&u| u < deployment.num_units())
+            .max()
+    }
+
+    /// Attempts to grow a live deployment to a higher-unit mapping
+    /// variant using only currently free capacity. Candidate variants are
+    /// ranked co-located-first — smallest `max_ring_hops`, then fewest
+    /// distinct devices, then fewest units — and offered to `accept` as a
+    /// placed (but uncommitted) [`Deployment`]; the first accepted
+    /// candidate is committed. The running allocation is held until the
+    /// new footprint is fully configured, so a failed promotion never
+    /// risks the task: a transient reconfiguration fault rolls back the
+    /// new units and returns `Ok(None)` with the old deployment intact.
+    ///
+    /// On success the old allocation is released (bumping the capacity
+    /// epoch) and the new deployment — with a fresh id — is returned.
+    /// Returns `Ok(None)` when no larger variant fits, none is accepted,
+    /// or the policy forbids resizing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownInstance`] for unregistered
+    /// instances and propagates hard HS errors (after rolling back any
+    /// units configured for the candidate).
+    pub fn promote_deployment(
+        &mut self,
+        deployment: &Deployment,
+        accept: &mut dyn FnMut(&Deployment) -> bool,
+        mut ctx: Option<SpanCtx<'_>>,
+    ) -> Result<Option<Deployment>, RuntimeError> {
+        if self.policy == Policy::Baseline || deployment.installed_instance.is_some() {
+            return Ok(None);
+        }
+        let entry = self
+            .db
+            .entry_shared(&deployment.instance)
+            .ok_or_else(|| RuntimeError::UnknownInstance(deployment.instance.clone()))?;
+        let max_free = self.type_max_free();
+        // Rank every placeable larger variant before committing anything:
+        // all placements are computed against the same free state, and a
+        // rolled-back transient leaves that state unchanged, so the
+        // ranking stays valid across commit attempts.
+        let mut candidates = Vec::new();
+        for option in &entry.options {
+            if option.num_units() <= deployment.num_units() {
+                continue;
+            }
+            let Some(devices) = self.find_placement(option, &max_free) else {
+                continue;
+            };
+            let mut hops = 0;
+            let mut distinct: Vec<DeviceId> = devices.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            for a in &devices {
+                for b in &devices {
+                    hops = hops.max(self.cluster.ring_hops(*a, *b));
+                }
+            }
+            candidates.push((hops, distinct.len(), option.num_units(), option, devices));
+        }
+        candidates.sort_by_key(|&(hops, distinct, units, _, _)| (hops, distinct, units));
+        for (hops, _, _, option, devices) in candidates {
+            // The candidate is offered with placeholder allocation ids:
+            // service-time models read devices, shares, and link shape,
+            // never the HS handles, and nothing is configured until the
+            // caller accepts.
+            let phantom = Deployment {
+                id: deployment.id,
+                instance: deployment.instance.clone(),
+                installed_instance: None,
+                placements: devices
+                    .iter()
+                    .zip(&option.units)
+                    .map(|(&device, unit)| Placement {
+                        device,
+                        allocation: AllocationId(u64::MAX),
+                        compute_share: unit.compute_share,
+                    })
+                    .collect(),
+                crossings_per_op: option.crossings_per_op,
+                cut_bandwidth: option.cut_bandwidth,
+                max_ring_hops: hops,
+            };
+            if !accept(&phantom) {
+                continue;
+            }
+            let mut allocations: Vec<(DeviceId, AllocationId)> = Vec::new();
+            let mut placements = Vec::new();
+            for (unit, &device) in option.units.iter().zip(&devices) {
+                let type_name = self.cluster.device(device).device_type().name();
+                let image = &unit.images[type_name];
+                match self
+                    .llc
+                    .configure_spanned(device, image, ctx.as_mut().map(|c| c.reborrow()))
+                {
+                    Ok(alloc) => {
+                        allocations.push((device, alloc));
+                        placements.push(Placement {
+                            device,
+                            allocation: alloc,
+                            compute_share: unit.compute_share,
+                        });
+                    }
+                    Err(e) => {
+                        // Roll back the half-built candidate; the running
+                        // deployment was never touched.
+                        for (_, a) in allocations {
+                            let _ = self.llc.release(a);
+                        }
+                        return match e {
+                            HsError::TransientConfigureFailure(_) => Ok(None),
+                            e => Err(RuntimeError::Hs(e)),
+                        };
+                    }
+                }
+            }
+            // The new footprint is in place: swap the old one out.
+            let old = self.live.remove(&deployment.id.0).ok_or(RuntimeError::Hs(
+                vfpga_hsabs::HsError::UnknownAllocation(deployment.id.0),
+            ))?;
+            for (_, a) in old {
+                self.llc.release(a)?;
+            }
+            self.stats.releases += 1;
+            self.stats.deploys += 1;
+            let id = DeploymentId(self.next_id);
+            self.next_id += 1;
+            self.live.insert(id.0, allocations);
+            return Ok(Some(Deployment {
+                id,
+                instance: deployment.instance.clone(),
+                installed_instance: None,
+                placements,
+                crossings_per_op: option.crossings_per_op,
+                cut_bandwidth: option.cut_bandwidth,
+                max_ring_hops: hops,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// Preemptively shrinks a live deployment to the largest strictly
+    /// smaller mapping variant (fewest lost units), freeing capacity for
+    /// queued work. Unlike promotion the old allocation is released
+    /// *first* — the smaller variant re-places into the superset the
+    /// release opens up, so the demotion itself can never be blocked by
+    /// the deployment it shrinks. Progressively smaller variants are
+    /// tried if a commit flakes; if every one fails the deployment is
+    /// gone and [`ScaleDown::Displaced`] tells the caller to route the
+    /// task through its interruption/migration machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownInstance`] for unregistered
+    /// instances, an HS error when the deployment is not live, and
+    /// propagates hard HS errors.
+    pub fn demote_deployment(
+        &mut self,
+        deployment: &Deployment,
+        mut ctx: Option<SpanCtx<'_>>,
+    ) -> Result<ScaleDown, RuntimeError> {
+        if self.policy == Policy::Baseline || deployment.installed_instance.is_some() {
+            return Ok(ScaleDown::AlreadyMinimal);
+        }
+        let entry = self
+            .db
+            .entry_shared(&deployment.instance)
+            .ok_or_else(|| RuntimeError::UnknownInstance(deployment.instance.clone()))?;
+        let mut smaller: Vec<_> = entry
+            .options
+            .iter()
+            .filter(|o| o.num_units() < deployment.num_units())
+            .collect();
+        if smaller.is_empty() {
+            return Ok(ScaleDown::AlreadyMinimal);
+        }
+        smaller.sort_by_key(|o| std::cmp::Reverse(o.num_units()));
+        let old = self.live.remove(&deployment.id.0).ok_or(RuntimeError::Hs(
+            vfpga_hsabs::HsError::UnknownAllocation(deployment.id.0),
+        ))?;
+        for (_, a) in old {
+            self.llc.release(a)?;
+        }
+        self.stats.releases += 1;
+        for option in smaller {
+            // Free state changed at the release (and stays changed after
+            // a rolled-back transient), so re-summarize per candidate.
+            let max_free = self.type_max_free();
+            let Some(devices) = self.find_placement(option, &max_free) else {
+                continue;
+            };
+            let mut allocations: Vec<(DeviceId, AllocationId)> = Vec::new();
+            let mut placements = Vec::new();
+            let mut transient = false;
+            for (unit, &device) in option.units.iter().zip(&devices) {
+                let type_name = self.cluster.device(device).device_type().name();
+                let image = &unit.images[type_name];
+                match self
+                    .llc
+                    .configure_spanned(device, image, ctx.as_mut().map(|c| c.reborrow()))
+                {
+                    Ok(alloc) => {
+                        allocations.push((device, alloc));
+                        placements.push(Placement {
+                            device,
+                            allocation: alloc,
+                            compute_share: unit.compute_share,
+                        });
+                    }
+                    Err(HsError::TransientConfigureFailure(_)) => {
+                        for (_, a) in allocations.drain(..) {
+                            let _ = self.llc.release(a);
+                        }
+                        transient = true;
+                        break;
+                    }
+                    Err(e) => {
+                        for (_, a) in allocations {
+                            let _ = self.llc.release(a);
+                        }
+                        return Err(RuntimeError::Hs(e));
+                    }
+                }
+            }
+            if transient {
+                continue;
+            }
+            let mut max_ring_hops = 0;
+            for a in &placements {
+                for b in &placements {
+                    max_ring_hops = max_ring_hops.max(self.cluster.ring_hops(a.device, b.device));
+                }
+            }
+            self.stats.deploys += 1;
+            let id = DeploymentId(self.next_id);
+            self.next_id += 1;
+            self.live.insert(id.0, allocations);
+            return Ok(ScaleDown::Demoted(Deployment {
+                id,
+                instance: deployment.instance.clone(),
+                installed_instance: None,
+                placements,
+                crossings_per_op: option.crossings_per_op,
+                cut_bandwidth: option.cut_bandwidth,
+                max_ring_hops,
+            }));
+        }
+        Ok(ScaleDown::Displaced)
     }
 
     /// The concrete virtual-block slot indexes backing one allocation

@@ -41,10 +41,11 @@ mod testutil;
 
 pub use cloudsim::{
     run_cloud_sim, run_cloud_sim_faulted, run_cloud_sim_traced, run_cloud_sim_tuned,
-    AdmissionTuning, CloudReport, RecoveryPolicy, DEFAULT_TRACE_CAPACITY,
+    AdmissionTuning, CloudReport, ElasticityPolicy, RecoveryPolicy, DEFAULT_TRACE_CAPACITY,
 };
 pub use controller::{
-    ControllerStats, Deployment, DeploymentId, Placement, Policy, RejectReason, SystemController,
+    ControllerStats, Deployment, DeploymentId, Placement, Policy, RejectReason, ScaleDown,
+    SystemController,
 };
 pub use scaleout_sim::{co_simulate_functional, co_simulate_timing, ScaleOutTiming};
 

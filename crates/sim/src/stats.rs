@@ -17,7 +17,7 @@ use std::fmt;
 /// assert_eq!(s.max(), Some(4.0));
 /// assert_eq!(Summary::new().min(), None);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -25,6 +25,15 @@ pub struct Summary {
     min: f64,
     max: f64,
     sum: f64,
+}
+
+impl Default for Summary {
+    /// Identical to [`Summary::new`]. A derived `Default` would zero the
+    /// `min`/`max` sentinels, making a defaulted summary report
+    /// `min() == Some(0.0)` after recording only positive samples.
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -289,6 +298,23 @@ mod tests {
         assert!((left.stddev() - whole.stddev()).abs() < 1e-9);
         assert_eq!(left.min(), whole.min());
         assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn default_keeps_infinity_sentinels() {
+        // Regression: the derived Default zeroed min/max, so a defaulted
+        // summary clamped min to 0.0 for all-positive samples (and max to
+        // 0.0 for all-negative ones).
+        let mut s = Summary::default();
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        s.record(3.0);
+        s.record(5.0);
+        assert_eq!(s.min(), Some(3.0));
+        assert_eq!(s.max(), Some(5.0));
+        let mut neg = Summary::default();
+        neg.record(-2.0);
+        assert_eq!(neg.max(), Some(-2.0));
     }
 
     #[test]

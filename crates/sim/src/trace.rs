@@ -70,6 +70,26 @@ pub enum TraceEventKind {
         /// Workload task index.
         task: u64,
     },
+    /// The reprovisioner grew a running deployment to a higher-unit
+    /// variant using idle capacity.
+    ScaleUp {
+        /// Workload task index.
+        task: u64,
+        /// Units before the promotion.
+        from_units: u32,
+        /// Units after the promotion.
+        to_units: u32,
+    },
+    /// The reprovisioner preemptively shrank a running deployment to
+    /// admit queued work.
+    PreemptiveScaleDown {
+        /// Workload task index.
+        task: u64,
+        /// Units before the demotion.
+        from_units: u32,
+        /// Units after the demotion.
+        to_units: u32,
+    },
     /// Sampled queue depth.
     QueueDepth {
         /// Number of tasks waiting.
@@ -96,6 +116,8 @@ impl TraceEventKind {
             TraceEventKind::MigrationStarted { .. } => "migration_started",
             TraceEventKind::MigrationCompleted { .. } => "migration_completed",
             TraceEventKind::RetryExhausted { .. } => "retry_exhausted",
+            TraceEventKind::ScaleUp { .. } => "scale_up",
+            TraceEventKind::PreemptiveScaleDown { .. } => "preemptive_scale_down",
             TraceEventKind::QueueDepth { .. } => "queue_depth",
             TraceEventKind::Occupancy { .. } => "occupancy",
         }
@@ -193,6 +215,19 @@ impl TraceRing {
                     TraceEventKind::MigrationStarted { task, device } => {
                         base.with("task", task).with("device", device)
                     }
+                    TraceEventKind::ScaleUp {
+                        task,
+                        from_units,
+                        to_units,
+                    }
+                    | TraceEventKind::PreemptiveScaleDown {
+                        task,
+                        from_units,
+                        to_units,
+                    } => base
+                        .with("task", task)
+                        .with("from_units", from_units as u64)
+                        .with("to_units", to_units as u64),
                     TraceEventKind::DeployRejected { task, reason } => {
                         base.with("task", task).with("reason", reason)
                     }

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rnns = Vec::new();
     for m in 0..machines {
         let rnn = generate_program(task, SliceSpec::new(m, machines));
-        let window = remote_window(&scaled.isa, m, machines);
+        let window = remote_window(&scaled.isa, m, machines)?;
         let with_comm = insert_communication(&rnn.program, &rnn.state_slots, &window)?;
         let reordered = reorder_for_overlap(&with_comm, &window)?;
         println!(
@@ -53,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sims: Vec<FuncSim> = (0..machines)
         .map(|m| {
             let mut sim = FuncSim::new(&scaled);
-            sim.set_remote_window(Some(remote_window(&scaled.isa, m, machines)));
+            sim.set_remote_window(Some(
+                remote_window(&scaled.isa, m, machines).expect("window fits"),
+            ));
             weights.load_into(&mut sim, SliceSpec::new(m, machines));
             sim
         })
@@ -99,7 +101,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     rnns[m].mat_shapes.clone(),
                     rnns[m].dram_lens.clone(),
                 );
-                s.set_remote_window(Some(remote_window(&scaled.isa, m, machines)));
+                s.set_remote_window(Some(
+                    remote_window(&scaled.isa, m, machines).expect("window fits"),
+                ));
                 s
             })
             .collect();

@@ -1,0 +1,195 @@
+//! Property suite for the elastic reprovisioning engine: invariants that
+//! must hold for *any* seed, not just the benchmarked ones.
+//!
+//! * With elasticity fully on — promotions growing tenants, preemptions
+//!   shrinking them, faults interrupting them mid-resize — every arrival
+//!   is still accounted for and occupancy stays a valid fraction.
+//! * A promotion never grows a deployment past the largest variant the
+//!   mapping database offers, and every reprovisioning event moves the
+//!   unit count in the direction its name claims.
+//! * With elasticity off, the engine is provably absent: the report is
+//!   byte-identical to one from the default (pre-elasticity) tuning.
+
+use vfpga::runtime::{
+    run_cloud_sim_tuned, AdmissionTuning, CloudReport, ElasticityPolicy, Policy, RecoveryPolicy,
+    SystemController, DEFAULT_TRACE_CAPACITY,
+};
+use vfpga::sim::{FaultPlan, FaultPlanParams, SimTime, TraceEventKind};
+use vfpga_bench::elastic::{bursty_workload, ElasticConfig};
+use vfpga_bench::Catalog;
+
+/// The fixed seeds the sweep fans over (matching the chaos suite).
+const SEEDS: [u64; 4] = [1, 7, 42, 2024];
+
+/// A bursty workload sized for the test suite (the 10k version runs via
+/// `repro elastic`).
+fn workload(seed: u64, tasks: usize) -> Vec<vfpga::workload::TaskArrival> {
+    bursty_workload(&ElasticConfig {
+        tasks,
+        seed,
+        ..ElasticConfig::default()
+    })
+}
+
+/// One tuned run over the bursty workload.
+fn elastic_run(
+    catalog: &Catalog,
+    arrivals: &[vfpga::workload::TaskArrival],
+    faults: &FaultPlan,
+    tuning: AdmissionTuning,
+) -> CloudReport {
+    let mut controller =
+        SystemController::new(catalog.cluster.clone(), catalog.db.clone(), Policy::Full);
+    run_cloud_sim_tuned(
+        &mut controller,
+        arrivals,
+        &|task| catalog.instance_for(task),
+        &|task, deployment| catalog.service_time(task, deployment, Policy::Full),
+        faults,
+        RecoveryPolicy::default(),
+        DEFAULT_TRACE_CAPACITY,
+        tuning,
+    )
+    .expect("simulation completes")
+}
+
+/// A fault plan that keeps failing devices across the whole workload
+/// span, so interruptions land while deployments are mid-promotion.
+fn fault_plan(
+    catalog: &Catalog,
+    arrivals: &[vfpga::workload::TaskArrival],
+    seed: u64,
+) -> FaultPlan {
+    let last = arrivals.last().expect("non-empty workload").at;
+    FaultPlan::generate(
+        FaultPlanParams {
+            mttf: SimTime::from_ms(5.0),
+            mttr: SimTime::from_ms(1.0),
+            configure_failure_prob: 0.0,
+            horizon: SimTime::from_secs(last.as_secs() * 1.5),
+        },
+        catalog.cluster.len(),
+        seed,
+    )
+}
+
+#[test]
+fn elastic_chaos_sweep_preserves_accounting() {
+    let catalog = Catalog::build();
+    for seed in SEEDS {
+        let arrivals = workload(seed, 300);
+        let faults = fault_plan(&catalog, &arrivals, seed);
+        let tuning = AdmissionTuning {
+            elasticity: ElasticityPolicy::FULL,
+            ..AdmissionTuning::default()
+        };
+        let report = elastic_run(&catalog, &arrivals, &faults, tuning);
+        assert!(
+            report.accounts_for_all_arrivals(),
+            "seed {seed}: {} completed + {} never_deployed + {} lost != {} arrivals",
+            report.completed,
+            report.never_deployed,
+            report.lost,
+            arrivals.len()
+        );
+        assert!(
+            report.device_failures > 0,
+            "seed {seed}: plan injected no failures"
+        );
+        // Resizes must never double-count capacity: occupancy stays a
+        // valid fraction at every sample even while promotions grow
+        // footprints and failures shrink the denominator.
+        for &(_, value) in report.occupancy_series.samples() {
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&value),
+                "seed {seed}: occupancy sample {value} outside [0, 1]"
+            );
+        }
+        // Every migration or loss traces back to an interruption (device
+        // failure or preemption-displacement), never out of thin air.
+        assert!(
+            report.migrated + report.lost <= report.interrupted,
+            "seed {seed}: migrated {} + lost {} exceeds interrupted {}",
+            report.migrated,
+            report.lost,
+            report.interrupted
+        );
+    }
+}
+
+#[test]
+fn promotions_never_exceed_the_largest_catalog_variant() {
+    let catalog = Catalog::build();
+    let max_units = catalog
+        .db
+        .iter()
+        .flat_map(|e| e.options.iter().map(|o| o.num_units() as u32))
+        .max()
+        .expect("database has options");
+    let arrivals = workload(7, 400);
+    let tuning = AdmissionTuning {
+        elasticity: ElasticityPolicy::FULL,
+        ..AdmissionTuning::default()
+    };
+    let report = elastic_run(&catalog, &arrivals, &FaultPlan::none(), tuning);
+    assert_eq!(report.trace.dropped(), 0, "ring too small for this sweep");
+    let (mut promotions, mut preemptions) = (0u64, 0u64);
+    for event in report.trace.iter() {
+        match event.kind {
+            TraceEventKind::ScaleUp {
+                task,
+                from_units,
+                to_units,
+            } => {
+                promotions += 1;
+                assert!(
+                    to_units > from_units,
+                    "task {task}: promotion {from_units} -> {to_units} did not grow"
+                );
+                assert!(
+                    to_units <= max_units,
+                    "task {task}: promoted to {to_units} units, catalog max is {max_units}"
+                );
+            }
+            TraceEventKind::PreemptiveScaleDown {
+                task,
+                from_units,
+                to_units,
+            } => {
+                preemptions += 1;
+                assert!(
+                    to_units < from_units,
+                    "task {task}: preemption {from_units} -> {to_units} did not shrink"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(report.promotions, promotions, "counter/trace disagree");
+    assert_eq!(report.preemptions, preemptions, "counter/trace disagree");
+    assert!(promotions > 0, "sweep exercised no promotions");
+    assert!(preemptions > 0, "sweep exercised no preemptions");
+}
+
+#[test]
+fn elasticity_off_reports_are_byte_identical_to_default_tuning() {
+    let catalog = Catalog::build();
+    for seed in [7, 2024] {
+        let arrivals = workload(seed, 300);
+        let faults = fault_plan(&catalog, &arrivals, seed);
+        let explicit = AdmissionTuning {
+            elasticity: ElasticityPolicy::DISABLED,
+            ..AdmissionTuning::default()
+        };
+        let off = elastic_run(&catalog, &arrivals, &faults, explicit)
+            .to_json()
+            .pretty();
+        let default = elastic_run(&catalog, &arrivals, &faults, AdmissionTuning::default())
+            .to_json()
+            .pretty();
+        assert_eq!(
+            off, default,
+            "seed {seed}: disabled elasticity left a footprint in the report"
+        );
+    }
+}

@@ -224,7 +224,7 @@ fn four_machine_timing_cosim_completes() {
     let mut sims: Vec<CycleSim> = (0..machines)
         .map(|m| {
             let rnn = generate_program(task, SliceSpec::new(m, machines));
-            let window = remote_window(&cfg.isa, m, machines);
+            let window = remote_window(&cfg.isa, m, machines).unwrap();
             let p = insert_communication(&rnn.program, &rnn.state_slots, &window).unwrap();
             let p = reorder_for_overlap(&p, &window).unwrap();
             let mut s = CycleSim::new(

@@ -206,7 +206,7 @@ fn reorder_preserves_dependencies() {
     for _ in 0..256 {
         let p = random_small_program(&mut rng);
         let isa = IsaConfig::default();
-        let window = remote_window(&isa, 0, 2);
+        let window = remote_window(&isa, 0, 2).unwrap();
         // Treat slot 0 as exchanged state to create sends/recvs.
         let with_comm = insert_communication(&p, &[0], &window).unwrap();
         // `reordered` internally validates against the dependency graph;

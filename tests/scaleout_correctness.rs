@@ -19,7 +19,7 @@ fn run_scaled(task: RnnTask, weights: &RnnWeights, machines: usize, reorder: boo
     let mut sims = Vec::new();
     for m in 0..machines {
         let rnn = generate_program(task, SliceSpec::new(m, machines));
-        let window = remote_window(&scaled.isa, m, machines);
+        let window = remote_window(&scaled.isa, m, machines).expect("window fits");
         let mut program =
             insert_communication(&rnn.program, &rnn.state_slots, &window).expect("insert");
         if reorder {
