@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|all] [--json PATH] [--seed N]
+//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|all] [--json PATH] [--seed N]
 //! ```
 //!
 //! Runs covering Fig. 11, Fig. 12, or the chaos scenario also write a
@@ -32,10 +32,18 @@
 //! `target/BENCH_elastic.json`, and exits non-zero unless p95 latency
 //! strictly improves, both levers fire, and every outcome invariant
 //! holds in both modes.
+//!
+//! `netchaos` (also opt-in) runs the network-chaos scenario — the chaos
+//! workload under seeded device *and* ring-segment fault waves — writes
+//! `target/repro-netchaos.json`, and exits non-zero unless every
+//! cross-layer invariant holds (accounting, trace completeness, the
+//! report's retransmitted-byte counter reconciling with the trace's
+//! `retransmit` events) and the run actually failed segments, re-routed
+//! around them, and retransmitted corrupted transfers.
 
 use vfpga_bench::{
     ablations, admission, catalog::Catalog, chaos, density, elastic, fig11, fig12, isolation,
-    overhead, tables,
+    netchaos, overhead, tables,
 };
 use vfpga_sim::{chrome_trace_events, prometheus_text, Json, SimTime, SpanTracer};
 use vfpga_workload::fig11_tasks;
@@ -54,6 +62,10 @@ const DEFAULT_BENCH_ARTIFACT: &str = "target/BENCH_admission.json";
 /// `elastic` experiment).
 const DEFAULT_ELASTIC_ARTIFACT: &str = "target/BENCH_elastic.json";
 
+/// Default location of the network-chaos artifact (the `netchaos`
+/// experiment).
+const DEFAULT_NETCHAOS_ARTIFACT: &str = "target/repro-netchaos.json";
+
 /// Regression ceiling on the bench's `deploy_attempts_per_admission`
 /// (worst scenario, shipped configuration). The current fast path lands
 /// well under this; `repro bench` (and CI's bench job) fails when a
@@ -69,8 +81,12 @@ const ATTEMPTS_PER_ADMISSION_CEILING: f64 = 8.0;
 /// `bench` experiment's `BENCH_admission.json`; v5 added the elasticity
 /// block to the report serialization — `promotions`, `preemptions`,
 /// `units_gained`, `units_lost`, the saved/added service summaries — and
-/// the `elastic` experiment's `BENCH_elastic.json`).
-const ARTIFACT_SCHEMA_VERSION: u64 = 5;
+/// the `elastic` experiment's `BENCH_elastic.json`; v6 added the report's
+/// conditional `links` block — failures/degradations/recoveries,
+/// retransmit and reroute counts, bytes retransmitted, severed paths,
+/// degraded time — the fault plan's `link_*` section, and the `netchaos`
+/// experiment's `repro-netchaos.json`).
+const ARTIFACT_SCHEMA_VERSION: u64 = 6;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -159,6 +175,15 @@ fn main() {
             .unwrap_or_else(|| DEFAULT_ELASTIC_ARTIFACT.to_string());
         print_elastic(seed, &path);
     }
+    if which == "netchaos" {
+        // The network-chaos scenario is opt-in (not part of `all`): it
+        // layers link waves on the chaos scenario and its artifact is a
+        // fault-injection document.
+        let path = json_path
+            .clone()
+            .unwrap_or_else(|| DEFAULT_NETCHAOS_ARTIFACT.to_string());
+        print_netchaos(seed, &path);
+    }
     if !all
         && ![
             "table2",
@@ -174,11 +199,12 @@ fn main() {
             "trace",
             "bench",
             "elastic",
+            "netchaos",
         ]
         .contains(&which.as_str())
     {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|all] [--json PATH] [--seed N]");
+        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|all] [--json PATH] [--seed N]");
         std::process::exit(2);
     }
     if !artifact.is_empty() {
@@ -625,6 +651,64 @@ fn print_elastic(seed: u64, json_path: &str) {
         std::process::exit(1);
     }
     write_artifact(json_path, &text, "elastic");
+    println!();
+}
+
+fn print_netchaos(seed: u64, json_path: &str) {
+    println!("== NetChaos: workload set 5 under device and link fault waves (seed {seed}) ==");
+    let catalog = Catalog::build();
+    let config = netchaos::NetChaosConfig {
+        seed,
+        ..netchaos::NetChaosConfig::default()
+    };
+    let run = netchaos::run(&catalog, &config);
+    let r = &run.report;
+    println!(
+        "fault plan: {} device failures, {} link events ({} segment failures), corruption p={}",
+        run.plan.failures(),
+        run.plan.link_events().len(),
+        run.plan.link_failures(),
+        config.corruption_prob
+    );
+    println!(
+        "arrivals {} | completed {} | never deployed {} | lost {}",
+        r.arrivals, r.completed, r.never_deployed, r.lost
+    );
+    println!(
+        "links: {} failed / {} degraded / {} recovered | degraded {:.3} ms",
+        r.link_failures,
+        r.link_degradations,
+        r.link_recoveries,
+        r.link_degraded_time.as_ms()
+    );
+    println!(
+        "transfers: {} retransmits ({} bytes) | {} reroutes | {} severed -> migration",
+        r.link_retransmits, r.link_retransmit_bytes, r.link_reroutes, r.link_severed
+    );
+    // The scenario is also the regression gate: fail loudly rather than
+    // writing an artifact that records a broken run as if it were fine.
+    if let Err(violation) = run.check_invariants() {
+        eprintln!("netchaos invariant violated: {violation}");
+        std::process::exit(1);
+    }
+    if !run.exercised_link_faults() {
+        eprintln!(
+            "netchaos run did not exercise the link fault machinery (seed {seed}): \
+             {} failures, {} reroutes, {} retransmits",
+            r.link_failures, r.link_reroutes, r.link_retransmits
+        );
+        std::process::exit(1);
+    }
+    let root = Json::obj()
+        .with("schema_version", ARTIFACT_SCHEMA_VERSION)
+        .with("experiment", "netchaos")
+        .with("netchaos", run.to_json());
+    let text = root.pretty();
+    if let Err(e) = Json::parse(&text) {
+        eprintln!("netchaos artifact failed self-validation: {e:?}");
+        std::process::exit(1);
+    }
+    write_artifact(json_path, &text, "netchaos");
     println!();
 }
 

@@ -77,6 +77,50 @@ impl RingTopology {
         let d = a.abs_diff(b);
         d.min(self.nodes - d)
     }
+
+    /// Number of ring segments. Segment `i` connects node `i` to
+    /// `(i + 1) % nodes`; a single-node ring has none.
+    pub fn segments(&self) -> usize {
+        if self.nodes > 1 {
+            self.nodes
+        } else {
+            0
+        }
+    }
+
+    /// Hop count from `a` to `b` when the segments for which `failed`
+    /// returns `true` are down: the shorter surviving direction, or `None`
+    /// when both directions cross a failed segment (the path is severed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range.
+    pub fn hops_avoiding(
+        &self,
+        a: usize,
+        b: usize,
+        failed: &dyn Fn(usize) -> bool,
+    ) -> Option<usize> {
+        assert!(
+            a < self.nodes && b < self.nodes,
+            "ring position out of range"
+        );
+        if a == b {
+            return Some(0);
+        }
+        // Clockwise from a to b crosses segments a, a+1, ..., b-1 (mod n);
+        // counter-clockwise crosses the complement.
+        let cw_len = (b + self.nodes - a) % self.nodes;
+        let cw_ok = (0..cw_len).all(|i| !failed((a + i) % self.nodes));
+        let ccw_len = self.nodes - cw_len;
+        let ccw_ok = (0..ccw_len).all(|i| !failed((b + i) % self.nodes));
+        match (cw_ok, ccw_ok) {
+            (true, true) => Some(cw_len.min(ccw_len)),
+            (true, false) => Some(cw_len),
+            (false, true) => Some(ccw_len),
+            (false, false) => None,
+        }
+    }
 }
 
 /// A heterogeneous FPGA cluster: an ordered set of devices, each attached to
@@ -161,6 +205,13 @@ impl Cluster {
         self.ring.hops(a.0, b.0)
     }
 
+    /// Ring distance between two devices avoiding failed segments
+    /// (`failed[i]` marks segment `i` down); `None` when severed.
+    pub fn ring_hops_avoiding(&self, a: DeviceId, b: DeviceId, failed: &[bool]) -> Option<usize> {
+        self.ring
+            .hops_avoiding(a.0, b.0, &|s| failed.get(s).copied().unwrap_or(false))
+    }
+
     /// Distinct device types present, in first-appearance order.
     pub fn device_types(&self) -> Vec<DeviceType> {
         let mut seen: Vec<DeviceType> = Vec::new();
@@ -220,5 +271,48 @@ mod tests {
     #[should_panic(expected = "ring position out of range")]
     fn hops_out_of_range_panics() {
         RingTopology::new(2).hops(0, 2);
+    }
+
+    #[test]
+    fn failover_takes_the_long_way_around() {
+        let ring = RingTopology::new(4);
+        let none = |_: usize| false;
+        assert_eq!(ring.hops_avoiding(0, 1, &none), Some(1));
+        // Segment 0 (0-1) down: 0 -> 1 must go 0-3-2-1.
+        let seg0 = |s: usize| s == 0;
+        assert_eq!(ring.hops_avoiding(0, 1, &seg0), Some(3));
+        // The reverse query routes around the same failure.
+        assert_eq!(ring.hops_avoiding(1, 0, &seg0), Some(3));
+        // An unrelated pair is unaffected.
+        assert_eq!(ring.hops_avoiding(2, 3, &seg0), Some(1));
+        assert_eq!(ring.hops_avoiding(2, 2, &seg0), Some(0));
+    }
+
+    #[test]
+    fn two_failures_can_sever_the_ring() {
+        let ring = RingTopology::new(4);
+        // Segments 0 (0-1) and 3 (3-0) down: node 0 is cut off.
+        let cut = |s: usize| s == 0 || s == 3;
+        assert_eq!(ring.hops_avoiding(0, 2, &cut), None);
+        // 1 and 2 still reach each other directly.
+        assert_eq!(ring.hops_avoiding(1, 2, &cut), Some(1));
+        // 1 and 3 still connect the long way is direct via segment 1,2.
+        assert_eq!(ring.hops_avoiding(1, 3, &cut), Some(2));
+    }
+
+    #[test]
+    fn cluster_failover_distance() {
+        let c = Cluster::paper_cluster();
+        assert_eq!(c.ring().segments(), 4);
+        let mut failed = vec![false; 4];
+        assert_eq!(
+            c.ring_hops_avoiding(DeviceId(0), DeviceId(3), &failed),
+            Some(1)
+        );
+        failed[3] = true; // segment 3 connects devices 3 and 0
+        assert_eq!(
+            c.ring_hops_avoiding(DeviceId(0), DeviceId(3), &failed),
+            Some(3)
+        );
     }
 }

@@ -6,8 +6,9 @@ use std::collections::{HashMap, VecDeque};
 
 use vfpga_fabric::DeviceId;
 use vfpga_sim::{
-    CriticalPath, EventQueue, FaultPlan, Json, MetricsRegistry, SimTime, SpanCtx, SpanId,
-    SpanTracer, Summary, ThroughputMeter, TimeSeries, TraceEventKind, TraceId, TraceRing,
+    CriticalPath, EventQueue, FaultPlan, Json, LinkFaultKind, MetricsRegistry, RetransmitPolicy,
+    Rng, SimTime, SpanCtx, SpanId, SpanTracer, Summary, ThroughputMeter, TimeSeries,
+    TraceEventKind, TraceId, TraceRing, CONTROL_TID,
 };
 use vfpga_workload::{RnnTask, TaskArrival};
 
@@ -250,6 +251,35 @@ pub struct CloudReport {
     /// Time-weighted mean occupancy of the surviving devices while
     /// degraded (0 when the run never degraded).
     pub degraded_mean_occupancy: f64,
+    /// Ring-segment failures injected during the run (link fault events
+    /// whose segment index fit the cluster's ring).
+    pub link_failures: u64,
+    /// Ring-segment degradations injected during the run.
+    pub link_degradations: u64,
+    /// Ring-segment recoveries during the run.
+    pub link_recoveries: u64,
+    /// Transfers re-sent over the ring: corruption bursts on degraded
+    /// segments plus the one re-send each reroute performs.
+    pub link_retransmits: u64,
+    /// Bytes those retransmissions re-sent. Each burst's `Retransmit`
+    /// trace event carries its share, so with no trace evictions the
+    /// event bytes sum to exactly this counter.
+    pub link_retransmit_bytes: u64,
+    /// Multi-device deployments re-routed the other way around the
+    /// bidirectional ring after a segment failure lengthened their path
+    /// (hop counts recomputed over the surviving segments).
+    pub link_reroutes: u64,
+    /// Deployments interrupted because segment failures severed every
+    /// ring path between their units; they recover through the same
+    /// migration machinery a device failure uses.
+    pub link_severed: u64,
+    /// Sim time with at least one ring segment degraded or failed.
+    pub link_degraded_time: SimTime,
+    /// Whether the run's fault plan covered ring segments. Gates the
+    /// `links` block of [`CloudReport::to_json`], so device-only runs
+    /// serialize exactly as they did before the interconnect fault model
+    /// existed.
+    pub link_faults_planned: bool,
     /// Cluster occupancy over time (step function, coalesced).
     pub occupancy_series: TimeSeries,
     /// Queue depth over time (step function, coalesced).
@@ -314,7 +344,7 @@ impl CloudReport {
             tasks = tasks.with(reason.as_str(), self.rejected_tasks_for(reason));
         }
         let rejections = Json::obj().with("attempts", attempts).with("tasks", tasks);
-        Json::obj()
+        let mut json = Json::obj()
             .with("arrivals", self.arrivals)
             .with("completed", self.completed)
             .with("never_deployed", self.never_deployed)
@@ -376,39 +406,53 @@ impl CloudReport {
                     .with("mean_time_to_recovery_s", self.mean_time_to_recovery_s())
                     .with("degraded_time_s", self.degraded_time.as_secs())
                     .with("degraded_mean_occupancy", self.degraded_mean_occupancy),
-            )
-            .with(
-                "elasticity",
+            );
+        if self.link_faults_planned {
+            json = json.with(
+                "links",
                 Json::obj()
-                    .with("promotions", self.promotions)
-                    .with("preemptions", self.preemptions)
-                    .with("units_gained", self.units_gained)
-                    .with("units_lost", self.units_lost)
-                    .with(
-                        "promotion_saved_s",
-                        Json::obj()
-                            .with("count", self.promotion_saved.count())
-                            .with("mean", self.promotion_saved.mean())
-                            .with("min", self.promotion_saved.min())
-                            .with("max", self.promotion_saved.max()),
-                    )
-                    .with(
-                        "preemption_added_s",
-                        Json::obj()
-                            .with("count", self.preemption_added.count())
-                            .with("mean", self.preemption_added.mean())
-                            .with("min", self.preemption_added.min())
-                            .with("max", self.preemption_added.max()),
-                    ),
-            )
-            .with(
-                "trace",
-                Json::obj()
-                    .with("retained", self.trace.len())
-                    .with("dropped", self.trace.dropped()),
-            )
-            .with("spans", self.spans.len())
-            .with("critical_path", self.critical_path.to_json())
+                    .with("failures", self.link_failures)
+                    .with("degradations", self.link_degradations)
+                    .with("recoveries", self.link_recoveries)
+                    .with("retransmits", self.link_retransmits)
+                    .with("bytes_retransmitted", self.link_retransmit_bytes)
+                    .with("reroutes", self.link_reroutes)
+                    .with("severed", self.link_severed)
+                    .with("degraded_time_s", self.link_degraded_time.as_secs()),
+            );
+        }
+        json.with(
+            "elasticity",
+            Json::obj()
+                .with("promotions", self.promotions)
+                .with("preemptions", self.preemptions)
+                .with("units_gained", self.units_gained)
+                .with("units_lost", self.units_lost)
+                .with(
+                    "promotion_saved_s",
+                    Json::obj()
+                        .with("count", self.promotion_saved.count())
+                        .with("mean", self.promotion_saved.mean())
+                        .with("min", self.promotion_saved.min())
+                        .with("max", self.promotion_saved.max()),
+                )
+                .with(
+                    "preemption_added_s",
+                    Json::obj()
+                        .with("count", self.preemption_added.count())
+                        .with("mean", self.preemption_added.mean())
+                        .with("min", self.preemption_added.min())
+                        .with("max", self.preemption_added.max()),
+                ),
+        )
+        .with(
+            "trace",
+            Json::obj()
+                .with("retained", self.trace.len())
+                .with("dropped", self.trace.dropped()),
+        )
+        .with("spans", self.spans.len())
+        .with("critical_path", self.critical_path.to_json())
     }
 }
 
@@ -420,6 +464,9 @@ enum Event {
     },
     DeviceFailed(usize),
     DeviceRecovered(usize),
+    LinkDegraded(usize),
+    LinkFailed(usize),
+    LinkRecovered(usize),
     MigrationRetry {
         task_index: usize,
         epoch: u64,
@@ -485,14 +532,21 @@ pub fn run_cloud_sim_traced(
 }
 
 /// [`run_cloud_sim`] interleaving the workload with a fault plan's device
-/// fail/recover waves, recovering interrupted deployments per `recovery`.
+/// fail/recover waves — and, when the plan carries them, its ring-segment
+/// link waves — recovering interrupted deployments per `recovery`.
+///
+/// Link degradations corrupt in-flight transfers of the multi-device
+/// deployments routed over the segment (retransmitted under the plan's
+/// bounded-backoff budget); link failures re-route affected deployments
+/// the other way around the bidirectional ring, or interrupt them into the
+/// migration path when the failure severs every path between their units.
 ///
 /// The plan's transient configure-failure probability is installed on the
 /// controller's fault injector for the duration of the run (and left in
 /// place afterwards — rebuild the controller between runs, as the chaos
 /// experiments do). Fault-plan device indices beyond the cluster size are
-/// ignored. Two runs from identical seeds and inputs produce byte-identical
-/// reports.
+/// ignored, as are link indices beyond the ring's segment count. Two runs
+/// from identical seeds and inputs produce byte-identical reports.
 ///
 /// # Errors
 ///
@@ -663,6 +717,25 @@ struct CloudSim<'a> {
     degraded_time: SimTime,
     degraded_occ_weighted: f64,
 
+    /// Per-ring-segment hard-failure state (`true` while the segment is
+    /// down), sized to the cluster's ring.
+    link_failed: Vec<bool>,
+    /// Per-ring-segment degraded state (`true` while degraded).
+    link_degraded: Vec<bool>,
+    /// Corruption-burst stream, salted off the plan seed on a channel
+    /// disjoint from the schedule generators. Drawn only when the plan
+    /// carries a nonzero corruption probability, so quiescent runs never
+    /// touch it.
+    link_rng: Rng,
+    link_failures: u64,
+    link_degradations: u64,
+    link_recoveries: u64,
+    link_retransmits: u64,
+    link_retransmit_bytes: u64,
+    link_reroutes: u64,
+    link_severed: u64,
+    link_degraded_time: SimTime,
+
     metrics: MetricsRegistry,
     m: Meters,
     trace: TraceRing,
@@ -722,6 +795,7 @@ impl<'a> CloudSim<'a> {
             failed_devices: metrics.gauge("failed_devices"),
         };
         let n = arrivals.len();
+        let segments = controller.cluster().ring().segments();
         CloudSim {
             controller,
             arrivals,
@@ -773,6 +847,17 @@ impl<'a> CloudSim<'a> {
             last_event_at: SimTime::ZERO,
             degraded_time: SimTime::ZERO,
             degraded_occ_weighted: 0.0,
+            link_failed: vec![false; segments],
+            link_degraded: vec![false; segments],
+            link_rng: Rng::seed_from_u64(faults.seed() ^ 0x4c49_4e4b_434f_5252),
+            link_failures: 0,
+            link_degradations: 0,
+            link_recoveries: 0,
+            link_retransmits: 0,
+            link_retransmit_bytes: 0,
+            link_reroutes: 0,
+            link_severed: 0,
+            link_degraded_time: SimTime::ZERO,
             metrics,
             m,
             trace: TraceRing::new(trace_capacity),
@@ -847,6 +932,20 @@ impl<'a> CloudSim<'a> {
             };
             self.events.schedule(ev.at, event);
         }
+        // Link transitions ride the same event queue; segment indices
+        // beyond the cluster's ring are ignored, mirroring the device rule.
+        let segments = self.link_failed.len();
+        for ev in self.faults.link_events() {
+            if ev.link >= segments {
+                continue;
+            }
+            let event = match ev.kind {
+                LinkFaultKind::Degraded => Event::LinkDegraded(ev.link),
+                LinkFaultKind::Failed => Event::LinkFailed(ev.link),
+                LinkFaultKind::Recovered => Event::LinkRecovered(ev.link),
+            };
+            self.events.schedule(ev.at, event);
+        }
 
         while let Some((now, event)) = self.events.pop() {
             self.integrate_degraded(now);
@@ -882,6 +981,9 @@ impl<'a> CloudSim<'a> {
                         },
                     );
                 }
+                Event::LinkDegraded(seg) => self.on_link_degraded(now, seg),
+                Event::LinkFailed(seg) => self.on_link_failed(now, seg)?,
+                Event::LinkRecovered(seg) => self.on_link_recovered(now, seg),
                 Event::MigrationRetry {
                     task_index,
                     epoch,
@@ -962,6 +1064,11 @@ impl<'a> CloudSim<'a> {
         if interval > SimTime::ZERO && self.controller.failed_devices() > 0 {
             self.degraded_time += interval;
             self.degraded_occ_weighted += self.controller.occupancy() * interval.as_secs();
+        }
+        if interval > SimTime::ZERO
+            && (self.link_failed.iter().any(|&f| f) || self.link_degraded.iter().any(|&d| d))
+        {
+            self.link_degraded_time += interval;
         }
         self.last_event_at = now;
     }
@@ -1045,6 +1152,262 @@ impl<'a> CloudSim<'a> {
             self.attempt_migration(now, task_index, 0)?;
         }
         Ok(())
+    }
+
+    /// The plan's retransmission model as a [`RetransmitPolicy`]
+    /// (bounded budget, backoff doubling per attempt).
+    fn retransmit_policy(&self) -> RetransmitPolicy {
+        let p = self.faults.link_params();
+        RetransmitPolicy {
+            max_retransmits: p.max_retransmits,
+            base_backoff: p.retransmit_backoff,
+        }
+    }
+
+    /// Bytes one inter-unit state exchange of `d` puts on the ring: its
+    /// cut bandwidth in bits per activation rounded up to bytes, floored
+    /// at one byte so the accounting stays visible for tiny cuts.
+    fn ring_bytes(d: &Deployment) -> u64 {
+        d.cut_bandwidth.div_ceil(8).max(1)
+    }
+
+    /// Whether a running deployment's minimum-hop ring routes use segment
+    /// `seg`: knocking out just that segment changes (or severs) some
+    /// pairwise distance between its devices.
+    fn crosses_segment(&self, d: &Deployment, seg: usize) -> bool {
+        if d.num_devices() < 2 {
+            return false;
+        }
+        let mut only = vec![false; self.link_failed.len()];
+        only[seg] = true;
+        let cluster = self.controller.cluster();
+        for a in &d.placements {
+            for b in &d.placements {
+                let base = cluster.ring_hops(a.device, b.device);
+                if cluster.ring_hops_avoiding(a.device, b.device, &only) != Some(base) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Largest pairwise hop count of `d` routed around the currently
+    /// failed segments; `None` when some pair is severed (no surviving
+    /// direction connects it).
+    fn max_hops_avoiding(&self, d: &Deployment) -> Option<usize> {
+        let cluster = self.controller.cluster();
+        let mut max = 0;
+        for a in &d.placements {
+            for b in &d.placements {
+                max = max.max(cluster.ring_hops_avoiding(a.device, b.device, &self.link_failed)?);
+            }
+        }
+        Some(max)
+    }
+
+    /// Pushes a running task's completion out by `delay`, bumping its
+    /// epoch so the previously scheduled completion goes stale.
+    fn delay_completion(&mut self, task_index: usize, delay: SimTime) {
+        if delay == SimTime::ZERO {
+            return;
+        }
+        let at = self.completion_at[task_index]
+            .checked_add(delay)
+            .unwrap_or(SimTime::MAX);
+        self.completion_at[task_index] = at;
+        self.epoch[task_index] += 1;
+        self.events.schedule(
+            at,
+            Event::Completion {
+                task_index,
+                epoch: self.epoch[task_index],
+            },
+        );
+    }
+
+    /// A ring segment drops to degraded service. Running multi-device
+    /// deployments routed over it see a corruption burst: queued
+    /// transfers are re-sent under the plan's bounded-backoff budget,
+    /// pushing their completions out by the backoff sum.
+    fn on_link_degraded(&mut self, now: SimTime, seg: usize) {
+        self.link_degradations += 1;
+        self.link_degraded[seg] = true;
+        self.trace
+            .push(now, TraceEventKind::LinkDegraded { link: seg as u64 });
+        let span = self.spans.begin("link_degraded", TraceId::NONE, None, now);
+        self.spans.set_lane(span, seg as u64 + 1, CONTROL_TID);
+        self.spans.attr(span, "segment", seg);
+        self.spans.end(span, now);
+        let corruption = self.faults.corruption_prob();
+        if corruption <= 0.0 {
+            return;
+        }
+        let policy = self.retransmit_policy();
+        for i in 0..self.running.len() {
+            let Some(d) = self.running[i].clone() else {
+                continue;
+            };
+            if !self.crosses_segment(&d, seg) {
+                continue;
+            }
+            // Geometric burst, capped by the retransmission budget: each
+            // re-send is itself corrupted with the same probability.
+            let mut attempts = 0u32;
+            while attempts < policy.max_retransmits && self.link_rng.next_f64() < corruption {
+                attempts += 1;
+            }
+            if attempts == 0 {
+                continue;
+            }
+            let bytes = Self::ring_bytes(&d) * attempts as u64;
+            self.link_retransmits += attempts as u64;
+            self.link_retransmit_bytes += bytes;
+            self.trace.push(
+                now,
+                TraceEventKind::Retransmit {
+                    task: i as u64,
+                    link: seg as u64,
+                    attempts: attempts as u64,
+                    bytes,
+                },
+            );
+            let mut delay = SimTime::ZERO;
+            for k in 0..attempts {
+                delay = delay.checked_add(policy.backoff(k)).unwrap_or(SimTime::MAX);
+            }
+            self.delay_completion(i, delay);
+        }
+    }
+
+    /// A ring segment fails outright. Every running multi-device
+    /// deployment whose route lengthened re-routes the other way around
+    /// the bidirectional ring (hop counts recomputed over the surviving
+    /// segments, the in-flight transfer re-sent); a deployment left with
+    /// *no* surviving path between its units is interrupted and recovered
+    /// through the same migration machinery a device failure uses — which
+    /// prefers co-located placements, immune to further ring failures.
+    fn on_link_failed(&mut self, now: SimTime, seg: usize) -> Result<(), RuntimeError> {
+        self.link_failures += 1;
+        self.link_failed[seg] = true;
+        self.trace
+            .push(now, TraceEventKind::LinkFailed { link: seg as u64 });
+        let span = self.spans.begin("link_failure", TraceId::NONE, None, now);
+        self.spans.set_lane(span, seg as u64 + 1, CONTROL_TID);
+        self.spans.attr(span, "segment", seg);
+        let policy = self.retransmit_policy();
+        let mut rerouted = 0u64;
+        let mut severed = 0u64;
+        for i in 0..self.running.len() {
+            let Some(d) = self.running[i].clone() else {
+                continue;
+            };
+            if d.num_devices() < 2 {
+                continue;
+            }
+            match self.max_hops_avoiding(&d) {
+                None => {
+                    severed += 1;
+                    self.link_severed += 1;
+                    // The units themselves are healthy but can no longer
+                    // exchange state: release the footprint explicitly
+                    // (no device failure evicted it) and ride the
+                    // interruption path.
+                    let old = self.running[i].take().expect("severed task was running");
+                    self.task_of.remove(&old.id.0);
+                    self.controller.release(&old)?;
+                    self.metrics.inc(self.m.releases);
+                    self.epoch[i] += 1;
+                    self.interrupted += 1;
+                    self.metrics.inc(self.m.interrupted);
+                    self.interrupted_pending[i] = Some((now, old.num_units() as u32));
+                    let device = old.placements.first().map_or(0, |p| p.device.0 as u64);
+                    self.trace.push(
+                        now,
+                        TraceEventKind::MigrationStarted {
+                            task: i as u64,
+                            device,
+                        },
+                    );
+                    if let Some(phase) = self.phase_span[i] {
+                        self.spans.attr(phase, "interrupted_by_link", seg);
+                    }
+                    self.close_phase(i, now);
+                    let migrate = self.open_phase(i, "migrate", now);
+                    self.spans.attr(migrate, "link", seg);
+                    self.attempt_migration(now, i, 0)?;
+                }
+                Some(hops) => {
+                    if hops <= d.max_ring_hops {
+                        continue;
+                    }
+                    rerouted += 1;
+                    self.link_reroutes += 1;
+                    let extra = (hops - d.max_ring_hops) as u64;
+                    self.trace.push(
+                        now,
+                        TraceEventKind::LinkRerouted {
+                            task: i as u64,
+                            link: seg as u64,
+                            extra_hops: extra,
+                        },
+                    );
+                    // The transfer caught on the dead segment is re-sent
+                    // along the detour, one backoff per extra hop plus
+                    // the re-send itself.
+                    let bytes = Self::ring_bytes(&d);
+                    self.link_retransmits += 1;
+                    self.link_retransmit_bytes += bytes;
+                    self.trace.push(
+                        now,
+                        TraceEventKind::Retransmit {
+                            task: i as u64,
+                            link: seg as u64,
+                            attempts: 1,
+                            bytes,
+                        },
+                    );
+                    let delay =
+                        SimTime::from_ps(policy.base_backoff.as_ps().saturating_mul(extra + 1));
+                    self.delay_completion(i, delay);
+                    if let Some(slot) = self.running[i].as_mut() {
+                        slot.max_ring_hops = hops;
+                    }
+                }
+            }
+        }
+        self.spans.attr(span, "rerouted", rerouted);
+        self.spans.attr(span, "severed", severed);
+        self.spans.end(span, now);
+        Ok(())
+    }
+
+    /// A ring segment returns to service. Detoured routes silently
+    /// shorten back: each running multi-device deployment's hop count is
+    /// recomputed under the remaining failures.
+    fn on_link_recovered(&mut self, now: SimTime, seg: usize) {
+        self.link_recoveries += 1;
+        self.link_failed[seg] = false;
+        self.link_degraded[seg] = false;
+        self.trace
+            .push(now, TraceEventKind::LinkRecovered { link: seg as u64 });
+        let span = self.spans.begin("link_recovery", TraceId::NONE, None, now);
+        self.spans.set_lane(span, seg as u64 + 1, CONTROL_TID);
+        self.spans.attr(span, "segment", seg);
+        self.spans.end(span, now);
+        for i in 0..self.running.len() {
+            let Some(d) = self.running[i].clone() else {
+                continue;
+            };
+            if d.num_devices() < 2 {
+                continue;
+            }
+            if let Some(hops) = self.max_hops_avoiding(&d) {
+                if let Some(slot) = self.running[i].as_mut() {
+                    slot.max_ring_hops = hops;
+                }
+            }
+        }
     }
 
     /// One migration attempt for an interrupted task. Attempt 0 is the
@@ -1655,6 +2018,15 @@ impl<'a> CloudSim<'a> {
             } else {
                 0.0
             },
+            link_failures: self.link_failures,
+            link_degradations: self.link_degradations,
+            link_recoveries: self.link_recoveries,
+            link_retransmits: self.link_retransmits,
+            link_retransmit_bytes: self.link_retransmit_bytes,
+            link_reroutes: self.link_reroutes,
+            link_severed: self.link_severed,
+            link_degraded_time: self.link_degraded_time,
+            link_faults_planned: self.faults.links() > 0,
             occupancy_series,
             queue_depth_series,
             metrics: self.metrics,
@@ -1680,7 +2052,7 @@ mod tests {
     use crate::controller::Policy;
     use crate::testutil::small_db;
     use vfpga_core::{MappingDatabase, MappingEntry};
-    use vfpga_sim::FaultPlanParams;
+    use vfpga_sim::{FaultPlanParams, LinkFaultEvent, LinkFaultParams};
     use vfpga_workload::{RnnKind, RnnTask};
 
     fn arrivals(n: usize, gap_us: f64) -> Vec<TaskArrival> {
@@ -2442,5 +2814,189 @@ mod tests {
             default.to_json().pretty(),
             "default tuning must mean elasticity off, byte for byte"
         );
+    }
+
+    fn link_chaos_params() -> LinkFaultParams {
+        LinkFaultParams {
+            mttf: SimTime::from_us(150.0),
+            mttr: SimTime::from_us(60.0),
+            degraded_fraction: 0.5,
+            bandwidth_factor: 0.25,
+            extra_latency: SimTime::from_ns(250.0),
+            corruption_prob: 0.4,
+            max_retransmits: 3,
+            retransmit_backoff: SimTime::from_ns(200.0),
+            horizon: SimTime::from_us(800.0),
+        }
+    }
+
+    /// One transition per ring segment at `at`, all of the same kind.
+    fn all_segments(at: SimTime, kind: LinkFaultKind) -> Vec<LinkFaultEvent> {
+        (0..4)
+            .map(|link| LinkFaultEvent { at, link, kind })
+            .collect()
+    }
+
+    fn faulted_run(
+        cluster: &vfpga_fabric::Cluster,
+        db: &MappingDatabase,
+        a: &[TaskArrival],
+        instance: &str,
+        plan: &FaultPlan,
+    ) -> CloudReport {
+        let mut c = SystemController::new(cluster.clone(), db.clone(), Policy::Full);
+        let name = instance.to_string();
+        let report = run_cloud_sim_faulted(
+            &mut c,
+            a,
+            &move |_| name.clone(),
+            &fixed_service,
+            plan,
+            RecoveryPolicy::default(),
+            DEFAULT_TRACE_CAPACITY,
+        )
+        .unwrap();
+        assert_eq!(c.live_deployments(), 0, "everything released at the end");
+        report
+    }
+
+    #[test]
+    fn irrelevant_link_schedules_change_nothing() {
+        let (cluster, db) = small_db();
+        let a = arrivals(60, 2.0);
+        let base = faulted_run(&cluster, &db, &a, "big", &chaos_plan(7));
+        // Link events beyond the ring's segment count are ignored, like
+        // out-of-range device indices; only the (all-zero) report block
+        // betrays that the plan covered links at all.
+        let mut lp = link_chaos_params();
+        lp.corruption_prob = 0.0;
+        let out_of_range = chaos_plan(7).with_link_schedule(
+            lp,
+            9,
+            vec![
+                LinkFaultEvent {
+                    at: SimTime::from_us(10.0),
+                    link: 7,
+                    kind: LinkFaultKind::Failed,
+                },
+                LinkFaultEvent {
+                    at: SimTime::from_us(90.0),
+                    link: 7,
+                    kind: LinkFaultKind::Recovered,
+                },
+            ],
+        );
+        let alt = faulted_run(&cluster, &db, &a, "big", &out_of_range);
+        assert_eq!(alt.link_failures, 0);
+        assert_eq!(alt.link_retransmits, 0);
+        assert_eq!(alt.completed, base.completed);
+        assert_eq!(alt.elapsed, base.elapsed);
+        assert_eq!(alt.trace.len(), base.trace.len());
+        // Device-only plans serialize without any link block at all.
+        assert!(!base.link_faults_planned);
+        assert!(!base.to_json().compact().contains(r#""links""#));
+        assert!(alt.link_faults_planned);
+        assert!(alt
+            .to_json()
+            .compact()
+            .contains(r#""bytes_retransmitted":0"#));
+    }
+
+    #[test]
+    fn all_segments_failing_severs_multi_device_deployments() {
+        let (cluster, db) = small_db();
+        // Saturate with the big instance so placements spill across FPGAs,
+        // then take the whole ring down mid-stream: every multi-device
+        // deployment loses its inter-unit paths and must migrate.
+        let a = arrivals(40, 1.0);
+        let mut lp = link_chaos_params();
+        lp.corruption_prob = 0.0;
+        let mut events = all_segments(SimTime::from_us(150.0), LinkFaultKind::Failed);
+        events.extend(all_segments(
+            SimTime::from_us(400.0),
+            LinkFaultKind::Recovered,
+        ));
+        let plan = FaultPlan::none().with_link_schedule(lp, 4, events);
+        assert!(plan.has_link_faults());
+        let report = faulted_run(&cluster, &db, &a, "big", &plan);
+        assert!(report.accounts_for_all_arrivals());
+        assert_eq!(report.link_failures, 4);
+        assert_eq!(report.link_recoveries, 4);
+        assert_eq!(report.device_failures, 0);
+        assert!(
+            report.link_severed > 0,
+            "the whole ring down must sever some multi-FPGA deployment"
+        );
+        // Link severs are the only interruption source in this run, and
+        // they recover through the ordinary migration machinery.
+        assert_eq!(report.interrupted, report.link_severed);
+        assert!(report.migrated > 0);
+        assert!(report.link_degraded_time > SimTime::ZERO);
+        let labels: std::collections::BTreeSet<&str> =
+            report.trace.iter().map(|e| e.kind.label()).collect();
+        for expect in ["link_failed", "link_recovered", "migration_started"] {
+            assert!(labels.contains(expect), "missing {expect} in {labels:?}");
+        }
+    }
+
+    #[test]
+    fn degraded_links_corrupt_and_retransmit_under_budget() {
+        let (cluster, db) = small_db();
+        let a = arrivals(40, 1.0);
+        // Certain corruption: every burst runs to the retransmission
+        // budget, making the counters exact multiples of it.
+        let mut lp = link_chaos_params();
+        lp.corruption_prob = 1.0;
+        let mut events = all_segments(SimTime::from_us(150.0), LinkFaultKind::Degraded);
+        events.extend(all_segments(
+            SimTime::from_us(400.0),
+            LinkFaultKind::Recovered,
+        ));
+        let plan = FaultPlan::none().with_link_schedule(lp, 4, events);
+        let report = faulted_run(&cluster, &db, &a, "big", &plan);
+        assert!(report.accounts_for_all_arrivals());
+        assert_eq!(report.link_degradations, 4);
+        assert_eq!(report.link_severed, 0, "degradation never interrupts");
+        assert_eq!(report.interrupted, 0);
+        assert!(
+            report.link_retransmits > 0,
+            "deployments routed over degraded segments must retransmit"
+        );
+        assert_eq!(
+            report.link_retransmits % u64::from(lp.max_retransmits),
+            0,
+            "certain corruption exhausts the budget each burst"
+        );
+        // Degraded from 150us to 400us exactly.
+        assert!(report.link_degraded_time >= SimTime::from_us(249.0));
+        let labels: std::collections::BTreeSet<&str> =
+            report.trace.iter().map(|e| e.kind.label()).collect();
+        for expect in ["link_degraded", "retransmit"] {
+            assert!(labels.contains(expect), "missing {expect} in {labels:?}");
+        }
+    }
+
+    #[test]
+    fn link_chaos_runs_are_byte_identical_and_bytes_reconcile() {
+        let (cluster, db) = small_db();
+        let a = arrivals(60, 2.0);
+        let plan = chaos_plan(42).with_link_faults(link_chaos_params(), 4);
+        assert!(plan.has_link_faults());
+        let r1 = faulted_run(&cluster, &db, &a, "big", &plan);
+        let r2 = faulted_run(&cluster, &db, &a, "big", &plan);
+        assert_eq!(r1.to_json().pretty(), r2.to_json().pretty());
+        assert!(r1.accounts_for_all_arrivals());
+        // With no trace evictions, the Retransmit events' bytes sum to
+        // exactly the report counter.
+        assert_eq!(r1.trace.dropped(), 0);
+        let traced: u64 = r1
+            .trace
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Retransmit { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(traced, r1.link_retransmit_bytes);
     }
 }

@@ -47,7 +47,10 @@ pub use controller::{
     ControllerStats, Deployment, DeploymentId, Placement, Policy, RejectReason, ScaleDown,
     SystemController,
 };
-pub use scaleout_sim::{co_simulate_functional, co_simulate_timing, ScaleOutTiming};
+pub use scaleout_sim::{
+    co_simulate_functional, co_simulate_timing, co_simulate_timing_faulted, LinkChaos,
+    ScaleOutTiming,
+};
 
 use std::fmt;
 
@@ -60,6 +63,13 @@ pub enum RuntimeError {
     Hs(vfpga_hsabs::HsError),
     /// Communicating machines deadlocked (each waiting on the other).
     Deadlock {
+        /// Machines still blocked when progress stopped.
+        blocked: usize,
+    },
+    /// Communicating machines starved on messages that were sent but can
+    /// never be delivered (the link failed for good, retransmissions were
+    /// exhausted, or delivery would pass the deadline).
+    Timeout {
         /// Machines still blocked when progress stopped.
         blocked: usize,
     },
@@ -76,6 +86,12 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Hs(e) => write!(f, "hs abstraction error: {e}"),
             RuntimeError::Deadlock { blocked } => {
                 write!(f, "scale-out deadlock with {blocked} machines blocked")
+            }
+            RuntimeError::Timeout { blocked } => {
+                write!(
+                    f,
+                    "scale-out timeout with {blocked} machines starved on undeliverable messages"
+                )
             }
             RuntimeError::Sim(e) => write!(f, "simulation error: {e}"),
         }

@@ -1,15 +1,65 @@
 //! Coupled simulation of scaled-down accelerators exchanging state over
-//! the inter-FPGA ring (Fig. 11's machinery).
+//! the inter-FPGA ring (Fig. 11's machinery), with optional interconnect
+//! fault injection (degraded service, corruption with bounded
+//! retransmission, hard outages) and a deadline watchdog.
 
 use vfpga_accel::{CycleSim, FuncSim, Poll, StepOutcome};
 use vfpga_isa::Program;
-use vfpga_sim::{Json, LinkParams, SimTime};
+use vfpga_sim::{
+    DegradedMode, Json, Link, LinkFaultKind, LinkParams, RetransmitPolicy, Rng, SimTime,
+};
 
 use crate::RuntimeError;
 
+/// Interconnect fault schedule for a timing co-simulation: health waves of
+/// the (single logical) ring link plus a transfer corruption model and an
+/// optional delivery deadline.
+///
+/// With a quiescent chaos config the co-simulation is bit-for-bit the
+/// ideal-wire model: no RNG is drawn and arrivals follow the memoryless
+/// `send + serialization + latency + added_latency` formula.
+#[derive(Debug, Clone)]
+pub struct LinkChaos {
+    /// Health transitions of the ring link, in time order.
+    pub events: Vec<(SimTime, LinkFaultKind)>,
+    /// What the link serves while degraded.
+    pub degraded: DegradedMode,
+    /// Per-transmission corruption probability, `0.0..=1.0`.
+    pub corruption_prob: f64,
+    /// Retransmission budget for corrupted transmissions.
+    pub retransmit: RetransmitPolicy,
+    /// Messages that cannot arrive by this deadline are undeliverable; the
+    /// watchdog reports [`RuntimeError::Timeout`] instead of `Deadlock`
+    /// when a machine starves on one.
+    pub deadline: Option<SimTime>,
+    /// Seed of the corruption draw stream.
+    pub seed: u64,
+}
+
+impl LinkChaos {
+    /// A chaos config that injects nothing.
+    pub fn quiescent() -> Self {
+        LinkChaos {
+            events: Vec::new(),
+            degraded: DegradedMode::default(),
+            corruption_prob: 0.0,
+            retransmit: RetransmitPolicy::default(),
+            deadline: None,
+            seed: 0,
+        }
+    }
+
+    /// Whether this config perturbs delivery at all (a bare deadline does
+    /// not change arrival times, only classifies starvation).
+    pub fn is_quiescent(&self) -> bool {
+        self.events.is_empty() && self.corruption_prob == 0.0 && self.deadline.is_none()
+    }
+}
+
 /// Result of a timing co-simulation, including the communication counters
-/// the observability layer exports (message volume and scheduling rounds —
-/// the knobs Fig. 11's latency sweep stresses).
+/// the observability layer exports (message volume, scheduling rounds,
+/// transmitter queue-wait pressure, and retransmission work — the knobs
+/// Fig. 11's latency sweep stresses).
 #[derive(Debug, Clone)]
 pub struct ScaleOutTiming {
     /// Per-machine finish time.
@@ -23,6 +73,17 @@ pub struct ScaleOutTiming {
     /// Scheduler rounds the co-simulation needed to drain all machines
     /// (each round polls every unfinished machine once).
     pub poll_rounds: u64,
+    /// Messages that waited (behind the transmitter or a down link)
+    /// before their first byte went out.
+    pub queue_waits: u64,
+    /// Total pre-serialization wait across those messages.
+    pub queue_wait_total: SimTime,
+    /// Longest single pre-serialization wait.
+    pub queue_wait_max: SimTime,
+    /// Retransmissions performed for corrupted transmissions.
+    pub retransmits: u64,
+    /// Payload bytes re-serialized by those retransmissions.
+    pub bytes_retransmitted: u64,
 }
 
 impl ScaleOutTiming {
@@ -49,10 +110,149 @@ impl ScaleOutTiming {
             .with("messages", self.messages)
             .with("bytes_on_wire", self.bytes_on_wire)
             .with("poll_rounds", self.poll_rounds)
+            .with("queue_waits", self.queue_waits)
+            .with("queue_wait_total_s", self.queue_wait_total.as_secs())
+            .with("queue_wait_max_s", self.queue_wait_max.as_secs())
+            .with("retransmits", self.retransmits)
+            .with("bytes_retransmitted", self.bytes_retransmitted)
     }
 }
 
-/// Co-simulates the timing of communicating machines.
+/// The faulted wire: computes the arrival time of each message exactly once
+/// (at the moment the send is first observed), applying link health waves,
+/// corruption with bounded exponential-backoff retransmission, and the
+/// delivery deadline. Accumulates the fault accounting for the report.
+struct Wire {
+    link: LinkParams,
+    added: SimTime,
+    chaos: LinkChaos,
+    rng: Rng,
+    retransmits: u64,
+    bytes_retransmitted: u64,
+    stall_waits: u64,
+    stall_total: SimTime,
+    stall_max: SimTime,
+}
+
+impl Wire {
+    fn new(link: LinkParams, added: SimTime, chaos: LinkChaos) -> Self {
+        let rng = Rng::seed_from_u64(chaos.seed ^ 0x5749_5245_5749_5245);
+        Wire {
+            link,
+            added,
+            chaos,
+            rng,
+            retransmits: 0,
+            bytes_retransmitted: 0,
+            stall_waits: 0,
+            stall_total: SimTime::ZERO,
+            stall_max: SimTime::ZERO,
+        }
+    }
+
+    /// Link health at time `t` per the event schedule.
+    fn health_at(&self, t: SimTime) -> LinkFaultKind {
+        let mut state = LinkFaultKind::Recovered;
+        for &(at, kind) in &self.chaos.events {
+            if at > t {
+                break;
+            }
+            state = kind;
+        }
+        state
+    }
+
+    /// First recovery strictly after `t`, if any.
+    fn next_recovery_after(&self, t: SimTime) -> Option<SimTime> {
+        self.chaos
+            .events
+            .iter()
+            .find(|&&(at, kind)| at > t && kind == LinkFaultKind::Recovered)
+            .map(|&(at, _)| at)
+    }
+
+    fn record_stall(&mut self, wait: SimTime) {
+        if wait > SimTime::ZERO {
+            self.stall_waits += 1;
+            self.stall_total += wait;
+            self.stall_max = self.stall_max.max(wait);
+        }
+    }
+
+    /// Arrival of a message of `bytes` sent at `at`; `None` when the link
+    /// never recovers, the retransmit budget runs out, or the deadline
+    /// passes.
+    fn deliver(&mut self, at: SimTime, bytes: u64) -> Option<SimTime> {
+        if self.chaos.is_quiescent() {
+            // The ideal pipelined wire of Fig. 11 — kept bit-identical.
+            return Some(at + self.link.serialization_time(bytes) + self.link.latency + self.added);
+        }
+        let mut start = at;
+        let mut retransmits = 0u32;
+        let mut delivered = None;
+        loop {
+            match self.health_at(start) {
+                LinkFaultKind::Failed => {
+                    // The message waits for the link to come back.
+                    let Some(up) = self.next_recovery_after(start) else {
+                        break;
+                    };
+                    self.record_stall(up.saturating_sub(start));
+                    start = up;
+                }
+                state => {
+                    let eff = if state == LinkFaultKind::Degraded {
+                        LinkParams {
+                            latency: self.link.latency + self.chaos.degraded.extra_latency,
+                            bandwidth_gbps: self.link.bandwidth_gbps
+                                * self.chaos.degraded.bandwidth_factor,
+                        }
+                    } else {
+                        self.link
+                    };
+                    let done = start + eff.serialization_time(bytes);
+                    let corrupt = self.chaos.corruption_prob > 0.0
+                        && self.rng.next_f64() < self.chaos.corruption_prob;
+                    if !corrupt {
+                        let arrival = done + eff.latency + self.added;
+                        if self.chaos.deadline.is_some_and(|d| arrival > d) {
+                            break;
+                        }
+                        delivered = Some(arrival);
+                        break;
+                    }
+                    if retransmits >= self.chaos.retransmit.max_retransmits {
+                        break;
+                    }
+                    start = done + self.chaos.retransmit.backoff(retransmits);
+                    retransmits += 1;
+                    self.bytes_retransmitted += bytes;
+                }
+            }
+        }
+        self.retransmits += retransmits as u64;
+        delivered
+    }
+}
+
+/// Per-sender arrival snapshot entry: `(chan, seq, arrival)` where a `None`
+/// arrival marks a message that can never be delivered.
+type MsgArrival = (u32, u64, Option<SimTime>);
+
+/// Folds machine `m`'s new sends (past `entry.len()`) into its arrival
+/// snapshot, pushing each through the faulted wire once and through the
+/// machine's shadow transmitter (which measures the serialization-pressure
+/// queue waits the ideal pipelined-wire arrival model hides).
+fn sync_sends(machine: &CycleSim, entry: &mut Vec<MsgArrival>, shadow: &mut Link, wire: &mut Wire) {
+    let sends = machine.sends();
+    for s in &sends[entry.len()..] {
+        let bytes = s.len as u64 * 2; // f16 payload
+        shadow.transfer(s.at, bytes);
+        entry.push((s.chan, s.seq, wire.deliver(s.at, bytes)));
+    }
+}
+
+/// Co-simulates the timing of communicating machines over an ideal ring.
 ///
 /// Each machine runs its own [`CycleSim`] (with its remote window already
 /// configured). A message sent by machine `p` on channel `c` with sequence
@@ -75,45 +275,79 @@ pub fn co_simulate_timing(
     link: LinkParams,
     added_latency: SimTime,
 ) -> Result<ScaleOutTiming, RuntimeError> {
+    co_simulate_timing_faulted(machines, link, added_latency, &LinkChaos::quiescent())
+}
+
+/// [`co_simulate_timing`] over a faultable ring: the link degrades, fails,
+/// and recovers per `chaos.events`; transmissions are corrupted with
+/// `chaos.corruption_prob` and retransmitted under the bounded
+/// exponential-backoff budget; arrivals account for every retransmission.
+///
+/// # Errors
+///
+/// * [`RuntimeError::Timeout`] — a machine starves on a message that was
+///   *sent* but can never be delivered: the link failed for good, the
+///   retransmit budget was exhausted, or delivery would pass
+///   `chaos.deadline`.
+/// * [`RuntimeError::Deadlock`] — a machine starves on a message that was
+///   never sent (a protocol cycle, as before).
+pub fn co_simulate_timing_faulted(
+    machines: &mut [CycleSim],
+    link: LinkParams,
+    added_latency: SimTime,
+    chaos: &LinkChaos,
+) -> Result<ScaleOutTiming, RuntimeError> {
     let n = machines.len();
     let mut finish: Vec<Option<SimTime>> = vec![None; n];
     let mut poll_rounds = 0u64;
+    let mut wire = Wire::new(link, added_latency, chaos.clone());
+    // One shadow transmitter per sender: measures transmitter back-pressure
+    // without feeding it back into arrival times (the wire is pipelined).
+    let mut shadow: Vec<Link> = (0..n).map(|_| Link::new(link)).collect();
+    // Arrival snapshot, maintained incrementally: entry [p][i] is the
+    // delivery of machine p's i-th send. Rebuilt only when a machine
+    // actually produced new sends (not per machine per round).
+    let mut arrivals: Vec<Vec<MsgArrival>> = vec![Vec::new(); n];
+    for m in 0..n {
+        sync_sends(&machines[m], &mut arrivals[m], &mut shadow[m], &mut wire);
+    }
 
     loop {
         poll_rounds += 1;
         let mut progressed = false;
         let mut blocked = 0usize;
+        let mut starved = false;
         for m in 0..n {
             if finish[m].is_some() {
                 continue;
             }
-            // Arrival of the seq-th message on chan at machine m: latest
-            // over all peers.
-            let arrivals: Vec<Vec<(u32, u64, SimTime, usize)>> = (0..n)
-                .map(|p| {
-                    machines[p]
-                        .sends()
-                        .iter()
-                        .map(|s| (s.chan, s.seq, s.at, s.len))
-                        .collect()
-                })
-                .collect();
-            let mut recv_ready = |chan: u32, seq: u64| -> Option<SimTime> {
-                let mut latest = SimTime::ZERO;
-                for (p, peer) in arrivals.iter().enumerate() {
-                    if p == m {
-                        continue;
-                    }
-                    let sent = peer.iter().find(|&&(c, s, _, _)| c == chan && s == seq)?;
-                    let bytes = sent.3 as u64 * 2; // f16 payload
-                    let arrival =
-                        sent.2 + link.serialization_time(bytes) + link.latency + added_latency;
-                    latest = latest.max(arrival);
-                }
-                Some(latest)
-            };
             let sends_before = machines[m].sends().len();
-            match machines[m].poll(&mut recv_ready) {
+            let outcome = {
+                let arrivals = &arrivals;
+                let starved = &mut starved;
+                let mut recv_ready = |chan: u32, seq: u64| -> Option<SimTime> {
+                    let mut latest = SimTime::ZERO;
+                    for (p, peer) in arrivals.iter().enumerate() {
+                        if p == m {
+                            continue;
+                        }
+                        let &(_, _, arrival) =
+                            peer.iter().find(|&&(c, s, _)| c == chan && s == seq)?;
+                        match arrival {
+                            Some(a) => latest = latest.max(a),
+                            None => {
+                                // Sent but undeliverable: the receiver is
+                                // starved, not deadlocked.
+                                *starved = true;
+                                return None;
+                            }
+                        }
+                    }
+                    Some(latest)
+                };
+                machines[m].poll(&mut recv_ready)
+            };
+            match outcome {
                 Poll::Done(t) => {
                     finish[m] = Some(t);
                     progressed = true;
@@ -125,12 +359,19 @@ pub fn co_simulate_timing(
                     }
                 }
             }
+            if machines[m].sends().len() > sends_before {
+                sync_sends(&machines[m], &mut arrivals[m], &mut shadow[m], &mut wire);
+            }
         }
         if finish.iter().all(Option::is_some) {
             break;
         }
         if !progressed {
-            return Err(RuntimeError::Deadlock { blocked });
+            return Err(if starved {
+                RuntimeError::Timeout { blocked }
+            } else {
+                RuntimeError::Deadlock { blocked }
+            });
         }
     }
 
@@ -142,12 +383,25 @@ pub fn co_simulate_timing(
         messages += m.sends().len() as u64;
         bytes_on_wire += m.sends().iter().map(|s| s.len as u64 * 2).sum::<u64>();
     }
+    let mut queue_waits = wire.stall_waits;
+    let mut queue_wait_total = wire.stall_total;
+    let mut queue_wait_max = wire.stall_max;
+    for s in &shadow {
+        queue_waits += s.queue_wait_count();
+        queue_wait_total += s.queue_wait_total();
+        queue_wait_max = queue_wait_max.max(s.queue_wait_max());
+    }
     Ok(ScaleOutTiming {
         finish,
         makespan,
         messages,
         bytes_on_wire,
         poll_rounds,
+        queue_waits,
+        queue_wait_total,
+        queue_wait_max,
+        retransmits: wire.retransmits,
+        bytes_retransmitted: wire.bytes_retransmitted,
     })
 }
 
@@ -211,5 +465,173 @@ pub fn co_simulate_functional(
             let blocked = halted.iter().filter(|&&h| !h).count();
             return Err(RuntimeError::Deadlock { blocked });
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfpga_accel::{AcceleratorConfig, TimingModel};
+    use vfpga_core::scaleout::{insert_communication, remote_window};
+    use vfpga_workload::{generate_program, RnnKind, RnnTask, SliceSpec};
+
+    /// Two communicating machines; `mute` strips machine 1's communication
+    /// so machine 0 waits on messages that are never sent.
+    fn two_machines(mute: bool) -> Vec<CycleSim> {
+        let machines = 2;
+        let task = RnnTask::new(RnnKind::Gru, 512, 4);
+        let cfg = AcceleratorConfig::new("watchdog", 8).scaled_down(machines);
+        (0..machines)
+            .map(|m| {
+                let rnn = generate_program(task, SliceSpec::new(m, machines));
+                let window = remote_window(&cfg.isa, m, machines).unwrap();
+                let program = if mute && m == 1 {
+                    rnn.program.clone()
+                } else {
+                    insert_communication(&rnn.program, &rnn.state_slots, &window).unwrap()
+                };
+                let mut sim = CycleSim::new(
+                    TimingModel::for_config(&cfg, 400.0),
+                    &program,
+                    rnn.mat_shapes,
+                    rnn.dram_lens,
+                );
+                if !(mute && m == 1) {
+                    sim.set_remote_window(Some(window));
+                }
+                sim
+            })
+            .collect()
+    }
+
+    fn test_link() -> LinkParams {
+        LinkParams::new(SimTime::from_ns(500.0), 25.0)
+    }
+
+    #[test]
+    fn quiescent_chaos_matches_plain_cosim() {
+        let plain = {
+            let mut sims = two_machines(false);
+            co_simulate_timing(&mut sims, test_link(), SimTime::ZERO).unwrap()
+        };
+        let faulted = {
+            let mut sims = two_machines(false);
+            co_simulate_timing_faulted(
+                &mut sims,
+                test_link(),
+                SimTime::ZERO,
+                &LinkChaos::quiescent(),
+            )
+            .unwrap()
+        };
+        assert_eq!(plain.finish, faulted.finish);
+        assert_eq!(plain.makespan, faulted.makespan);
+        assert_eq!(plain.poll_rounds, faulted.poll_rounds);
+        assert_eq!(faulted.retransmits, 0);
+        assert_eq!(faulted.bytes_retransmitted, 0);
+    }
+
+    #[test]
+    fn missing_sender_is_a_deadlock() {
+        let mut sims = two_machines(true);
+        let err = co_simulate_timing(&mut sims, test_link(), SimTime::ZERO).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Deadlock { blocked: 1 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unrecovered_link_failure_is_a_timeout() {
+        let mut sims = two_machines(false);
+        let chaos = LinkChaos {
+            events: vec![(SimTime::ZERO, LinkFaultKind::Failed)],
+            ..LinkChaos::quiescent()
+        };
+        let err =
+            co_simulate_timing_faulted(&mut sims, test_link(), SimTime::ZERO, &chaos).unwrap_err();
+        assert!(matches!(err, RuntimeError::Timeout { .. }), "{err}");
+    }
+
+    #[test]
+    fn impossible_deadline_is_a_timeout_not_a_deadlock() {
+        let mut sims = two_machines(false);
+        let chaos = LinkChaos {
+            deadline: Some(SimTime::from_ps(1)),
+            ..LinkChaos::quiescent()
+        };
+        let err =
+            co_simulate_timing_faulted(&mut sims, test_link(), SimTime::ZERO, &chaos).unwrap_err();
+        assert!(matches!(err, RuntimeError::Timeout { .. }), "{err}");
+    }
+
+    #[test]
+    fn transient_outage_delays_but_completes_with_retransmit_accounting() {
+        let healthy = {
+            let mut sims = two_machines(false);
+            co_simulate_timing(&mut sims, test_link(), SimTime::ZERO).unwrap()
+        };
+        // The link drops mid-stream and comes back; everything sent during
+        // the outage waits for recovery.
+        let mut sims = two_machines(false);
+        let down_at = SimTime::from_ps(healthy.makespan.as_ps() / 4);
+        let up_at = SimTime::from_ps(healthy.makespan.as_ps() / 2);
+        let chaos = LinkChaos {
+            events: vec![
+                (down_at, LinkFaultKind::Failed),
+                (up_at, LinkFaultKind::Recovered),
+            ],
+            ..LinkChaos::quiescent()
+        };
+        let faulted =
+            co_simulate_timing_faulted(&mut sims, test_link(), SimTime::ZERO, &chaos).unwrap();
+        assert!(
+            faulted.makespan >= healthy.makespan,
+            "outage cannot speed things up: {} < {}",
+            faulted.makespan,
+            healthy.makespan
+        );
+        assert!(faulted.queue_waits > 0, "outage waits are recorded");
+        assert!(faulted.queue_wait_total >= faulted.queue_wait_max);
+    }
+
+    #[test]
+    fn corruption_forces_retransmissions() {
+        let mut sims = two_machines(false);
+        let chaos = LinkChaos {
+            corruption_prob: 0.5,
+            retransmit: RetransmitPolicy {
+                max_retransmits: 64,
+                base_backoff: SimTime::from_ns(50.0),
+            },
+            seed: 7,
+            ..LinkChaos::quiescent()
+        };
+        let faulted =
+            co_simulate_timing_faulted(&mut sims, test_link(), SimTime::ZERO, &chaos).unwrap();
+        assert!(faulted.retransmits > 0);
+        assert!(faulted.bytes_retransmitted > 0);
+        let healthy = {
+            let mut sims = two_machines(false);
+            co_simulate_timing(&mut sims, test_link(), SimTime::ZERO).unwrap()
+        };
+        assert!(faulted.makespan > healthy.makespan);
+    }
+
+    #[test]
+    fn degraded_link_slows_the_sweep() {
+        let healthy = {
+            let mut sims = two_machines(false);
+            co_simulate_timing(&mut sims, test_link(), SimTime::ZERO).unwrap()
+        };
+        let mut sims = two_machines(false);
+        let chaos = LinkChaos {
+            events: vec![(SimTime::ZERO, LinkFaultKind::Degraded)],
+            degraded: DegradedMode::new(0.25, SimTime::from_ns(500.0)),
+            ..LinkChaos::quiescent()
+        };
+        let faulted =
+            co_simulate_timing_faulted(&mut sims, test_link(), SimTime::ZERO, &chaos).unwrap();
+        assert!(faulted.makespan > healthy.makespan);
     }
 }

@@ -39,6 +39,88 @@ impl FaultPlanParams {
     }
 }
 
+/// Parameters of the per-link fault process and transfer corruption model.
+///
+/// Link faults ride on the same plan as device faults but run independent
+/// per-link renewal processes: a fault wave either *degrades* the link
+/// (reduced bandwidth, extra latency) or *fails* it outright, and every wave
+/// is followed by a recovery. While any link fault activity is planned,
+/// individual transfers are additionally corrupted with `corruption_prob`
+/// and retransmitted under a bounded exponential-backoff budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultParams {
+    /// Mean time to a fault wave on one link (exponentially distributed).
+    pub mttf: SimTime,
+    /// Mean time to repair of one link (exponentially distributed).
+    pub mttr: SimTime,
+    /// Probability that a wave degrades the link instead of failing it,
+    /// `0.0..=1.0`.
+    pub degraded_fraction: f64,
+    /// Bandwidth multiplier a degraded link serves, `(0.0, 1.0]`.
+    pub bandwidth_factor: f64,
+    /// Extra one-way latency of a degraded link.
+    pub extra_latency: SimTime,
+    /// Per-transfer corruption probability while link faults are active,
+    /// `0.0..=1.0`.
+    pub corruption_prob: f64,
+    /// Retransmission budget per corrupted transfer.
+    pub max_retransmits: u32,
+    /// Base retransmission backoff (doubles per attempt).
+    pub retransmit_backoff: SimTime,
+    /// No new link fault is generated at or after this time.
+    pub horizon: SimTime,
+}
+
+impl LinkFaultParams {
+    /// A link plan that injects nothing.
+    pub fn quiescent() -> Self {
+        LinkFaultParams {
+            mttf: SimTime::MAX,
+            mttr: SimTime::ZERO,
+            degraded_fraction: 0.0,
+            bandwidth_factor: 1.0,
+            extra_latency: SimTime::ZERO,
+            corruption_prob: 0.0,
+            max_retransmits: 3,
+            retransmit_backoff: SimTime::from_ns(200.0),
+            horizon: SimTime::ZERO,
+        }
+    }
+}
+
+/// The kind of a scheduled link transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// The link drops to degraded service.
+    Degraded,
+    /// The link goes down.
+    Failed,
+    /// The link returns to full health.
+    Recovered,
+}
+
+impl LinkFaultKind {
+    /// Sort rank: recoveries before new faults at the same instant.
+    fn rank(self) -> u8 {
+        match self {
+            LinkFaultKind::Recovered => 0,
+            LinkFaultKind::Degraded => 1,
+            LinkFaultKind::Failed => 2,
+        }
+    }
+}
+
+/// One scheduled link state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFaultEvent {
+    /// When the transition happens.
+    pub at: SimTime,
+    /// The link (ring segment) index.
+    pub link: usize,
+    /// What happens to the link.
+    pub kind: LinkFaultKind,
+}
+
 /// One scheduled device state transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
@@ -57,6 +139,9 @@ pub struct FaultPlan {
     seed: u64,
     devices: usize,
     events: Vec<FaultEvent>,
+    link_params: LinkFaultParams,
+    links: usize,
+    link_events: Vec<LinkFaultEvent>,
 }
 
 impl FaultPlan {
@@ -67,6 +152,9 @@ impl FaultPlan {
             seed: 0,
             devices: 0,
             events: Vec::new(),
+            link_params: LinkFaultParams::quiescent(),
+            links: 0,
+            link_events: Vec::new(),
         }
     }
 
@@ -136,7 +224,110 @@ impl FaultPlan {
             seed,
             devices,
             events,
+            link_params: LinkFaultParams::quiescent(),
+            links: 0,
+            link_events: Vec::new(),
         }
+    }
+
+    /// Adds a seeded per-link fault schedule for `links` ring segments.
+    ///
+    /// Each link runs an independent alternating-renewal process seeded
+    /// from `(seed, link)` on a stream disjoint from the device streams
+    /// (a distinct salt), so adding link faults never perturbs the device
+    /// schedule and adding a link never perturbs the other links. Each
+    /// wave is degraded with probability `degraded_fraction`, failed
+    /// otherwise, and always followed by a recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `0.0..=1.0`, `bandwidth_factor`
+    /// is outside `(0.0, 1.0]`, or `mttf`/`mttr` is zero while the link
+    /// horizon is nonzero.
+    pub fn with_link_faults(mut self, link_params: LinkFaultParams, links: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&link_params.degraded_fraction),
+            "degraded_fraction must be a probability, got {}",
+            link_params.degraded_fraction
+        );
+        assert!(
+            (0.0..=1.0).contains(&link_params.corruption_prob),
+            "corruption_prob must be a probability, got {}",
+            link_params.corruption_prob
+        );
+        assert!(
+            link_params.bandwidth_factor > 0.0 && link_params.bandwidth_factor <= 1.0,
+            "bandwidth_factor must be in (0, 1], got {}",
+            link_params.bandwidth_factor
+        );
+        let mut link_events = Vec::new();
+        if link_params.horizon > SimTime::ZERO {
+            assert!(
+                link_params.mttf > SimTime::ZERO && link_params.mttr > SimTime::ZERO,
+                "link mttf and mttr must be positive to generate faults"
+            );
+            for link in 0..links {
+                // Same golden-ratio stride as the device streams, over a
+                // salted base seed so the two families never collide.
+                let mut rng = Rng::seed_from_u64(
+                    (self.seed ^ 0x4c49_4e4b_4c49_4e4b)
+                        .wrapping_add((link as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                let mut now = SimTime::ZERO;
+                loop {
+                    let up_for = SimTime::from_secs(rng.exp(link_params.mttf.as_secs()));
+                    let Some(fault_at) = now.checked_add(up_for) else {
+                        break;
+                    };
+                    if fault_at >= link_params.horizon {
+                        break;
+                    }
+                    let kind = if rng.next_f64() < link_params.degraded_fraction {
+                        LinkFaultKind::Degraded
+                    } else {
+                        LinkFaultKind::Failed
+                    };
+                    link_events.push(LinkFaultEvent {
+                        at: fault_at,
+                        link,
+                        kind,
+                    });
+                    let down_for = SimTime::from_secs(rng.exp(link_params.mttr.as_secs()));
+                    let Some(recover_at) = fault_at.checked_add(down_for) else {
+                        break;
+                    };
+                    link_events.push(LinkFaultEvent {
+                        at: recover_at,
+                        link,
+                        kind: LinkFaultKind::Recovered,
+                    });
+                    now = recover_at;
+                }
+            }
+            link_events.sort_by_key(|e| (e.at, e.link, e.kind.rank()));
+        }
+        self.link_params = link_params;
+        self.links = links;
+        self.link_events = link_events;
+        self
+    }
+
+    /// Installs a hand-written link schedule (for tests and experiments
+    /// that need precisely timed transitions rather than a seeded renewal
+    /// process). Events are sorted into the canonical order (time, link,
+    /// recoveries first); `link_params` supplies the corruption and
+    /// retransmission model.
+    pub fn with_link_schedule(
+        mut self,
+        link_params: LinkFaultParams,
+        links: usize,
+        mut events: Vec<LinkFaultEvent>,
+    ) -> Self {
+        events.sort_by_key(|e| (e.at, e.link, e.kind.rank()));
+        self.link_params = link_params;
+        self.links = links;
+        self.link_events = events;
+        self
     }
 
     /// The generation parameters.
@@ -159,9 +350,45 @@ impl FaultPlan {
         &self.events
     }
 
-    /// Whether the plan injects nothing (no transitions, no transients).
+    /// The link fault-generation parameters.
+    pub fn link_params(&self) -> LinkFaultParams {
+        self.link_params
+    }
+
+    /// Number of links the plan covers.
+    pub fn links(&self) -> usize {
+        self.links
+    }
+
+    /// The scheduled link transitions, in time order.
+    pub fn link_events(&self) -> &[LinkFaultEvent] {
+        &self.link_events
+    }
+
+    /// Per-transfer corruption probability while link faults are active.
+    pub fn corruption_prob(&self) -> f64 {
+        self.link_params.corruption_prob
+    }
+
+    /// Whether the plan injects any interconnect fault activity.
+    pub fn has_link_faults(&self) -> bool {
+        self.links > 0 && (!self.link_events.is_empty() || self.link_params.corruption_prob > 0.0)
+    }
+
+    /// Number of hard link failures in the plan.
+    pub fn link_failures(&self) -> usize {
+        self.link_events
+            .iter()
+            .filter(|e| e.kind == LinkFaultKind::Failed)
+            .count()
+    }
+
+    /// Whether the plan injects nothing (no transitions, no transients,
+    /// no link fault activity).
     pub fn is_quiescent(&self) -> bool {
-        self.events.is_empty() && self.params.configure_failure_prob == 0.0
+        self.events.is_empty()
+            && self.params.configure_failure_prob == 0.0
+            && !self.has_link_faults()
     }
 
     /// Number of failure transitions in the plan.
@@ -184,9 +411,12 @@ impl FaultPlan {
         peak
     }
 
-    /// Serializes the plan (parameters plus the event schedule).
+    /// Serializes the plan (parameters plus the event schedule). The link
+    /// section is emitted only when the plan covers links, so device-only
+    /// plans serialize exactly as they did before the interconnect fault
+    /// model existed.
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut json = Json::obj()
             .with("seed", self.seed)
             .with("devices", self.devices)
             .with("mttf_s", self.params.mttf.as_secs())
@@ -206,7 +436,37 @@ impl FaultPlan {
                         })
                         .collect(),
                 ),
-            )
+            );
+        if self.links > 0 {
+            json = json
+                .with("links", self.links)
+                .with("link_mttf_s", self.link_params.mttf.as_secs())
+                .with("link_mttr_s", self.link_params.mttr.as_secs())
+                .with("degraded_fraction", self.link_params.degraded_fraction)
+                .with("corruption_prob", self.link_params.corruption_prob)
+                .with(
+                    "link_events",
+                    Json::Arr(
+                        self.link_events
+                            .iter()
+                            .map(|e| {
+                                Json::obj()
+                                    .with("t", e.at.as_secs())
+                                    .with("link", e.link)
+                                    .with(
+                                        "kind",
+                                        match e.kind {
+                                            LinkFaultKind::Degraded => "degraded",
+                                            LinkFaultKind::Failed => "failed",
+                                            LinkFaultKind::Recovered => "recovered",
+                                        },
+                                    )
+                            })
+                            .collect(),
+                    ),
+                );
+        }
+        json
     }
 }
 
@@ -286,5 +546,88 @@ mod tests {
         let text = plan.to_json().compact();
         assert!(text.contains(r#""configure_failure_prob":0.05"#), "{text}");
         assert!(text.contains(r#""fail":true"#), "{text}");
+        // Device-only plans serialize without any link section.
+        assert!(!text.contains("link_events"), "{text}");
+    }
+
+    fn link_params() -> LinkFaultParams {
+        LinkFaultParams {
+            mttf: SimTime::from_ms(2.0),
+            mttr: SimTime::from_ms(0.5),
+            degraded_fraction: 0.5,
+            bandwidth_factor: 0.25,
+            extra_latency: SimTime::from_ns(250.0),
+            corruption_prob: 0.1,
+            max_retransmits: 3,
+            retransmit_backoff: SimTime::from_ns(200.0),
+            horizon: SimTime::from_ms(20.0),
+        }
+    }
+
+    #[test]
+    fn link_generation_is_deterministic_and_leaves_devices_alone() {
+        let base = FaultPlan::generate(params(), 4, 99);
+        let a = base.clone().with_link_faults(link_params(), 4);
+        let b = FaultPlan::generate(params(), 4, 99).with_link_faults(link_params(), 4);
+        assert_eq!(a, b);
+        // The device schedule is untouched by the link streams.
+        assert_eq!(a.events(), base.events());
+        assert!(!a.link_events().is_empty());
+        assert!(a.has_link_faults());
+        assert!(!a.is_quiescent());
+    }
+
+    #[test]
+    fn per_link_streams_are_independent() {
+        let small = FaultPlan::generate(params(), 4, 7).with_link_faults(link_params(), 2);
+        let large = FaultPlan::generate(params(), 4, 7).with_link_faults(link_params(), 4);
+        let only_01 = |p: &FaultPlan| {
+            p.link_events()
+                .iter()
+                .copied()
+                .filter(|e| e.link < 2)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(only_01(&small), only_01(&large));
+    }
+
+    #[test]
+    fn link_waves_mix_degradations_and_failures() {
+        let plan = FaultPlan::generate(params(), 4, 13).with_link_faults(link_params(), 4);
+        let kinds: Vec<_> = plan.link_events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&LinkFaultKind::Degraded));
+        assert!(kinds.contains(&LinkFaultKind::Failed));
+        assert!(plan.link_failures() > 0);
+        // Every wave is followed by a recovery of the same link.
+        let faults = kinds
+            .iter()
+            .filter(|k| **k != LinkFaultKind::Recovered)
+            .count();
+        assert_eq!(faults, kinds.len() - faults);
+        assert!(plan.link_events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn quiescent_link_plan_stays_quiescent() {
+        let plan = FaultPlan::generate(FaultPlanParams::quiescent(), 4, 1)
+            .with_link_faults(LinkFaultParams::quiescent(), 4);
+        assert!(plan.is_quiescent());
+        assert!(!plan.has_link_faults());
+        // Corruption alone counts as link fault activity.
+        let mut corrupting = LinkFaultParams::quiescent();
+        corrupting.corruption_prob = 0.05;
+        let plan =
+            FaultPlan::generate(FaultPlanParams::quiescent(), 4, 1).with_link_faults(corrupting, 4);
+        assert!(plan.has_link_faults());
+        assert!(!plan.is_quiescent());
+    }
+
+    #[test]
+    fn json_exports_link_schedule() {
+        let plan = FaultPlan::generate(params(), 2, 5).with_link_faults(link_params(), 4);
+        let text = plan.to_json().compact();
+        assert!(text.contains(r#""link_events""#), "{text}");
+        assert!(text.contains(r#""kind":"recovered""#), "{text}");
+        assert!(text.contains(r#""corruption_prob":0.1"#), "{text}");
     }
 }

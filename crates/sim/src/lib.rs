@@ -39,9 +39,13 @@ mod trace;
 
 pub use engine::EventQueue;
 pub use export::{chrome_trace_events, prometheus_text, CONTROL_TID, SCHEDULER_PID};
-pub use fault::{FaultEvent, FaultPlan, FaultPlanParams};
+pub use fault::{
+    FaultEvent, FaultPlan, FaultPlanParams, LinkFaultEvent, LinkFaultKind, LinkFaultParams,
+};
 pub use json::Json;
-pub use link::{Link, LinkParams};
+pub use link::{
+    DegradedMode, Link, LinkHealth, LinkParamError, LinkParams, RetransmitPolicy, TransferOutcome,
+};
 pub use metrics::{CounterId, GaugeId, MetricsRegistry, TimeSeries, TimerId};
 pub use rng::Rng;
 pub use span::{CriticalPath, PhaseBuckets, Span, SpanCtx, SpanId, SpanTracer, SpanValue, TraceId};

@@ -1,6 +1,30 @@
-//! A serialized communication link with latency and bandwidth.
+//! A serialized communication link with latency, bandwidth, and health.
 
 use crate::SimTime;
+
+/// Error returned by [`LinkParams::try_new`] for a malformed bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkParamError {
+    /// The bandwidth was NaN or infinite.
+    NonFiniteBandwidth(f64),
+    /// The bandwidth was zero or negative.
+    NonPositiveBandwidth(f64),
+}
+
+impl std::fmt::Display for LinkParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkParamError::NonFiniteBandwidth(v) => {
+                write!(f, "invalid bandwidth: {v} Gb/s (must be finite)")
+            }
+            LinkParamError::NonPositiveBandwidth(v) => {
+                write!(f, "invalid bandwidth: {v} Gb/s (must be strictly positive)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkParamError {}
 
 /// Static parameters of a point-to-point link.
 ///
@@ -16,20 +40,29 @@ pub struct LinkParams {
 }
 
 impl LinkParams {
-    /// Creates link parameters.
+    /// Creates link parameters, rejecting NaN, infinite, and non-positive
+    /// bandwidths.
+    pub fn try_new(latency: SimTime, bandwidth_gbps: f64) -> Result<Self, LinkParamError> {
+        if !bandwidth_gbps.is_finite() {
+            return Err(LinkParamError::NonFiniteBandwidth(bandwidth_gbps));
+        }
+        if bandwidth_gbps <= 0.0 {
+            return Err(LinkParamError::NonPositiveBandwidth(bandwidth_gbps));
+        }
+        Ok(LinkParams {
+            latency,
+            bandwidth_gbps,
+        })
+    }
+
+    /// Creates link parameters; panicking wrapper around [`Self::try_new`].
     ///
     /// # Panics
     ///
-    /// Panics if `bandwidth_gbps` is not strictly positive.
+    /// Panics if `bandwidth_gbps` is NaN, infinite, or not strictly
+    /// positive.
     pub fn new(latency: SimTime, bandwidth_gbps: f64) -> Self {
-        assert!(
-            bandwidth_gbps > 0.0,
-            "invalid bandwidth: {bandwidth_gbps} Gb/s"
-        );
-        LinkParams {
-            latency,
-            bandwidth_gbps,
-        }
+        Self::try_new(latency, bandwidth_gbps).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Time to serialize `bytes` onto the wire (excluding propagation).
@@ -39,6 +72,97 @@ impl LinkParams {
     }
 }
 
+/// Health of a [`Link`]: a degradable, failable state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkHealth {
+    /// Nominal bandwidth and latency.
+    Healthy,
+    /// Up, but serving reduced bandwidth with extra latency.
+    Degraded,
+    /// Down: transfers cannot be delivered until recovery.
+    Failed,
+}
+
+/// What a degraded link serves: a bandwidth multiplier plus extra latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedMode {
+    /// Multiplier on the nominal bandwidth, in `(0.0, 1.0]`.
+    pub bandwidth_factor: f64,
+    /// Extra one-way propagation latency while degraded.
+    pub extra_latency: SimTime,
+}
+
+impl DegradedMode {
+    /// Creates a degraded mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bandwidth_factor` is in `(0.0, 1.0]`.
+    pub fn new(bandwidth_factor: f64, extra_latency: SimTime) -> Self {
+        assert!(
+            bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+            "bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+        );
+        DegradedMode {
+            bandwidth_factor,
+            extra_latency,
+        }
+    }
+}
+
+impl Default for DegradedMode {
+    /// A no-op degradation (full bandwidth, no extra latency).
+    fn default() -> Self {
+        DegradedMode {
+            bandwidth_factor: 1.0,
+            extra_latency: SimTime::ZERO,
+        }
+    }
+}
+
+/// Bounded retransmission budget with exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitPolicy {
+    /// Maximum number of retransmissions of one transfer before giving up.
+    pub max_retransmits: u32,
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub base_backoff: SimTime,
+}
+
+impl RetransmitPolicy {
+    /// Backoff waited before retransmission number `retransmit` (0-based):
+    /// `base_backoff * 2^retransmit`, saturating.
+    pub fn backoff(&self, retransmit: u32) -> SimTime {
+        let factor = 1u64 << retransmit.min(32);
+        SimTime::from_ps(self.base_backoff.as_ps().saturating_mul(factor))
+    }
+}
+
+impl Default for RetransmitPolicy {
+    /// Three retransmissions starting at a 200 ns backoff.
+    fn default() -> Self {
+        RetransmitPolicy {
+            max_retransmits: 3,
+            base_backoff: SimTime::from_ns(200.0),
+        }
+    }
+}
+
+/// Result of a fault-aware [`Link::try_transfer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    /// Arrival time of the last byte, or `None` if the link was down or the
+    /// retransmit budget was exhausted by corruption.
+    pub arrival: Option<SimTime>,
+    /// Retransmissions performed (0 for a clean first transmission).
+    pub retransmits: u32,
+    /// Payload bytes re-serialized by those retransmissions.
+    pub bytes_retransmitted: u64,
+    /// Time the transfer waited behind earlier transfers before its first
+    /// serialization started.
+    pub queue_wait: SimTime,
+}
+
 /// A stateful link that serializes transfers one at a time.
 ///
 /// Each transfer occupies the transmitter for its serialization time; the
@@ -46,6 +170,12 @@ impl LinkParams {
 /// Back-to-back transfers queue behind one another, which is what makes the
 /// limited inter-FPGA bandwidth of the paper's ring visible to the scale-out
 /// experiments (Fig. 11).
+///
+/// The link is also a health machine: [`Link::degrade`] reduces bandwidth and
+/// adds latency, [`Link::fail`] takes it down, [`Link::recover`] restores it.
+/// [`Link::try_transfer`] is the fault-aware submission path (corruption,
+/// bounded retransmission with exponential backoff); [`Link::transfer`]
+/// assumes the link is up.
 ///
 /// ```
 /// use vfpga_sim::{Link, LinkParams, SimTime};
@@ -65,33 +195,161 @@ pub struct Link {
     busy_until: SimTime,
     transfers: u64,
     bytes: u64,
+    health: LinkHealth,
+    degraded: DegradedMode,
+    queue_waits: u64,
+    queue_wait_total: SimTime,
+    queue_wait_max: SimTime,
+    retransmits: u64,
+    bytes_retransmitted: u64,
 }
 
 impl Link {
-    /// Creates an idle link.
+    /// Creates an idle, healthy link.
     pub fn new(params: LinkParams) -> Self {
         Link {
             params,
             busy_until: SimTime::ZERO,
             transfers: 0,
             bytes: 0,
+            health: LinkHealth::Healthy,
+            degraded: DegradedMode::default(),
+            queue_waits: 0,
+            queue_wait_total: SimTime::ZERO,
+            queue_wait_max: SimTime::ZERO,
+            retransmits: 0,
+            bytes_retransmitted: 0,
         }
     }
 
-    /// The link's static parameters.
+    /// The link's static (nominal) parameters.
     pub fn params(&self) -> LinkParams {
         self.params
     }
 
+    /// Current health state.
+    pub fn health(&self) -> LinkHealth {
+        self.health
+    }
+
+    /// The parameters the link currently serves: nominal when healthy (or
+    /// failed — a failed link serves nothing, but its wire is unchanged),
+    /// reduced bandwidth plus extra latency when degraded.
+    pub fn effective_params(&self) -> LinkParams {
+        match self.health {
+            LinkHealth::Degraded => LinkParams {
+                latency: self.params.latency + self.degraded.extra_latency,
+                bandwidth_gbps: self.params.bandwidth_gbps * self.degraded.bandwidth_factor,
+            },
+            _ => self.params,
+        }
+    }
+
+    /// Degrades the link to `mode` (idempotent; overrides a prior mode).
+    pub fn degrade(&mut self, mode: DegradedMode) {
+        self.health = LinkHealth::Degraded;
+        self.degraded = mode;
+    }
+
+    /// Takes the link down.
+    pub fn fail(&mut self) {
+        self.health = LinkHealth::Failed;
+    }
+
+    /// Restores the link to full health.
+    pub fn recover(&mut self) {
+        self.health = LinkHealth::Healthy;
+        self.degraded = DegradedMode::default();
+    }
+
+    fn record_queue_wait(&mut self, wait: SimTime) {
+        if wait > SimTime::ZERO {
+            self.queue_waits += 1;
+            self.queue_wait_total += wait;
+            self.queue_wait_max = self.queue_wait_max.max(wait);
+        }
+    }
+
     /// Submits a transfer of `bytes` at time `now`; returns the arrival time
-    /// of the last byte at the far end.
+    /// of the last byte at the far end. Degraded links serve their reduced
+    /// effective parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link has failed; use [`Self::try_transfer`] on links
+    /// under fault injection.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        assert!(
+            self.health != LinkHealth::Failed,
+            "transfer on a failed link"
+        );
+        let eff = self.effective_params();
         let start = now.max(self.busy_until);
-        let done_serializing = start + self.params.serialization_time(bytes);
+        self.record_queue_wait(start.saturating_sub(now));
+        let done_serializing = start + eff.serialization_time(bytes);
         self.busy_until = done_serializing;
         self.transfers += 1;
         self.bytes += bytes;
-        done_serializing + self.params.latency
+        done_serializing + eff.latency
+    }
+
+    /// Fault-aware transfer: each (re)transmission asks `corrupt` whether it
+    /// was corrupted in flight; corrupted copies are retransmitted after an
+    /// exponential backoff until `policy.max_retransmits` is exhausted.
+    /// Returns `arrival: None` when the link is down or the budget runs out.
+    ///
+    /// `corrupt` is called once per transmission, in order, so a seeded
+    /// caller-side RNG makes the outcome deterministic.
+    pub fn try_transfer(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        policy: RetransmitPolicy,
+        corrupt: &mut dyn FnMut() -> bool,
+    ) -> TransferOutcome {
+        if self.health == LinkHealth::Failed {
+            return TransferOutcome {
+                arrival: None,
+                retransmits: 0,
+                bytes_retransmitted: 0,
+                queue_wait: SimTime::ZERO,
+            };
+        }
+        let mut start = now.max(self.busy_until);
+        let queue_wait = start.saturating_sub(now);
+        self.record_queue_wait(queue_wait);
+        let mut retransmits = 0u32;
+        let mut bytes_retransmitted = 0u64;
+        loop {
+            let eff = self.effective_params();
+            let done_serializing = start + eff.serialization_time(bytes);
+            self.busy_until = done_serializing;
+            self.transfers += 1;
+            self.bytes += bytes;
+            if !corrupt() {
+                self.retransmits += retransmits as u64;
+                self.bytes_retransmitted += bytes_retransmitted;
+                return TransferOutcome {
+                    arrival: Some(done_serializing + eff.latency),
+                    retransmits,
+                    bytes_retransmitted,
+                    queue_wait,
+                };
+            }
+            if retransmits >= policy.max_retransmits {
+                self.retransmits += retransmits as u64;
+                self.bytes_retransmitted += bytes_retransmitted;
+                return TransferOutcome {
+                    arrival: None,
+                    retransmits,
+                    bytes_retransmitted,
+                    queue_wait,
+                };
+            }
+            start = done_serializing + policy.backoff(retransmits);
+            retransmits += 1;
+            bytes_retransmitted += bytes;
+        }
     }
 
     /// Time at which the transmitter becomes free.
@@ -99,14 +357,39 @@ impl Link {
         self.busy_until
     }
 
-    /// Total number of transfers submitted.
+    /// Total number of transmissions (including retransmissions).
     pub fn transfer_count(&self) -> u64 {
         self.transfers
     }
 
-    /// Total bytes submitted.
+    /// Total bytes serialized (including retransmitted copies).
     pub fn bytes_transferred(&self) -> u64 {
         self.bytes
+    }
+
+    /// Number of transfers that waited behind an earlier transfer.
+    pub fn queue_wait_count(&self) -> u64 {
+        self.queue_waits
+    }
+
+    /// Total time transfers spent waiting for the transmitter.
+    pub fn queue_wait_total(&self) -> SimTime {
+        self.queue_wait_total
+    }
+
+    /// Longest single queue wait.
+    pub fn queue_wait_max(&self) -> SimTime {
+        self.queue_wait_max
+    }
+
+    /// Total retransmissions performed by [`Self::try_transfer`].
+    pub fn retransmit_count(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Total payload bytes re-serialized by retransmissions.
+    pub fn bytes_retransmitted(&self) -> u64 {
+        self.bytes_retransmitted
     }
 }
 
@@ -158,5 +441,110 @@ mod tests {
     #[should_panic(expected = "invalid bandwidth")]
     fn zero_bandwidth_rejected() {
         let _ = LinkParams::new(SimTime::ZERO, 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_bandwidth() {
+        assert!(matches!(
+            LinkParams::try_new(SimTime::ZERO, f64::NAN),
+            Err(LinkParamError::NonFiniteBandwidth(_))
+        ));
+        assert!(matches!(
+            LinkParams::try_new(SimTime::ZERO, f64::INFINITY),
+            Err(LinkParamError::NonFiniteBandwidth(_))
+        ));
+        assert!(matches!(
+            LinkParams::try_new(SimTime::ZERO, -3.0),
+            Err(LinkParamError::NonPositiveBandwidth(_))
+        ));
+        assert!(LinkParams::try_new(SimTime::ZERO, 25.0).is_ok());
+    }
+
+    #[test]
+    fn queue_wait_statistics_track_backpressure() {
+        let mut link = test_link();
+        link.transfer(SimTime::ZERO, 125); // serializes for 10ns
+        link.transfer(SimTime::ZERO, 125); // waits 10ns
+        link.transfer(SimTime::ZERO, 125); // waits 20ns
+        link.transfer(SimTime::from_us(1.0), 125); // idle again: no wait
+        assert_eq!(link.queue_wait_count(), 2);
+        assert_eq!(link.queue_wait_total(), SimTime::from_ns(30.0));
+        assert_eq!(link.queue_wait_max(), SimTime::from_ns(20.0));
+    }
+
+    #[test]
+    fn degraded_link_serves_reduced_bandwidth_with_extra_latency() {
+        let mut link = test_link();
+        link.degrade(DegradedMode::new(0.5, SimTime::from_ns(25.0)));
+        assert_eq!(link.health(), LinkHealth::Degraded);
+        // 125 bytes at 50 Gb/s = 20ns serialization, 75ns latency.
+        let arrival = link.transfer(SimTime::ZERO, 125);
+        assert_eq!(arrival, SimTime::from_ns(95.0));
+        link.recover();
+        assert_eq!(link.health(), LinkHealth::Healthy);
+        let healthy = link.transfer(SimTime::from_us(1.0), 125);
+        assert_eq!(healthy, SimTime::from_us(1.0) + SimTime::from_ns(60.0));
+    }
+
+    #[test]
+    fn failed_link_delivers_nothing() {
+        let mut link = test_link();
+        link.fail();
+        let out = link.try_transfer(SimTime::ZERO, 125, RetransmitPolicy::default(), &mut || {
+            false
+        });
+        assert_eq!(out.arrival, None);
+        assert_eq!(out.retransmits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer on a failed link")]
+    fn plain_transfer_on_failed_link_panics() {
+        let mut link = test_link();
+        link.fail();
+        let _ = link.transfer(SimTime::ZERO, 125);
+    }
+
+    #[test]
+    fn corrupted_transfer_is_retransmitted_with_backoff() {
+        let mut link = test_link();
+        let policy = RetransmitPolicy {
+            max_retransmits: 3,
+            base_backoff: SimTime::from_ns(100.0),
+        };
+        // First copy corrupted, retransmission clean.
+        let mut flips = vec![true, false].into_iter();
+        let out = link.try_transfer(SimTime::ZERO, 125, policy, &mut || flips.next().unwrap());
+        // 10ns serialize + 100ns backoff + 10ns serialize + 50ns latency.
+        assert_eq!(out.arrival, Some(SimTime::from_ns(170.0)));
+        assert_eq!(out.retransmits, 1);
+        assert_eq!(out.bytes_retransmitted, 125);
+        assert_eq!(link.retransmit_count(), 1);
+        assert_eq!(link.bytes_retransmitted(), 125);
+    }
+
+    #[test]
+    fn retransmit_budget_exhaustion_drops_the_transfer() {
+        let mut link = test_link();
+        let policy = RetransmitPolicy {
+            max_retransmits: 2,
+            base_backoff: SimTime::from_ns(100.0),
+        };
+        let out = link.try_transfer(SimTime::ZERO, 125, policy, &mut || true);
+        assert_eq!(out.arrival, None);
+        assert_eq!(out.retransmits, 2);
+        assert_eq!(out.bytes_retransmitted, 250);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let policy = RetransmitPolicy {
+            max_retransmits: 8,
+            base_backoff: SimTime::from_ns(100.0),
+        };
+        assert_eq!(policy.backoff(0), SimTime::from_ns(100.0));
+        assert_eq!(policy.backoff(1), SimTime::from_ns(200.0));
+        assert_eq!(policy.backoff(3), SimTime::from_ns(800.0));
+        assert!(policy.backoff(63) > policy.backoff(3));
     }
 }

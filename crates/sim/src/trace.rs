@@ -90,6 +90,50 @@ pub enum TraceEventKind {
         /// Units after the demotion.
         to_units: u32,
     },
+    /// A ring segment dropped to degraded service.
+    LinkDegraded {
+        /// The degraded segment index.
+        link: u64,
+    },
+    /// A ring segment went down.
+    LinkFailed {
+        /// The failed segment index.
+        link: u64,
+    },
+    /// A ring segment returned to full health.
+    LinkRecovered {
+        /// The recovered segment index.
+        link: u64,
+    },
+    /// Corrupted ring traffic of a deployment was retransmitted.
+    Retransmit {
+        /// Workload task index.
+        task: u64,
+        /// The segment the corrupted copies crossed.
+        link: u64,
+        /// Number of retransmissions in this burst.
+        attempts: u64,
+        /// Payload bytes re-serialized by the burst.
+        bytes: u64,
+    },
+    /// The retransmit budget ran out (or the path was severed); the
+    /// deployment is interrupted and routed through migration.
+    RetransmitExhausted {
+        /// Workload task index.
+        task: u64,
+        /// The segment that exhausted the budget.
+        link: u64,
+    },
+    /// A deployment's ring traffic was routed the other way around the
+    /// ring after a segment failure.
+    LinkRerouted {
+        /// Workload task index.
+        task: u64,
+        /// The failed segment routed around.
+        link: u64,
+        /// Extra hops the surviving direction costs.
+        extra_hops: u64,
+    },
     /// Sampled queue depth.
     QueueDepth {
         /// Number of tasks waiting.
@@ -118,6 +162,12 @@ impl TraceEventKind {
             TraceEventKind::RetryExhausted { .. } => "retry_exhausted",
             TraceEventKind::ScaleUp { .. } => "scale_up",
             TraceEventKind::PreemptiveScaleDown { .. } => "preemptive_scale_down",
+            TraceEventKind::LinkDegraded { .. } => "link_degraded",
+            TraceEventKind::LinkFailed { .. } => "link_failed",
+            TraceEventKind::LinkRecovered { .. } => "link_recovered",
+            TraceEventKind::Retransmit { .. } => "retransmit",
+            TraceEventKind::RetransmitExhausted { .. } => "retransmit_exhausted",
+            TraceEventKind::LinkRerouted { .. } => "link_rerouted",
             TraceEventKind::QueueDepth { .. } => "queue_depth",
             TraceEventKind::Occupancy { .. } => "occupancy",
         }
@@ -231,6 +281,30 @@ impl TraceRing {
                     TraceEventKind::DeployRejected { task, reason } => {
                         base.with("task", task).with("reason", reason)
                     }
+                    TraceEventKind::LinkDegraded { link }
+                    | TraceEventKind::LinkFailed { link }
+                    | TraceEventKind::LinkRecovered { link } => base.with("link", link),
+                    TraceEventKind::Retransmit {
+                        task,
+                        link,
+                        attempts,
+                        bytes,
+                    } => base
+                        .with("task", task)
+                        .with("link", link)
+                        .with("attempts", attempts)
+                        .with("bytes", bytes),
+                    TraceEventKind::RetransmitExhausted { task, link } => {
+                        base.with("task", task).with("link", link)
+                    }
+                    TraceEventKind::LinkRerouted {
+                        task,
+                        link,
+                        extra_hops,
+                    } => base
+                        .with("task", task)
+                        .with("link", link)
+                        .with("extra_hops", extra_hops),
                     TraceEventKind::QueueDepth { depth } => base.with("depth", depth),
                     TraceEventKind::Occupancy { fraction } => base.with("fraction", fraction),
                 }
@@ -278,6 +352,43 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert_eq!(r.dropped(), 0);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn json_includes_link_fields() {
+        let mut r = TraceRing::new(8);
+        r.push(SimTime::ZERO, TraceEventKind::LinkFailed { link: 2 });
+        r.push(
+            SimTime::from_us(1.0),
+            TraceEventKind::Retransmit {
+                task: 5,
+                link: 2,
+                attempts: 3,
+                bytes: 1920,
+            },
+        );
+        r.push(
+            SimTime::from_us(2.0),
+            TraceEventKind::LinkRerouted {
+                task: 5,
+                link: 2,
+                extra_hops: 2,
+            },
+        );
+        r.push(
+            SimTime::from_us(3.0),
+            TraceEventKind::RetransmitExhausted { task: 5, link: 2 },
+        );
+        r.push(
+            SimTime::from_us(4.0),
+            TraceEventKind::LinkRecovered { link: 2 },
+        );
+        let text = r.to_json().compact();
+        assert!(text.contains(r#""event":"link_failed""#), "{text}");
+        assert!(text.contains(r#""bytes":1920"#), "{text}");
+        assert!(text.contains(r#""extra_hops":2"#), "{text}");
+        assert!(text.contains(r#""event":"retransmit_exhausted""#), "{text}");
+        assert!(text.contains(r#""event":"link_recovered""#), "{text}");
     }
 
     #[test]
