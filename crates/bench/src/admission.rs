@@ -221,6 +221,7 @@ fn timed_run(
         // the scheduler, not the tracer.
         trace_spans: false,
         elasticity: ElasticityPolicy::DISABLED,
+        ..AdmissionTuning::default()
     };
     let start = Instant::now();
     let report = run_cloud_sim_tuned(

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|all] [--json PATH] [--seed N]
+//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|monitor|all] [--json PATH] [--seed N]
 //! ```
 //!
 //! Runs covering Fig. 11, Fig. 12, or the chaos scenario also write a
@@ -40,10 +40,21 @@
 //! report's retransmitted-byte counter reconciling with the trace's
 //! `retransmit` events) and the run actually failed segments, re-routed
 //! around them, and retransmitted corrupted transfers.
+//!
+//! `monitor` (also opt-in) runs the SLO-monitoring scenario — a
+//! self-calibrating chaos+elastic run with the streaming-telemetry
+//! monitor collecting windowed rollups, mergeable latency sketches, and
+//! multi-window burn-rate alerts — writes `target/repro-monitor.json`
+//! (with a Prometheus rollup exposition next to it as `.prom`), runs the
+//! whole scenario twice, and exits non-zero unless every alert fired
+//! inside a planned fault window, at least one alert resolved after the
+//! waves passed, the sketch quantiles match the exact percentiles within
+//! the configured relative error, and the two runs' artifacts are
+//! byte-identical.
 
 use vfpga_bench::{
     ablations, admission, catalog::Catalog, chaos, density, elastic, fig11, fig12, isolation,
-    netchaos, overhead, tables,
+    monitor, netchaos, overhead, tables,
 };
 use vfpga_sim::{chrome_trace_events, prometheus_text, Json, SimTime, SpanTracer};
 use vfpga_workload::fig11_tasks;
@@ -66,6 +77,10 @@ const DEFAULT_ELASTIC_ARTIFACT: &str = "target/BENCH_elastic.json";
 /// experiment).
 const DEFAULT_NETCHAOS_ARTIFACT: &str = "target/repro-netchaos.json";
 
+/// Default location of the SLO-monitoring artifact (the `monitor`
+/// experiment).
+const DEFAULT_MONITOR_ARTIFACT: &str = "target/repro-monitor.json";
+
 /// Regression ceiling on the bench's `deploy_attempts_per_admission`
 /// (worst scenario, shipped configuration). The current fast path lands
 /// well under this; `repro bench` (and CI's bench job) fails when a
@@ -85,8 +100,13 @@ const ATTEMPTS_PER_ADMISSION_CEILING: f64 = 8.0;
 /// conditional `links` block — failures/degradations/recoveries,
 /// retransmit and reroute counts, bytes retransmitted, severed paths,
 /// degraded time — the fault plan's `link_*` section, and the `netchaos`
-/// experiment's `repro-netchaos.json`).
-const ARTIFACT_SCHEMA_VERSION: u64 = 6;
+/// experiment's `repro-netchaos.json`; v7 added the report's optional
+/// `monitor` section — windowed rollups with mergeable quantile
+/// sketches, SLO specs/outcomes, and burn-rate alerts — the
+/// `points_kept`/`points_folded` fields the occupancy and queue-depth
+/// series gain when the time-series cap folds them, and the `monitor`
+/// experiment's `repro-monitor.json`).
+const ARTIFACT_SCHEMA_VERSION: u64 = 7;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -184,6 +204,15 @@ fn main() {
             .unwrap_or_else(|| DEFAULT_NETCHAOS_ARTIFACT.to_string());
         print_netchaos(seed, &path);
     }
+    if which == "monitor" {
+        // The SLO-monitoring scenario is opt-in (not part of `all`): it
+        // runs the monitored chaos scenario twice (the second run is the
+        // byte-determinism gate) and its artifact is a telemetry document.
+        let path = json_path
+            .clone()
+            .unwrap_or_else(|| DEFAULT_MONITOR_ARTIFACT.to_string());
+        print_monitor(seed, &path);
+    }
     if !all
         && ![
             "table2",
@@ -200,11 +229,12 @@ fn main() {
             "bench",
             "elastic",
             "netchaos",
+            "monitor",
         ]
         .contains(&which.as_str())
     {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|all] [--json PATH] [--seed N]");
+        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|monitor|all] [--json PATH] [--seed N]");
         std::process::exit(2);
     }
     if !artifact.is_empty() {
@@ -709,6 +739,94 @@ fn print_netchaos(seed: u64, json_path: &str) {
         std::process::exit(1);
     }
     write_artifact(json_path, &text, "netchaos");
+    println!();
+}
+
+fn print_monitor(seed: u64, json_path: &str) {
+    println!("== Monitor: SLO burn-rate alerting under chaos+elastic (seed {seed}) ==");
+    let catalog = Catalog::build();
+    let config = monitor::MonitorBenchConfig {
+        seed,
+        ..monitor::MonitorBenchConfig::default()
+    };
+    let bench = monitor::run(&catalog, &config);
+    let m = bench.report.monitor.as_ref().expect("monitored run");
+    println!(
+        "calibration: worst healthy window p95 {:.1} us -> target {:.1} us (x{})",
+        bench.baseline_worst_p95 * 1e6,
+        bench.target.as_us(),
+        config.target_margin
+    );
+    println!(
+        "fault plan: {} device failures, {} link events | {} disturbed intervals",
+        bench.plan.failures(),
+        bench.plan.link_events().len(),
+        bench.disturbed.len()
+    );
+    println!(
+        "arrivals {} | completed {} | never deployed {} | lost {}",
+        bench.report.arrivals,
+        bench.report.completed,
+        bench.report.never_deployed,
+        bench.report.lost
+    );
+    println!(
+        "monitor: {} alerts fired / {} resolved | max burn {:.2} | min health {:.3} | {} truncated windows",
+        m.alerts_fired(),
+        m.alerts_resolved(),
+        m.max_burn(),
+        m.min_health(),
+        m.truncated_windows
+    );
+    for alert in bench.alerts() {
+        match alert.resolved_at {
+            Some(resolved) => println!(
+                "  alert `{}` on `{}`: fired {:.0} us, resolved {:.0} us (peak burn {:.2})",
+                alert.slo,
+                alert.key,
+                alert.fired_at.as_us(),
+                resolved.as_us(),
+                alert.peak_burn
+            ),
+            None => println!(
+                "  alert `{}` on `{}`: fired {:.0} us, still firing (peak burn {:.2})",
+                alert.slo,
+                alert.key,
+                alert.fired_at.as_us(),
+                alert.peak_burn
+            ),
+        }
+    }
+    // The scenario is also the regression gate: fail loudly rather than
+    // writing an artifact that records a broken run as if it were fine.
+    if let Err(violation) = bench.check_invariants() {
+        eprintln!("monitor invariant violated: {violation}");
+        std::process::exit(1);
+    }
+    let root = Json::obj()
+        .with("schema_version", ARTIFACT_SCHEMA_VERSION)
+        .with("experiment", "monitor")
+        .with("monitor", bench.to_json());
+    let text = root.pretty();
+    if let Err(e) = Json::parse(&text) {
+        eprintln!("monitor artifact failed self-validation: {e:?}");
+        std::process::exit(1);
+    }
+    // Determinism gate: the whole scenario again, from scratch — the
+    // artifact must come out byte-identical.
+    let rerun = monitor::run(&catalog, &config);
+    let rerun_text = Json::obj()
+        .with("schema_version", ARTIFACT_SCHEMA_VERSION)
+        .with("experiment", "monitor")
+        .with("monitor", rerun.to_json())
+        .pretty();
+    if text != rerun_text {
+        eprintln!("monitor runs diverged: same seed {seed}, different artifact bytes");
+        std::process::exit(1);
+    }
+    write_artifact(json_path, &text, "monitor");
+    let prom_path = json_path.replace(".json", ".prom");
+    write_artifact(&prom_path, &m.prometheus_text(), "monitor exposition");
     println!();
 }
 

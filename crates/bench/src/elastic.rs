@@ -268,6 +268,7 @@ fn timed_run(
         // plumbing of the reprovisioner is covered by the unit suite.
         trace_spans: false,
         elasticity,
+        ..AdmissionTuning::default()
     };
     let start = Instant::now();
     let report = run_cloud_sim_tuned(

@@ -27,6 +27,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod harness;
 pub mod isolation;
+pub mod monitor;
 pub mod netchaos;
 pub mod overhead;
 pub mod tables;

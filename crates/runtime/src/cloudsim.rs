@@ -13,6 +13,7 @@ use vfpga_sim::{
 use vfpga_workload::{RnnTask, TaskArrival};
 
 use crate::controller::{Deployment, RejectReason, ScaleDown, SystemController};
+use crate::monitor::{MonitorConfig, MonitorReport, RunMonitor};
 use crate::RuntimeError;
 
 /// Default capacity of the scheduler-event trace ring kept by
@@ -73,7 +74,7 @@ impl ElasticityPolicy {
 /// default on; [`run_cloud_sim_tuned`] exists so the bench harness can
 /// turn them off and measure the unoptimized path. `elasticity` opts into
 /// the reprovisioner and defaults off (see [`ElasticityPolicy`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdmissionTuning {
     /// Skip admission waves while the queue head is saturated and the
     /// controller's capacity epoch is unchanged. A skipped wave is one
@@ -91,6 +92,11 @@ pub struct AdmissionTuning {
     pub trace_spans: bool,
     /// Dynamic reprovisioning of running deployments (off by default).
     pub elasticity: ElasticityPolicy,
+    /// Streaming telemetry: windowed rollups and SLO burn-rate alerting
+    /// (off by default; see [`MonitorConfig`]). A run with the monitor off
+    /// performs no monitor work and serializes no `monitor` section, so
+    /// pre-monitor artifacts stay byte-identical.
+    pub monitor: MonitorConfig,
 }
 
 impl Default for AdmissionTuning {
@@ -99,6 +105,7 @@ impl Default for AdmissionTuning {
             wave_gating: true,
             trace_spans: true,
             elasticity: ElasticityPolicy::DISABLED,
+            monitor: MonitorConfig::default(),
         }
     }
 }
@@ -280,6 +287,10 @@ pub struct CloudReport {
     /// serialize exactly as they did before the interconnect fault model
     /// existed.
     pub link_faults_planned: bool,
+    /// Streaming-telemetry section — windowed rollups and SLO burn-rate
+    /// outcomes — present only when [`MonitorConfig::enabled`] was set on
+    /// the run's [`AdmissionTuning`].
+    pub monitor: Option<MonitorReport>,
     /// Cluster occupancy over time (step function, coalesced).
     pub occupancy_series: TimeSeries,
     /// Queue depth over time (step function, coalesced).
@@ -378,19 +389,32 @@ impl CloudReport {
                     .with("min", self.requeue_wait.min())
                     .with("max", self.requeue_wait.max()),
             )
-            .with(
-                "occupancy",
-                Json::obj()
+            .with("occupancy", {
+                let mut occ = Json::obj()
                     .with("mean", self.mean_occupancy)
                     .with("peak", self.peak_occupancy)
-                    .with("series", self.occupancy_series.to_json()),
-            )
-            .with(
-                "queue_depth",
-                Json::obj()
+                    .with("series", self.occupancy_series.to_json());
+                // Downsampling accounting appears only when the point cap
+                // actually folded samples, so short runs serialize exactly
+                // as they did before the cap existed.
+                if self.occupancy_series.points_folded() > 0 {
+                    occ = occ
+                        .with("points_kept", self.occupancy_series.points_kept() as u64)
+                        .with("points_folded", self.occupancy_series.points_folded());
+                }
+                occ
+            })
+            .with("queue_depth", {
+                let mut qd = Json::obj()
                     .with("peak", self.peak_queue_depth)
-                    .with("series", self.queue_depth_series.to_json()),
-            )
+                    .with("series", self.queue_depth_series.to_json());
+                if self.queue_depth_series.points_folded() > 0 {
+                    qd = qd
+                        .with("points_kept", self.queue_depth_series.points_kept() as u64)
+                        .with("points_folded", self.queue_depth_series.points_folded());
+                }
+                qd
+            })
             .with("rejections", rejections)
             .with(
                 "recovery",
@@ -421,7 +445,7 @@ impl CloudReport {
                     .with("degraded_time_s", self.link_degraded_time.as_secs()),
             );
         }
-        json.with(
+        json = json.with(
             "elasticity",
             Json::obj()
                 .with("promotions", self.promotions)
@@ -444,8 +468,11 @@ impl CloudReport {
                         .with("min", self.preemption_added.min())
                         .with("max", self.preemption_added.max()),
                 ),
-        )
-        .with(
+        );
+        if let Some(monitor) = &self.monitor {
+            json = json.with("monitor", monitor.to_json());
+        }
+        json.with(
             "trace",
             Json::obj()
                 .with("retained", self.trace.len())
@@ -627,6 +654,23 @@ struct Meters {
     depth: vfpga_sim::GaugeId,
     occupancy: vfpga_sim::GaugeId,
     failed_devices: vfpga_sim::GaugeId,
+    /// Present only when the run's fault plan covers ring segments, so a
+    /// device-only run's exposition carries no idle link families.
+    links: Option<LinkMeters>,
+}
+
+/// Link metric ids: per-event counters plus one
+/// `vfpga_link_state{segment="i"}` gauge per ring segment (0 healthy,
+/// 1 degraded, 2 failed) — the exposition's label-family example.
+struct LinkMeters {
+    failures: vfpga_sim::CounterId,
+    degradations: vfpga_sim::CounterId,
+    recoveries: vfpga_sim::CounterId,
+    retransmits: vfpga_sim::CounterId,
+    retransmit_bytes: vfpga_sim::CounterId,
+    reroutes: vfpga_sim::CounterId,
+    severed: vfpga_sim::CounterId,
+    state: Vec<vfpga_sim::GaugeId>,
 }
 
 /// The simulation state machine: one instance per run.
@@ -740,6 +784,10 @@ struct CloudSim<'a> {
     m: Meters,
     trace: TraceRing,
 
+    /// Streaming telemetry collector; `Some` only when
+    /// [`MonitorConfig::enabled`] was set on the tuning.
+    monitor: Option<RunMonitor>,
+
     /// The causal span forest. Per task the phase children of its root span
     /// are kept *contiguous* — at any moment exactly one of `queue_wait`,
     /// `compute`, or `migrate` is open — so the direct children partition
@@ -765,7 +813,53 @@ impl<'a> CloudSim<'a> {
         trace_capacity: usize,
         tuning: AdmissionTuning,
     ) -> Self {
+        let segments = controller.cluster().ring().segments();
         let mut metrics = MetricsRegistry::new();
+        metrics.describe("arrivals", "Tasks that arrived.");
+        metrics.describe("deploys", "First admissions deployed.");
+        metrics.describe("completions", "Tasks completed.");
+        metrics.describe("latency_s", "End-to-end latency, arrival to completion.");
+        metrics.describe(
+            "queue_wait_s",
+            "Queueing delay, arrival to first deployment.",
+        );
+        metrics.describe("queue_depth", "Admission queue depth.");
+        metrics.describe("occupancy", "Fraction of cluster units busy.");
+        metrics.describe("failed_devices", "Devices currently failed.");
+        let links = (faults.links() > 0).then(|| {
+            metrics.describe("link.failures", "Ring-segment hard failures injected.");
+            metrics.describe("link.degradations", "Ring-segment degradations injected.");
+            metrics.describe("link.recoveries", "Ring segments returned to service.");
+            metrics.describe("link.retransmits", "Transfers re-sent over the ring.");
+            metrics.describe(
+                "link.retransmit_bytes",
+                "Bytes carried by ring retransmissions.",
+            );
+            metrics.describe(
+                "link.reroutes",
+                "Deployments re-routed around a failed segment.",
+            );
+            metrics.describe(
+                "link.severed",
+                "Deployments left with no surviving ring path.",
+            );
+            metrics.describe(
+                "vfpga_link_state",
+                "Ring segment health: 0 healthy, 1 degraded, 2 failed.",
+            );
+            LinkMeters {
+                failures: metrics.counter("link.failures"),
+                degradations: metrics.counter("link.degradations"),
+                recoveries: metrics.counter("link.recoveries"),
+                retransmits: metrics.counter("link.retransmits"),
+                retransmit_bytes: metrics.counter("link.retransmit_bytes"),
+                reroutes: metrics.counter("link.reroutes"),
+                severed: metrics.counter("link.severed"),
+                state: (0..segments)
+                    .map(|s| metrics.gauge(&format!("vfpga_link_state{{segment=\"{s}\"}}")))
+                    .collect(),
+            }
+        });
         let m = Meters {
             arrivals: metrics.counter("arrivals"),
             deploys: metrics.counter("deploys"),
@@ -793,9 +887,13 @@ impl<'a> CloudSim<'a> {
             depth: metrics.gauge("queue_depth"),
             occupancy: metrics.gauge("occupancy"),
             failed_devices: metrics.gauge("failed_devices"),
+            links,
         };
+        let monitor = tuning
+            .monitor
+            .enabled
+            .then(|| RunMonitor::new(tuning.monitor.clone()));
         let n = arrivals.len();
-        let segments = controller.cluster().ring().segments();
         CloudSim {
             controller,
             arrivals,
@@ -861,6 +959,7 @@ impl<'a> CloudSim<'a> {
             metrics,
             m,
             trace: TraceRing::new(trace_capacity),
+            monitor,
             spans: if tuning.trace_spans {
                 SpanTracer::new()
             } else {
@@ -957,6 +1056,9 @@ impl<'a> CloudSim<'a> {
                         .push(now, TraceEventKind::Arrival { task: i as u64 });
                     let root = self.spans.begin("task", TraceId(i as u64), None, now);
                     let instance = (self.instance_for)(&self.arrivals[i].task);
+                    if let Some(mon) = self.monitor.as_mut() {
+                        mon.on_arrival(&instance, now);
+                    }
                     self.spans.attr(root, "instance", instance);
                     self.root_span[i] = Some(root);
                     self.open_phase(i, "queue_wait", now);
@@ -1082,6 +1184,14 @@ impl<'a> CloudSim<'a> {
         self.meter.record_completion();
         let e2e = now.saturating_sub(self.arrivals[task_index].at).as_secs();
         self.latency.record(e2e);
+        if self.monitor.is_some() {
+            let tenant = (self.instance_for)(&self.arrivals[task_index].task);
+            let device = deployment.placements.first().map(|p| p.device.0 as u64);
+            let latency = now.saturating_sub(self.arrivals[task_index].at);
+            if let Some(mon) = self.monitor.as_mut() {
+                mon.on_completion(&tenant, device, now, latency);
+            }
+        }
         self.metrics.inc(self.m.completions);
         self.metrics.inc(self.m.releases);
         self.metrics.record_timer(self.m.latency, e2e);
@@ -1131,6 +1241,9 @@ impl<'a> CloudSim<'a> {
             self.interrupted += 1;
             self.metrics.inc(self.m.interrupted);
             self.interrupted_pending[task_index] = Some((now, old.num_units() as u32));
+            if let Some(mon) = self.monitor.as_mut() {
+                mon.on_migration(device as u64, now);
+            }
             self.trace.push(
                 now,
                 TraceEventKind::MigrationStarted {
@@ -1233,6 +1346,10 @@ impl<'a> CloudSim<'a> {
     fn on_link_degraded(&mut self, now: SimTime, seg: usize) {
         self.link_degradations += 1;
         self.link_degraded[seg] = true;
+        if let Some(lm) = self.m.links.as_ref() {
+            self.metrics.inc(lm.degradations);
+            self.metrics.set_gauge(lm.state[seg], now, 1.0);
+        }
         self.trace
             .push(now, TraceEventKind::LinkDegraded { link: seg as u64 });
         let span = self.spans.begin("link_degraded", TraceId::NONE, None, now);
@@ -1263,6 +1380,13 @@ impl<'a> CloudSim<'a> {
             let bytes = Self::ring_bytes(&d) * attempts as u64;
             self.link_retransmits += attempts as u64;
             self.link_retransmit_bytes += bytes;
+            if let Some(lm) = self.m.links.as_ref() {
+                self.metrics.add(lm.retransmits, attempts as u64);
+                self.metrics.add(lm.retransmit_bytes, bytes);
+            }
+            if let Some(mon) = self.monitor.as_mut() {
+                mon.on_retransmit(seg as u64, now, bytes);
+            }
             self.trace.push(
                 now,
                 TraceEventKind::Retransmit {
@@ -1290,6 +1414,10 @@ impl<'a> CloudSim<'a> {
     fn on_link_failed(&mut self, now: SimTime, seg: usize) -> Result<(), RuntimeError> {
         self.link_failures += 1;
         self.link_failed[seg] = true;
+        if let Some(lm) = self.m.links.as_ref() {
+            self.metrics.inc(lm.failures);
+            self.metrics.set_gauge(lm.state[seg], now, 2.0);
+        }
         self.trace
             .push(now, TraceEventKind::LinkFailed { link: seg as u64 });
         let span = self.spans.begin("link_failure", TraceId::NONE, None, now);
@@ -1309,6 +1437,9 @@ impl<'a> CloudSim<'a> {
                 None => {
                     severed += 1;
                     self.link_severed += 1;
+                    if let Some(lm) = self.m.links.as_ref() {
+                        self.metrics.inc(lm.severed);
+                    }
                     // The units themselves are healthy but can no longer
                     // exchange state: release the footprint explicitly
                     // (no device failure evicted it) and ride the
@@ -1322,6 +1453,9 @@ impl<'a> CloudSim<'a> {
                     self.metrics.inc(self.m.interrupted);
                     self.interrupted_pending[i] = Some((now, old.num_units() as u32));
                     let device = old.placements.first().map_or(0, |p| p.device.0 as u64);
+                    if let Some(mon) = self.monitor.as_mut() {
+                        mon.on_migration(device, now);
+                    }
                     self.trace.push(
                         now,
                         TraceEventKind::MigrationStarted {
@@ -1343,6 +1477,9 @@ impl<'a> CloudSim<'a> {
                     }
                     rerouted += 1;
                     self.link_reroutes += 1;
+                    if let Some(lm) = self.m.links.as_ref() {
+                        self.metrics.inc(lm.reroutes);
+                    }
                     let extra = (hops - d.max_ring_hops) as u64;
                     self.trace.push(
                         now,
@@ -1358,6 +1495,13 @@ impl<'a> CloudSim<'a> {
                     let bytes = Self::ring_bytes(&d);
                     self.link_retransmits += 1;
                     self.link_retransmit_bytes += bytes;
+                    if let Some(lm) = self.m.links.as_ref() {
+                        self.metrics.inc(lm.retransmits);
+                        self.metrics.add(lm.retransmit_bytes, bytes);
+                    }
+                    if let Some(mon) = self.monitor.as_mut() {
+                        mon.on_retransmit(seg as u64, now, bytes);
+                    }
                     self.trace.push(
                         now,
                         TraceEventKind::Retransmit {
@@ -1389,6 +1533,10 @@ impl<'a> CloudSim<'a> {
         self.link_recoveries += 1;
         self.link_failed[seg] = false;
         self.link_degraded[seg] = false;
+        if let Some(lm) = self.m.links.as_ref() {
+            self.metrics.inc(lm.recoveries);
+            self.metrics.set_gauge(lm.state[seg], now, 0.0);
+        }
         self.trace
             .push(now, TraceEventKind::LinkRecovered { link: seg as u64 });
         let span = self.spans.begin("link_recovery", TraceId::NONE, None, now);
@@ -1705,6 +1853,9 @@ impl<'a> CloudSim<'a> {
                 self.interrupted += 1;
                 self.metrics.inc(self.m.interrupted);
                 self.interrupted_pending[victim] = Some((now, old.num_units() as u32));
+                if let Some(mon) = self.monitor.as_mut() {
+                    mon.on_migration(device, now);
+                }
                 self.trace.push(
                     now,
                     TraceEventKind::MigrationStarted {
@@ -1919,6 +2070,13 @@ impl<'a> CloudSim<'a> {
                     let wait = now.saturating_sub(self.arrivals[idx].at).as_secs();
                     self.queue_wait.record(wait);
                     self.metrics.record_timer(self.m.queue_wait, wait);
+                    if self.monitor.is_some() {
+                        let tenant = (self.instance_for)(&self.arrivals[idx].task);
+                        let waited = now.saturating_sub(self.arrivals[idx].at);
+                        if let Some(mon) = self.monitor.as_mut() {
+                            mon.on_queue_wait(&tenant, now, waited);
+                        }
+                    }
                 }
                 self.metrics.inc(self.m.deploys);
                 self.trace.push(
@@ -1947,6 +2105,9 @@ impl<'a> CloudSim<'a> {
         }
         self.metrics.set_gauge(self.m.depth, now, depth);
         let occupancy = self.controller.occupancy();
+        if let Some(mon) = self.monitor.as_mut() {
+            mon.on_occupancy(now, occupancy);
+        }
         if self.metrics.gauge_series(self.m.occupancy).last() != Some(occupancy) {
             self.trace.push(
                 now,
@@ -1976,6 +2137,13 @@ impl<'a> CloudSim<'a> {
             self.close_root(idx, "never_deployed", last);
         }
         debug_assert_eq!(self.spans.open_count(), 0, "span leaked past the run");
+        let monitor = self.monitor.take().map(|mon| {
+            // When the trace ring overflowed, rollup windows that predate
+            // its oldest retained event only saw part of their stream —
+            // mark them so the artifact reports lower bounds as such.
+            let oldest_retained = self.trace.iter().next().map(|e| e.at);
+            mon.finish(last, self.trace.dropped(), oldest_retained)
+        });
         let critical_path = CriticalPath::analyze(&self.spans);
         let occupancy_series = self.metrics.gauge_series(self.m.occupancy).clone();
         let queue_depth_series = self.metrics.gauge_series(self.m.depth).clone();
@@ -2027,6 +2195,7 @@ impl<'a> CloudSim<'a> {
             link_severed: self.link_severed,
             link_degraded_time: self.link_degraded_time,
             link_faults_planned: self.faults.links() > 0,
+            monitor,
             occupancy_series,
             queue_depth_series,
             metrics: self.metrics,
@@ -2572,8 +2741,7 @@ mod tests {
                 DEFAULT_TRACE_CAPACITY,
                 AdmissionTuning {
                     wave_gating,
-                    trace_spans: true,
-                    elasticity: ElasticityPolicy::DISABLED,
+                    ..AdmissionTuning::default()
                 },
             )
             .unwrap()
@@ -2615,8 +2783,7 @@ mod tests {
                 DEFAULT_TRACE_CAPACITY,
                 AdmissionTuning {
                     wave_gating,
-                    trace_spans: true,
-                    elasticity: ElasticityPolicy::DISABLED,
+                    ..AdmissionTuning::default()
                 },
             )
             .unwrap()
@@ -2652,9 +2819,8 @@ mod tests {
                 RecoveryPolicy::default(),
                 DEFAULT_TRACE_CAPACITY,
                 AdmissionTuning {
-                    wave_gating: true,
                     trace_spans,
-                    elasticity: ElasticityPolicy::DISABLED,
+                    ..AdmissionTuning::default()
                 },
             )
             .unwrap()
@@ -2998,5 +3164,117 @@ mod tests {
             })
             .sum();
         assert_eq!(traced, r1.link_retransmit_bytes);
+    }
+
+    fn monitored_tuning() -> AdmissionTuning {
+        let mut spec = vfpga_sim::SloSpec::latency("p95-latency", 0.95, SimTime::from_us(150.0));
+        spec.fast_windows = 3;
+        spec.slow_windows = 8;
+        AdmissionTuning {
+            monitor: MonitorConfig::enabled(SimTime::from_us(50.0), vec![spec]),
+            ..AdmissionTuning::default()
+        }
+    }
+
+    fn monitored_run(plan: &FaultPlan, tuning: AdmissionTuning) -> CloudReport {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let a = arrivals(60, 10.0);
+        run_cloud_sim_tuned(
+            &mut c,
+            &a,
+            &|_| "tiny".to_string(),
+            &fixed_service,
+            plan,
+            RecoveryPolicy::default(),
+            DEFAULT_TRACE_CAPACITY,
+            tuning,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn monitor_off_emits_no_section() {
+        let report = monitored_run(&FaultPlan::none(), AdmissionTuning::default());
+        assert!(report.monitor.is_none());
+        assert!(!report.to_json().pretty().contains("\"monitor\""));
+    }
+
+    #[test]
+    fn monitor_rollups_reconcile_with_report_counters() {
+        let report = monitored_run(&chaos_plan(7), monitored_tuning());
+        let monitor = report.monitor.as_ref().expect("monitor section present");
+        // Cluster-keyed rollup counters sum to the report's totals.
+        let whole = monitor
+            .rollups
+            .merged(u64::MAX / monitor.rollups.window().as_ps());
+        let cluster = whole.series_for(&vfpga_sim::RollupKey::Cluster);
+        assert_eq!(cluster.len(), 1);
+        assert_eq!(cluster[0].1.arrivals, report.arrivals);
+        assert_eq!(cluster[0].1.completions, report.completed);
+        assert_eq!(cluster[0].1.latency.count(), report.completed);
+        assert_eq!(cluster[0].1.migrations, report.interrupted);
+        // The tenant key mirrors the cluster in a single-instance run.
+        let tenant = whole.series_for(&vfpga_sim::RollupKey::Tenant("tiny".into()));
+        assert_eq!(tenant[0].1.completions, report.completed);
+        // Sketch quantiles track the exact tail within the configured
+        // relative error.
+        let alpha = monitor.rollups.alpha();
+        for (q, exact) in [(0.5, report.latency_p50), (0.95, report.latency_p95)] {
+            let sk = cluster[0].1.latency.quantile_secs(q).unwrap();
+            let exact = exact.unwrap();
+            assert!(
+                (sk - exact).abs() <= alpha * exact + 1e-12,
+                "q{q}: sketch {sk} vs exact {exact}"
+            );
+        }
+        // SLO outcomes exist for every latency-bearing key and the section
+        // serializes into the artifact.
+        assert!(!monitor.outcomes.is_empty());
+        let text = report.to_json().pretty();
+        assert!(text.contains("\"monitor\""), "{text}");
+        assert!(text.contains("\"slo\": \"p95-latency\""), "{text}");
+        // The exposition carries the rollup families.
+        assert!(monitor
+            .prometheus_text()
+            .contains("vfpga_rollup_completions{key=\"cluster\"}"));
+    }
+
+    #[test]
+    fn monitored_chaos_runs_are_byte_identical() {
+        let plan = chaos_plan(42).with_link_faults(link_chaos_params(), 4);
+        let r1 = monitored_run(&plan, monitored_tuning());
+        let r2 = monitored_run(&plan, monitored_tuning());
+        assert_eq!(r1.to_json().pretty(), r2.to_json().pretty());
+        // Link-labeled gauge families render once per family with one
+        // sample line per segment.
+        let prom = vfpga_sim::prometheus_text(&r1.metrics);
+        assert_eq!(prom.matches("# TYPE vfpga_link_state gauge").count(), 1);
+        assert!(prom.contains("vfpga_link_state{segment=\"0\"}"), "{prom}");
+        assert!(prom.contains("# HELP link_retransmits"), "{prom}");
+    }
+
+    #[test]
+    fn monitor_marks_windows_truncated_when_trace_overflows() {
+        let (cluster, db) = small_db();
+        let mut c = SystemController::new(cluster, db, Policy::Full);
+        let a = arrivals(60, 10.0);
+        // A tiny ring guarantees drops; the early windows predate its
+        // oldest retained event and must be flagged.
+        let report = run_cloud_sim_tuned(
+            &mut c,
+            &a,
+            &|_| "tiny".to_string(),
+            &fixed_service,
+            &FaultPlan::none(),
+            RecoveryPolicy::default(),
+            8,
+            monitored_tuning(),
+        )
+        .unwrap();
+        assert!(report.trace.dropped() > 0);
+        let monitor = report.monitor.as_ref().unwrap();
+        assert!(monitor.truncated_windows > 0);
+        assert!(report.to_json().pretty().contains("\"truncated\": true"));
     }
 }

@@ -35,6 +35,7 @@
 
 mod cloudsim;
 mod controller;
+mod monitor;
 mod scaleout_sim;
 #[cfg(test)]
 mod testutil;
@@ -47,6 +48,7 @@ pub use controller::{
     ControllerStats, Deployment, DeploymentId, Placement, Policy, RejectReason, ScaleDown,
     SystemController,
 };
+pub use monitor::{MonitorConfig, MonitorReport, RunMonitor};
 pub use scaleout_sim::{
     co_simulate_functional, co_simulate_timing, co_simulate_timing_faulted, LinkChaos,
     ScaleOutTiming,

@@ -1,0 +1,356 @@
+//! Streaming run telemetry: windowed rollups and SLO burn-rate alerts.
+//!
+//! [`RunMonitor`] rides inside the cloud simulation (opt-in via
+//! [`MonitorConfig`] on [`AdmissionTuning`](crate::AdmissionTuning)) and
+//! folds every scheduler event it is shown — arrivals, queue waits,
+//! completions, migrations, retransmissions, occupancy samples — into a
+//! [`RollupSet`] of tumbling windows keyed by tenant, device, ring
+//! segment, and the whole cluster. Latencies land in mergeable
+//! [`QuantileSketch`](vfpga_sim::QuantileSketch)es, so the per-window
+//! digests stay within the configured relative error at O(log range)
+//! memory regardless of task count.
+//!
+//! At the end of the run, [`RunMonitor::finish`] evaluates every
+//! configured [`SloSpec`] against every key that saw latency traffic
+//! using the multi-window burn-rate state machine
+//! ([`evaluate_slo`](vfpga_sim::evaluate_slo)) and packages rollups,
+//! outcomes, and alerts into a [`MonitorReport`] — a pure function of the
+//! seeded event stream, so the whole section is byte-deterministic.
+
+use std::collections::BTreeMap;
+
+use vfpga_sim::{
+    evaluate_slo, prometheus_rollup_text, Json, RollupKey, RollupSet, SimTime, SloOutcome, SloSpec,
+};
+
+/// Opt-in configuration for the in-run telemetry monitor.
+///
+/// Defaults to disabled: a run with the default config performs no
+/// monitor work and emits no `monitor` section, keeping pre-monitor
+/// artifacts byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Whether the monitor runs at all.
+    pub enabled: bool,
+    /// Tumbling-window length for the rollups.
+    pub window: SimTime,
+    /// Relative-error bound for the latency sketches (DDSketch alpha).
+    pub sketch_error: f64,
+    /// SLOs to evaluate over the finished rollups.
+    pub slos: Vec<SloSpec>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            enabled: false,
+            window: SimTime::from_us(250.0),
+            sketch_error: 0.01,
+            slos: Vec::new(),
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// An enabled monitor with the given window and SLO set, at the
+    /// default 1% sketch error.
+    pub fn enabled(window: SimTime, slos: Vec<SloSpec>) -> Self {
+        MonitorConfig {
+            enabled: true,
+            window,
+            slos,
+            ..MonitorConfig::default()
+        }
+    }
+}
+
+/// The in-run collector (see the module docs). Created by the simulator
+/// when [`MonitorConfig::enabled`] is set; every hook is O(log) in the
+/// sketch bucket count.
+#[derive(Debug, Clone)]
+pub struct RunMonitor {
+    config: MonitorConfig,
+    rollups: RollupSet,
+}
+
+impl RunMonitor {
+    /// Builds a monitor from an enabled config.
+    pub fn new(config: MonitorConfig) -> Self {
+        let rollups = RollupSet::new(config.window, config.sketch_error);
+        RunMonitor { config, rollups }
+    }
+
+    /// A task for `tenant` arrived at `at`.
+    pub fn on_arrival(&mut self, tenant: &str, at: SimTime) {
+        self.rollups.record_arrival(RollupKey::Cluster, at);
+        self.rollups
+            .record_arrival(RollupKey::Tenant(tenant.to_string()), at);
+    }
+
+    /// A queued task for `tenant` was admitted at `at` after `wait`.
+    pub fn on_queue_wait(&mut self, tenant: &str, at: SimTime, wait: SimTime) {
+        self.rollups.record_queue_wait(RollupKey::Cluster, at, wait);
+        self.rollups
+            .record_queue_wait(RollupKey::Tenant(tenant.to_string()), at, wait);
+    }
+
+    /// A task for `tenant` completed at `at` with end-to-end `latency`;
+    /// `device` is its primary placement when known.
+    pub fn on_completion(
+        &mut self,
+        tenant: &str,
+        device: Option<u64>,
+        at: SimTime,
+        latency: SimTime,
+    ) {
+        self.rollups
+            .record_completion(RollupKey::Cluster, at, latency);
+        self.rollups
+            .record_completion(RollupKey::Tenant(tenant.to_string()), at, latency);
+        if let Some(d) = device {
+            self.rollups
+                .record_completion(RollupKey::Device(d), at, latency);
+        }
+    }
+
+    /// A deployment started migrating off `device` at `at`.
+    pub fn on_migration(&mut self, device: u64, at: SimTime) {
+        self.rollups.record_migration(RollupKey::Cluster, at);
+        self.rollups.record_migration(RollupKey::Device(device), at);
+    }
+
+    /// A transfer over ring `segment` was retransmitted at `at`.
+    pub fn on_retransmit(&mut self, segment: u64, at: SimTime, bytes: u64) {
+        self.rollups
+            .record_retransmit(RollupKey::Cluster, at, bytes);
+        self.rollups
+            .record_retransmit(RollupKey::Segment(segment), at, bytes);
+    }
+
+    /// A cluster-occupancy sample (fraction of units busy) at `at`.
+    pub fn on_occupancy(&mut self, at: SimTime, fraction: f64) {
+        self.rollups
+            .record_occupancy(RollupKey::Cluster, at, fraction);
+    }
+
+    /// Closes the run at `end`, evaluates the configured SLOs, and
+    /// returns the report. `trace_dropped`/`oldest_retained` come from
+    /// the run's trace ring: when events were dropped, rollup windows
+    /// that predate the oldest retained event are marked truncated so the
+    /// artifact never presents partial windows as measurements.
+    pub fn finish(
+        self,
+        end: SimTime,
+        trace_dropped: u64,
+        oldest_retained: Option<SimTime>,
+    ) -> MonitorReport {
+        let RunMonitor {
+            config,
+            mut rollups,
+        } = self;
+        let mut truncated_windows = 0;
+        if trace_dropped > 0 {
+            if let Some(oldest) = oldest_retained {
+                truncated_windows = rollups.mark_truncated_before(oldest);
+            }
+        }
+        let last = rollups.window_index(end);
+        let mut outcomes = Vec::new();
+        for key in rollups.keys() {
+            // SLOs constrain end-to-end latency: segments carry no
+            // latency signal, so they are not evaluated.
+            if matches!(key, RollupKey::Segment(_)) {
+                continue;
+            }
+            let series = rollups.series_for(&key);
+            if series.iter().all(|(_, s)| s.latency.count() == 0) {
+                continue;
+            }
+            for spec in &config.slos {
+                let bad: BTreeMap<u64, bool> = series
+                    .iter()
+                    .map(|(idx, stats)| {
+                        let violated = match stats.latency.quantile(spec.quantile) {
+                            Some(q) => q > spec.target,
+                            None => false,
+                        };
+                        (*idx, violated)
+                    })
+                    .collect();
+                outcomes.push(evaluate_slo(
+                    spec,
+                    &key.label(),
+                    &bad,
+                    last,
+                    rollups.window(),
+                ));
+            }
+        }
+        MonitorReport {
+            specs: config.slos,
+            truncated_windows,
+            rollups,
+            outcomes,
+        }
+    }
+}
+
+/// The finished telemetry section of a run: the rollup cells, the SLO
+/// specs that were evaluated, and their outcomes (alerts included).
+#[derive(Debug, Clone)]
+pub struct MonitorReport {
+    /// The SLO specs that were evaluated.
+    pub specs: Vec<SloSpec>,
+    /// Rollup cells marked truncated because the trace ring overflowed.
+    pub truncated_windows: usize,
+    /// The per-key tumbling-window rollups.
+    pub rollups: RollupSet,
+    /// One outcome per (SLO, key-with-latency-traffic) pair.
+    pub outcomes: Vec<SloOutcome>,
+}
+
+impl MonitorReport {
+    /// Every alert fired across all outcomes, in deterministic order.
+    pub fn alerts(&self) -> impl Iterator<Item = &vfpga_sim::Alert> {
+        self.outcomes.iter().flat_map(|o| o.alerts.iter())
+    }
+
+    /// Number of alerts fired.
+    pub fn alerts_fired(&self) -> usize {
+        self.alerts().count()
+    }
+
+    /// Number of fired alerts that also resolved before run end.
+    pub fn alerts_resolved(&self) -> usize {
+        self.alerts().filter(|a| a.resolved_at.is_some()).count()
+    }
+
+    /// The highest fast-span burn rate seen by any outcome.
+    pub fn max_burn(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .fold(0.0f64, |m, o| m.max(o.max_fast_burn))
+    }
+
+    /// The lowest health score across outcomes (1.0 when none ran).
+    pub fn min_health(&self) -> f64 {
+        self.outcomes.iter().fold(1.0f64, |m, o| m.min(o.health))
+    }
+
+    /// Serializes the section: summary counters first, then specs,
+    /// outcomes, and the full rollup table.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("alerts_fired", self.alerts_fired() as u64)
+            .with("alerts_resolved", self.alerts_resolved() as u64)
+            .with("max_burn", self.max_burn())
+            .with("min_health", self.min_health())
+            .with("truncated_windows", self.truncated_windows as u64)
+            .with(
+                "slos",
+                Json::Arr(self.specs.iter().map(SloSpec::to_json).collect()),
+            )
+            .with(
+                "outcomes",
+                Json::Arr(self.outcomes.iter().map(SloOutcome::to_json).collect()),
+            )
+            .with("rollups", self.rollups.to_json())
+    }
+
+    /// The rollup/SLO families in Prometheus exposition format.
+    pub fn prometheus_text(&self) -> String {
+        prometheus_rollup_text(&self.rollups, &self.outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: f64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    fn monitor_with_slo() -> RunMonitor {
+        let mut spec = SloSpec::latency("p95-latency", 0.95, t(80.0));
+        spec.fast_windows = 2;
+        spec.slow_windows = 4;
+        spec.error_budget = 0.1;
+        RunMonitor::new(MonitorConfig::enabled(t(100.0), vec![spec]))
+    }
+
+    #[test]
+    fn disabled_is_the_default() {
+        let cfg = MonitorConfig::default();
+        assert!(!cfg.enabled);
+        assert!(cfg.slos.is_empty());
+    }
+
+    #[test]
+    fn burst_of_slow_completions_fires_and_resolves() {
+        let mut m = monitor_with_slo();
+        // Healthy traffic, then a sustained slow burst, then recovery.
+        for i in 0..40u64 {
+            let at = t(i as f64 * 100.0 + 50.0);
+            let latency = if (10..18).contains(&i) {
+                t(200.0)
+            } else {
+                t(40.0)
+            };
+            m.on_arrival("bw-m", at);
+            m.on_completion("bw-m", Some(0), at, latency);
+        }
+        let report = m.finish(t(4000.0), 0, None);
+        assert!(report.alerts_fired() >= 1, "{:?}", report.outcomes);
+        assert_eq!(report.alerts_fired(), report.alerts_resolved());
+        assert!(report.max_burn() >= 2.0);
+        assert!(report.min_health() < 1.0);
+        assert_eq!(report.truncated_windows, 0);
+    }
+
+    #[test]
+    fn segments_collect_but_are_not_slo_evaluated() {
+        let mut m = monitor_with_slo();
+        m.on_completion("bw-s", None, t(10.0), t(20.0));
+        m.on_retransmit(3, t(15.0), 4096);
+        let report = m.finish(t(100.0), 0, None);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| !o.key.starts_with("segment")));
+        // The segment still shows up in the rollup table.
+        assert!(report
+            .rollups
+            .keys()
+            .iter()
+            .any(|k| matches!(k, RollupKey::Segment(3))));
+    }
+
+    #[test]
+    fn trace_overflow_marks_early_windows() {
+        let mut m = monitor_with_slo();
+        m.on_completion("bw-s", None, t(10.0), t(20.0));
+        m.on_completion("bw-s", None, t(510.0), t(20.0));
+        let report = m.finish(t(600.0), 100, Some(t(450.0)));
+        assert!(report.truncated_windows > 0);
+        let text = report.to_json().compact();
+        assert!(text.contains("\"truncated\":true"), "{text}");
+    }
+
+    #[test]
+    fn report_is_byte_deterministic() {
+        let build = || {
+            let mut m = monitor_with_slo();
+            for i in 0..25u64 {
+                let at = t(i as f64 * 40.0);
+                m.on_arrival("bw-l", at);
+                m.on_queue_wait("bw-l", at, t(5.0));
+                m.on_completion("bw-l", Some(i % 3), at, t(90.0));
+                m.on_occupancy(at, 0.5);
+            }
+            m.on_migration(1, t(333.0));
+            m.finish(t(1000.0), 0, None).to_json().pretty()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -130,6 +130,42 @@ fn sanitize(name: &str) -> String {
     out
 }
 
+/// Splits a registered metric name into its sanitized base name and an
+/// optional label block. Labeled families register as
+/// `name{label="value"}`; `# HELP`/`# TYPE` metadata belongs to the base
+/// name (emitted once per family), while each member keeps its labels
+/// verbatim on the sample line.
+fn split_labels(name: &str) -> (String, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (sanitize(base), rest.strip_suffix('}')),
+        None => (sanitize(name), None),
+    }
+}
+
+/// Pushes the `# HELP` (when described) and `# TYPE` header of a metric
+/// family, once per base name.
+fn push_header(
+    out: &mut String,
+    metrics: &MetricsRegistry,
+    raw: &str,
+    base: &str,
+    kind: &str,
+    last_base: &mut String,
+) {
+    if base == last_base {
+        return;
+    }
+    if let Some(help) = metrics.help_for(raw).or_else(|| {
+        // Labeled members inherit the family's help text.
+        raw.split_once('{').and_then(|(b, _)| metrics.help_for(b))
+    }) {
+        out.push_str(&format!("# HELP {base} {help}\n"));
+    }
+    out.push_str(&format!("# TYPE {base} {kind}\n"));
+    last_base.clear();
+    last_base.push_str(base);
+}
+
 fn fmt(value: f64) -> String {
     if value == value.trunc() && value.abs() < 1e15 {
         format!("{value:.0}")
@@ -141,30 +177,119 @@ fn fmt(value: f64) -> String {
 /// Renders a registry in the Prometheus text exposition format: counters
 /// as `counter`, gauges as `gauge` (last observed value), timers as
 /// `summary` with p50/p95/p99 quantiles plus `_sum`/`_count`. Names are
-/// sanitized (`rejected.no_free_device` → `rejected_no_free_device`) and
-/// emitted in registration order, so the exposition is deterministic.
+/// sanitized (`rejected.no_free_device` → `rejected_no_free_device`);
+/// names registered with a label block (`vfpga_link_state{segment="2"}`)
+/// keep their labels on the sample line and share one `# TYPE` header per
+/// family. [`Described`](MetricsRegistry::describe) metrics get a
+/// `# HELP` line. Everything is emitted in registration order, so the
+/// exposition is deterministic.
 pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
     let mut out = String::new();
+    let mut last_base = String::new();
     for (name, value) in metrics.counters() {
-        let name = sanitize(name);
-        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        let (base, labels) = split_labels(name);
+        push_header(&mut out, metrics, name, &base, "counter", &mut last_base);
+        match labels {
+            Some(l) => out.push_str(&format!("{base}{{{l}}} {value}\n")),
+            None => out.push_str(&format!("{base} {value}\n")),
+        }
     }
+    last_base.clear();
     for (name, series) in metrics.gauges() {
-        let name = sanitize(name);
-        let value = series.last().unwrap_or(0.0);
-        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt(value)));
+        let (base, labels) = split_labels(name);
+        push_header(&mut out, metrics, name, &base, "gauge", &mut last_base);
+        let value = fmt(series.last().unwrap_or(0.0));
+        match labels {
+            Some(l) => out.push_str(&format!("{base}{{{l}}} {value}\n")),
+            None => out.push_str(&format!("{base} {value}\n")),
+        }
     }
+    last_base.clear();
     for (name, id) in metrics.timers() {
-        let name = sanitize(name);
-        out.push_str(&format!("# TYPE {name} summary\n"));
+        let (base, _) = split_labels(name);
+        push_header(&mut out, metrics, name, &base, "summary", &mut last_base);
         for q in [0.5, 0.95, 0.99] {
             if let Some(v) = metrics.timer_quantile(id, q) {
-                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", fmt(v)));
+                out.push_str(&format!("{base}{{quantile=\"{q}\"}} {}\n", fmt(v)));
             }
         }
         let summary = metrics.timer_summary(id);
-        out.push_str(&format!("{name}_sum {}\n", fmt(summary.sum())));
-        out.push_str(&format!("{name}_count {}\n", summary.count()));
+        out.push_str(&format!("{base}_sum {}\n", fmt(summary.sum())));
+        out.push_str(&format!("{base}_count {}\n", summary.count()));
+    }
+    out
+}
+
+/// Renders windowed rollups and SLO outcomes as Prometheus text: one
+/// `vfpga_rollup_*` gauge family per signal labeled by rollup key (last
+/// window's value, quantiles from the merged whole-run sketch), plus
+/// `vfpga_slo_burn_rate`/`vfpga_slo_health`/`vfpga_slo_alerts` per
+/// evaluated SLO. Deterministic: rollup keys iterate in their sorted
+/// order and outcomes in evaluation order.
+pub fn prometheus_rollup_text(
+    rollups: &crate::rollup::RollupSet,
+    outcomes: &[crate::slo::SloOutcome],
+) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP vfpga_rollup_completions Completions per rollup key (whole run).\n");
+    out.push_str("# TYPE vfpga_rollup_completions counter\n");
+    let whole = rollups.merged(u64::MAX / rollups.window().as_ps().max(1));
+    for key in whole.keys() {
+        for (_, stats) in whole.series_for(&key) {
+            out.push_str(&format!(
+                "vfpga_rollup_completions{{key=\"{}\"}} {}\n",
+                key.label(),
+                stats.completions
+            ));
+        }
+    }
+    out.push_str("# HELP vfpga_rollup_latency_seconds Sketch latency quantiles per rollup key.\n");
+    out.push_str("# TYPE vfpga_rollup_latency_seconds summary\n");
+    for key in whole.keys() {
+        for (_, stats) in whole.series_for(&key) {
+            if stats.latency.is_empty() {
+                continue;
+            }
+            for q in [0.5, 0.95, 0.99] {
+                if let Some(v) = stats.latency.quantile_secs(q) {
+                    out.push_str(&format!(
+                        "vfpga_rollup_latency_seconds{{key=\"{}\",quantile=\"{q}\"}} {}\n",
+                        key.label(),
+                        fmt(v)
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("# HELP vfpga_slo_max_burn_rate Peak fast-window burn rate per SLO and key.\n");
+    out.push_str("# TYPE vfpga_slo_max_burn_rate gauge\n");
+    for o in outcomes {
+        out.push_str(&format!(
+            "vfpga_slo_max_burn_rate{{slo=\"{}\",key=\"{}\"}} {}\n",
+            o.slo,
+            o.key,
+            fmt(o.max_fast_burn)
+        ));
+    }
+    out.push_str("# HELP vfpga_slo_health Fraction of windows that met the objective.\n");
+    out.push_str("# TYPE vfpga_slo_health gauge\n");
+    for o in outcomes {
+        out.push_str(&format!(
+            "vfpga_slo_health{{slo=\"{}\",key=\"{}\"}} {}\n",
+            o.slo,
+            o.key,
+            fmt(o.health)
+        ));
+    }
+    out.push_str("# HELP vfpga_slo_alerts Alerts fired per SLO and key over the run.\n");
+    out.push_str("# TYPE vfpga_slo_alerts counter\n");
+    for o in outcomes {
+        out.push_str(&format!(
+            "vfpga_slo_alerts{{slo=\"{}\",key=\"{}\"}} {}\n",
+            o.slo,
+            o.key,
+            o.alerts.len()
+        ));
     }
     out
 }
@@ -289,6 +414,83 @@ mod tests {
         let text = prometheus_text(&m);
         assert!(!text.contains("quantile"), "{text}");
         assert!(text.contains("ttr_s_count 0\n"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_emits_help_and_label_families() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("link.retransmits");
+        m.describe(
+            "link.retransmits",
+            "Transfers retransmitted after corruption.",
+        );
+        m.add(c, 2);
+        m.describe(
+            "vfpga_link_state",
+            "Ring segment health: 0 ok, 1 degraded, 2 failed.",
+        );
+        for seg in 0..3u64 {
+            let g = m.gauge(&format!("vfpga_link_state{{segment=\"{seg}\"}}"));
+            m.set_gauge(g, SimTime::ZERO, seg as f64);
+        }
+        let text = prometheus_text(&m);
+        assert!(
+            text.contains(
+                "# HELP link_retransmits Transfers retransmitted after corruption.\n\
+                 # TYPE link_retransmits counter\nlink_retransmits 2\n"
+            ),
+            "{text}"
+        );
+        // One header for the family, one sample line per label set.
+        assert_eq!(text.matches("# TYPE vfpga_link_state gauge").count(), 1);
+        assert_eq!(text.matches("# HELP vfpga_link_state").count(), 1);
+        assert!(
+            text.contains("vfpga_link_state{segment=\"0\"} 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vfpga_link_state{segment=\"2\"} 2\n"),
+            "{text}"
+        );
+        assert_eq!(text, prometheus_text(&m));
+    }
+
+    #[test]
+    fn prometheus_rollup_exposition() {
+        use crate::rollup::{RollupKey, RollupSet};
+        use crate::slo::{evaluate_slo, SloSpec};
+        use std::collections::BTreeMap;
+
+        let mut r = RollupSet::new(SimTime::from_us(100.0), 0.01);
+        let tenant = RollupKey::Tenant("bw-m".into());
+        for i in 0..20 {
+            r.record_completion(
+                tenant.clone(),
+                SimTime::from_us(i as f64 * 40.0),
+                SimTime::from_us(55.0),
+            );
+        }
+        let spec = SloSpec::latency("p95-latency", 0.95, SimTime::from_us(50.0));
+        let bad: BTreeMap<u64, bool> = (0..8).map(|i| (i, true)).collect();
+        let out = evaluate_slo(&spec, &tenant.label(), &bad, 10, r.window());
+        let text = prometheus_rollup_text(&r, std::slice::from_ref(&out));
+        assert_eq!(text, prometheus_rollup_text(&r, std::slice::from_ref(&out)));
+        assert!(
+            text.contains("vfpga_rollup_completions{key=\"tenant:bw-m\"} 20\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vfpga_rollup_latency_seconds{key=\"tenant:bw-m\",quantile=\"0.95\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vfpga_slo_health{slo=\"p95-latency\",key=\"tenant:bw-m\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vfpga_slo_alerts{slo=\"p95-latency\",key=\"tenant:bw-m\"} 1\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -32,13 +32,18 @@ mod json;
 mod link;
 mod metrics;
 mod rng;
+mod rollup;
+mod sketch;
+mod slo;
 mod span;
 mod stats;
 mod time;
 mod trace;
 
 pub use engine::EventQueue;
-pub use export::{chrome_trace_events, prometheus_text, CONTROL_TID, SCHEDULER_PID};
+pub use export::{
+    chrome_trace_events, prometheus_rollup_text, prometheus_text, CONTROL_TID, SCHEDULER_PID,
+};
 pub use fault::{
     FaultEvent, FaultPlan, FaultPlanParams, LinkFaultEvent, LinkFaultKind, LinkFaultParams,
 };
@@ -46,8 +51,11 @@ pub use json::Json;
 pub use link::{
     DegradedMode, Link, LinkHealth, LinkParamError, LinkParams, RetransmitPolicy, TransferOutcome,
 };
-pub use metrics::{CounterId, GaugeId, MetricsRegistry, TimeSeries, TimerId};
+pub use metrics::{CounterId, GaugeId, MetricsRegistry, TimeSeries, TimerId, TIMESERIES_POINT_CAP};
 pub use rng::Rng;
+pub use rollup::{RollupKey, RollupSet, WindowStats};
+pub use sketch::QuantileSketch;
+pub use slo::{evaluate_slo, Alert, AlertState, SloOutcome, SloSpec};
 pub use span::{CriticalPath, PhaseBuckets, Span, SpanCtx, SpanId, SpanTracer, SpanValue, TraceId};
 pub use stats::{Histogram, Summary, ThroughputMeter};
 pub use time::SimTime;

@@ -34,20 +34,70 @@ pub struct GaugeId(usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimerId(usize);
 
+/// Past this many retained points, a [`TimeSeries`] folds itself: every
+/// other interior point is dropped (the first and the most recent survive)
+/// and the effective retention stride doubles, so memory stays bounded on
+/// arbitrarily long runs while short runs keep every point — and their
+/// serialization byte-identical.
+pub const TIMESERIES_POINT_CAP: usize = 1 << 12;
+
 /// A time-stamped series of gauge observations, coalescing repeats.
 ///
 /// Samples are `(time, value)` pairs; recording the same value twice in a
 /// row keeps only the first sample, so a gauge polled every event stays
-/// compact while still reconstructing the exact step function.
-#[derive(Debug, Clone, Default)]
+/// compact while still reconstructing the exact step function. Past
+/// [`TIMESERIES_POINT_CAP`] points the series downsamples itself
+/// deterministically (see [`points_folded`](TimeSeries::points_folded));
+/// the peak and the time-weighted mean stay exact regardless.
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     samples: Vec<(SimTime, f64)>,
+    /// Points dropped by downsampling; 0 until the cap is first hit.
+    folded: u64,
+    /// Largest value among folded-away points.
+    folded_peak: f64,
+    /// Exact time-weighted integral (value x seconds) of the step function
+    /// from the first sample to the last, maintained incrementally so
+    /// folding cannot perturb the mean.
+    integral: f64,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries {
+            samples: Vec::new(),
+            folded: 0,
+            // Negative infinity, not zero: a folded region of negative
+            // values must not fabricate a zero peak.
+            folded_peak: f64::NEG_INFINITY,
+            integral: 0.0,
+        }
+    }
 }
 
 impl TimeSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
         TimeSeries::default()
+    }
+
+    /// Drops every other interior point (the first and last survive), so
+    /// the retention stride of the folded region doubles. Deterministic:
+    /// depends only on the sample stream, never on wall clock or capacity
+    /// reallocation.
+    fn fold(&mut self) {
+        let last = self.samples.pop().expect("fold requires samples");
+        let mut kept = Vec::with_capacity(self.samples.len() / 2 + 2);
+        for (i, &(t, v)) in self.samples.iter().enumerate() {
+            if i % 2 == 0 {
+                kept.push((t, v));
+            } else {
+                self.folded += 1;
+                self.folded_peak = self.folded_peak.max(v);
+            }
+        }
+        kept.push(last);
+        self.samples = kept;
     }
 
     /// Records `value` at `at`. Out-of-order samples are rejected silently
@@ -60,17 +110,32 @@ impl TimeSeries {
             if last_v == value {
                 return;
             }
+            self.integral += last_v * (at - last_t).as_secs();
             if last_t == at {
                 // Same timestamp: the later write wins.
                 self.samples.pop();
             }
         }
+        if self.samples.len() == TIMESERIES_POINT_CAP {
+            self.fold();
+        }
         self.samples.push((at, value));
     }
 
-    /// The recorded `(time, value)` steps.
+    /// The retained `(time, value)` steps (all of them until the point
+    /// budget is first exceeded).
     pub fn samples(&self) -> &[(SimTime, f64)] {
         &self.samples
+    }
+
+    /// Points currently retained.
+    pub fn points_kept(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Points dropped by stride-doubling downsampling; 0 for short runs.
+    pub fn points_folded(&self) -> u64 {
+        self.folded
     }
 
     /// Last recorded value, if any.
@@ -78,22 +143,40 @@ impl TimeSeries {
         self.samples.last().map(|&(_, v)| v)
     }
 
-    /// Largest recorded value, if any.
+    /// Largest recorded value, if any. Exact even after downsampling:
+    /// folded-away points contribute through a running peak.
     pub fn max(&self) -> Option<f64> {
         self.samples
             .iter()
             .map(|&(_, v)| v)
             .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+            .map(|m| {
+                if self.folded > 0 {
+                    m.max(self.folded_peak)
+                } else {
+                    m
+                }
+            })
     }
 
     /// Time-weighted mean of the step function from the first sample up to
     /// `end`. Returns `None` if empty or `end` precedes the first sample.
+    /// Exact after downsampling too (an incremental integral covers the
+    /// folded region) as long as `end` is at or past the last sample.
     pub fn mean_until(&self, end: SimTime) -> Option<f64> {
         let first = self.samples.first()?.0;
         if end <= first {
             return None;
         }
         let total = (end - first).as_secs();
+        if self.folded > 0 {
+            let &(last_t, last_v) = self.samples.last().expect("non-empty");
+            if end >= last_t {
+                return Some((self.integral + last_v * (end - last_t).as_secs()) / total);
+            }
+            // `end` inside the folded region: approximate from what
+            // survived (the fall-through scan below).
+        }
         let mut acc = 0.0;
         for (i, &(t, v)) in self.samples.iter().enumerate() {
             let next = self
@@ -182,6 +265,7 @@ pub struct MetricsRegistry {
     gauges: Vec<TimeSeries>,
     timer_names: Vec<String>,
     timers: Vec<Timer>,
+    help: Vec<(String, String)>,
 }
 
 impl MetricsRegistry {
@@ -218,6 +302,25 @@ impl MetricsRegistry {
         self.timer_names.push(name.to_string());
         self.timers.push(Timer::new());
         TimerId(self.timers.len() - 1)
+    }
+
+    /// Attaches (or replaces) operator-facing help text for a metric
+    /// name; the Prometheus exporter emits it as a `# HELP` line. For
+    /// labeled families (`name{label="v"}`), describe the base name once.
+    pub fn describe(&mut self, name: &str, help: &str) {
+        if let Some(entry) = self.help.iter_mut().find(|(n, _)| n == name) {
+            entry.1 = help.to_string();
+        } else {
+            self.help.push((name.to_string(), help.to_string()));
+        }
+    }
+
+    /// The help text registered for `name`, if any.
+    pub fn help_for(&self, name: &str) -> Option<&str> {
+        self.help
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.as_str())
     }
 
     /// Increments a counter by one.
@@ -436,6 +539,60 @@ mod tests {
         let mut m = MetricsRegistry::new();
         let t = m.timer("lat");
         assert_eq!(m.timer_quantile(t, 0.5), None);
+    }
+
+    #[test]
+    fn timeseries_folds_past_point_cap() {
+        let mut s = TimeSeries::new();
+        let n = (TIMESERIES_POINT_CAP * 4) as u64;
+        for i in 0..n {
+            // Strictly alternating values so nothing coalesces.
+            s.record(SimTime::from_ps(i * 1_000), (i % 7) as f64);
+        }
+        assert!(s.points_kept() <= TIMESERIES_POINT_CAP);
+        assert_eq!(s.points_folded() + s.points_kept() as u64, n);
+        // First and last points survive every fold.
+        assert_eq!(s.samples().first().unwrap().0, SimTime::ZERO);
+        assert_eq!(s.last(), Some(((n - 1) % 7) as f64));
+        // Peak and time-weighted mean stay exact despite the folding.
+        assert_eq!(s.max(), Some(6.0));
+        let end = SimTime::from_ps(n * 1_000);
+        let mean = s.mean_until(end).unwrap();
+        // Each value 0..7 occupies an equal share of the timeline.
+        let expect = (0..7).sum::<u64>() as f64 / 7.0;
+        assert!((mean - expect).abs() < 0.01, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn timeseries_short_runs_never_fold() {
+        let mut s = TimeSeries::new();
+        for i in 0..TIMESERIES_POINT_CAP as u64 {
+            s.record(SimTime::from_ps(i), (i % 2) as f64);
+        }
+        assert_eq!(s.points_folded(), 0);
+        assert_eq!(s.points_kept(), TIMESERIES_POINT_CAP);
+    }
+
+    #[test]
+    fn timeseries_folding_is_deterministic() {
+        let run = || {
+            let mut s = TimeSeries::new();
+            for i in 0..(TIMESERIES_POINT_CAP * 3) as u64 {
+                s.record(SimTime::from_ps(i * 10), (i % 5) as f64);
+            }
+            s.to_json().compact()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn describe_registers_and_replaces_help() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.help_for("deploys"), None);
+        m.describe("deploys", "Tasks deployed.");
+        assert_eq!(m.help_for("deploys"), Some("Tasks deployed."));
+        m.describe("deploys", "Tasks admitted and deployed.");
+        assert_eq!(m.help_for("deploys"), Some("Tasks admitted and deployed."));
     }
 
     #[test]

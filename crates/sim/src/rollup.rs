@@ -1,0 +1,383 @@
+//! Tumbling-window rollups over the simulation's telemetry stream.
+//!
+//! A [`RollupSet`] partitions sim time into fixed windows (window `i`
+//! covers `[i * window, (i + 1) * window)`) and aggregates, per window and
+//! per [`RollupKey`] (the whole cluster, one tenant/model class, one
+//! device, or one ring segment), the signals the trace stream carries:
+//! arrivals, completions with their end-to-end latency, queue waits,
+//! migrations, retransmits, and occupancy. Latency-like signals go into
+//! [`QuantileSketch`]es, so windows merge losslessly into coarser
+//! horizons ([`RollupSet::merged`]) and per-window quantiles stay within
+//! the configured relative error.
+//!
+//! When the trace ring the stream was read from has dropped events,
+//! windows that predate the oldest retained event are marked
+//! [`truncated`](WindowStats::truncated): their counts are a lower bound,
+//! not a measurement, and the artifact says so instead of reporting
+//! silently-low numbers.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::sketch::QuantileSketch;
+use crate::time::SimTime;
+
+/// What a rollup window is keyed by.
+///
+/// The derived ordering (variant order, then payload) is the
+/// deterministic serialization order of the artifact.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RollupKey {
+    /// The whole cluster.
+    Cluster,
+    /// One tenant/model class (the instance name serving it).
+    Tenant(String),
+    /// One FPGA device.
+    Device(u64),
+    /// One ring segment.
+    Segment(u64),
+}
+
+impl RollupKey {
+    /// The stable label used in artifacts and metric names.
+    pub fn label(&self) -> String {
+        match self {
+            RollupKey::Cluster => "cluster".to_string(),
+            RollupKey::Tenant(name) => format!("tenant:{name}"),
+            RollupKey::Device(d) => format!("device:{d}"),
+            RollupKey::Segment(s) => format!("segment:{s}"),
+        }
+    }
+}
+
+/// Aggregates for one `(key, window)` cell.
+#[derive(Debug, Clone)]
+pub struct WindowStats {
+    /// Task arrivals in the window.
+    pub arrivals: u64,
+    /// Task completions in the window.
+    pub completions: u64,
+    /// Migrations started in the window.
+    pub migrations: u64,
+    /// Retransmitted transfers in the window.
+    pub retransmits: u64,
+    /// Bytes carried by those retransmissions.
+    pub retransmit_bytes: u64,
+    /// End-to-end latency of completions in the window.
+    pub latency: QuantileSketch,
+    /// Queue waits that ended in the window.
+    pub queue_wait: QuantileSketch,
+    /// Sum and count of occupancy observations (mean = sum / count).
+    pub occupancy_sum: f64,
+    /// Number of occupancy observations.
+    pub occupancy_samples: u64,
+    /// The window predates the oldest retained trace event: counts are a
+    /// lower bound, not a measurement.
+    pub truncated: bool,
+}
+
+impl WindowStats {
+    fn new(alpha: f64) -> Self {
+        WindowStats {
+            arrivals: 0,
+            completions: 0,
+            migrations: 0,
+            retransmits: 0,
+            retransmit_bytes: 0,
+            latency: QuantileSketch::new(alpha),
+            queue_wait: QuantileSketch::new(alpha),
+            occupancy_sum: 0.0,
+            occupancy_samples: 0,
+            truncated: false,
+        }
+    }
+
+    /// Mean of the occupancy observations, if any.
+    pub fn occupancy_mean(&self) -> Option<f64> {
+        (self.occupancy_samples > 0).then(|| self.occupancy_sum / self.occupancy_samples as f64)
+    }
+
+    fn merge(&mut self, other: &WindowStats) {
+        self.arrivals += other.arrivals;
+        self.completions += other.completions;
+        self.migrations += other.migrations;
+        self.retransmits += other.retransmits;
+        self.retransmit_bytes += other.retransmit_bytes;
+        self.latency.merge(&other.latency);
+        self.queue_wait.merge(&other.queue_wait);
+        self.occupancy_sum += other.occupancy_sum;
+        self.occupancy_samples += other.occupancy_samples;
+        self.truncated |= other.truncated;
+    }
+}
+
+/// Tumbling-window rollups keyed by [`RollupKey`] (see the module docs).
+#[derive(Debug, Clone)]
+pub struct RollupSet {
+    window: SimTime,
+    alpha: f64,
+    cells: BTreeMap<(RollupKey, u64), WindowStats>,
+}
+
+impl RollupSet {
+    /// Creates an empty rollup set with the given window length and
+    /// sketch relative-error bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `alpha` is out of range.
+    pub fn new(window: SimTime, alpha: f64) -> Self {
+        assert!(window > SimTime::ZERO, "rollup window must be positive");
+        // Validate alpha eagerly (QuantileSketch::new panics on abuse).
+        let _ = QuantileSketch::new(alpha);
+        RollupSet {
+            window,
+            alpha,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> SimTime {
+        self.window
+    }
+
+    /// The sketch relative-error bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The window index covering `at`.
+    pub fn window_index(&self, at: SimTime) -> u64 {
+        at.as_ps() / self.window.as_ps()
+    }
+
+    fn cell(&mut self, key: RollupKey, at: SimTime) -> &mut WindowStats {
+        let idx = self.window_index(at);
+        let alpha = self.alpha;
+        self.cells
+            .entry((key, idx))
+            .or_insert_with(|| WindowStats::new(alpha))
+    }
+
+    /// Records a task arrival for `key` at `at`.
+    pub fn record_arrival(&mut self, key: RollupKey, at: SimTime) {
+        self.cell(key, at).arrivals += 1;
+    }
+
+    /// Records a completion at `at` with its end-to-end latency.
+    pub fn record_completion(&mut self, key: RollupKey, at: SimTime, latency: SimTime) {
+        let cell = self.cell(key, at);
+        cell.completions += 1;
+        cell.latency.record(latency);
+    }
+
+    /// Records a queue wait that ended at `at`.
+    pub fn record_queue_wait(&mut self, key: RollupKey, at: SimTime, wait: SimTime) {
+        self.cell(key, at).queue_wait.record(wait);
+    }
+
+    /// Records a migration started at `at`.
+    pub fn record_migration(&mut self, key: RollupKey, at: SimTime) {
+        self.cell(key, at).migrations += 1;
+    }
+
+    /// Records one retransmitted transfer of `bytes` at `at`.
+    pub fn record_retransmit(&mut self, key: RollupKey, at: SimTime, bytes: u64) {
+        let cell = self.cell(key, at);
+        cell.retransmits += 1;
+        cell.retransmit_bytes += bytes;
+    }
+
+    /// Records an occupancy observation (a fraction in `[0, 1]`) at `at`.
+    pub fn record_occupancy(&mut self, key: RollupKey, at: SimTime, fraction: f64) {
+        let cell = self.cell(key, at);
+        cell.occupancy_sum += fraction;
+        cell.occupancy_samples += 1;
+    }
+
+    /// Marks every cell in a window that starts before `oldest_retained`
+    /// as truncated: the trace ring dropped events from the head, so those
+    /// windows saw only part of their stream. Returns how many cells were
+    /// marked.
+    pub fn mark_truncated_before(&mut self, oldest_retained: SimTime) -> usize {
+        let mut marked = 0;
+        for ((_, idx), cell) in self.cells.iter_mut() {
+            if *idx * self.window.as_ps() < oldest_retained.as_ps() && !cell.truncated {
+                cell.truncated = true;
+                marked += 1;
+            }
+        }
+        marked
+    }
+
+    /// Iterates cells in deterministic `(key, window)` order.
+    pub fn cells(&self) -> impl Iterator<Item = (&RollupKey, u64, &WindowStats)> {
+        self.cells.iter().map(|((k, i), s)| (k, *i, s))
+    }
+
+    /// Number of populated `(key, window)` cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell has been populated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The per-window latency-sketch sequence for `key`, as
+    /// `(window_index, stats)` pairs in window order — the input the SLO
+    /// evaluator consumes.
+    pub fn series_for(&self, key: &RollupKey) -> Vec<(u64, &WindowStats)> {
+        self.cells
+            .iter()
+            .filter(|((k, _), _)| k == key)
+            .map(|((_, i), s)| (*i, s))
+            .collect()
+    }
+
+    /// The distinct keys present, in deterministic order.
+    pub fn keys(&self) -> Vec<RollupKey> {
+        let mut keys: Vec<RollupKey> = Vec::new();
+        for (k, _) in self.cells.keys() {
+            if keys.last() != Some(k) {
+                keys.push(k.clone());
+            }
+        }
+        keys
+    }
+
+    /// Folds every `factor` consecutive windows into one, producing a
+    /// rollup set with window `factor * window` — quantiles merge
+    /// losslessly (sketch merge), counts add, truncation is sticky.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn merged(&self, factor: u64) -> RollupSet {
+        assert!(factor > 0, "merge factor must be positive");
+        let mut out = RollupSet::new(SimTime::from_ps(self.window.as_ps() * factor), self.alpha);
+        for ((key, idx), stats) in &self.cells {
+            let cell = out
+                .cells
+                .entry((key.clone(), idx / factor))
+                .or_insert_with(|| WindowStats::new(self.alpha));
+            cell.merge(stats);
+        }
+        out
+    }
+
+    /// Serializes the rollups as a flat window array, each window with its
+    /// key label, bounds in seconds, counters, and sketch digests.
+    /// `truncated` appears only on truncated windows, so untruncated runs
+    /// serialize identically with or without the ring-overflow pass.
+    pub fn to_json(&self) -> Json {
+        let window_s = self.window.as_secs();
+        let mut rows = Vec::with_capacity(self.cells.len());
+        for ((key, idx), stats) in &self.cells {
+            let mut row = Json::obj()
+                .with("key", key.label())
+                .with("window", *idx)
+                .with("start_s", *idx as f64 * window_s)
+                .with("arrivals", stats.arrivals)
+                .with("completions", stats.completions)
+                .with("migrations", stats.migrations)
+                .with("retransmits", stats.retransmits)
+                .with("retransmit_bytes", stats.retransmit_bytes)
+                .with("latency", stats.latency.digest_json())
+                .with("queue_wait", stats.queue_wait.digest_json())
+                .with("occupancy_mean", stats.occupancy_mean());
+            if stats.truncated {
+                row = row.with("truncated", true);
+            }
+            rows.push(row);
+        }
+        Json::obj()
+            .with("window_s", window_s)
+            .with("alpha", self.alpha)
+            .with("windows", Json::Arr(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: f64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn windows_partition_time() {
+        let r = RollupSet::new(t(100.0), 0.01);
+        assert_eq!(r.window_index(SimTime::ZERO), 0);
+        assert_eq!(r.window_index(t(99.999)), 0);
+        assert_eq!(r.window_index(t(100.0)), 1);
+        assert_eq!(r.window_index(t(250.0)), 2);
+    }
+
+    #[test]
+    fn per_key_cells_accumulate() {
+        let mut r = RollupSet::new(t(100.0), 0.01);
+        let tenant = RollupKey::Tenant("bw-m".into());
+        r.record_arrival(tenant.clone(), t(10.0));
+        r.record_arrival(tenant.clone(), t(20.0));
+        r.record_completion(tenant.clone(), t(150.0), t(130.0));
+        r.record_arrival(RollupKey::Cluster, t(10.0));
+        let series = r.series_for(&tenant);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].1.arrivals, 2);
+        assert_eq!(series[1].1.completions, 1);
+        assert_eq!(series[1].1.latency.count(), 1);
+        assert_eq!(r.keys().len(), 2);
+    }
+
+    #[test]
+    fn merged_windows_fold_counts_and_sketches() {
+        let mut r = RollupSet::new(t(100.0), 0.01);
+        for i in 0..10 {
+            r.record_completion(RollupKey::Cluster, t(i as f64 * 100.0 + 1.0), t(50.0));
+        }
+        let coarse = r.merged(5);
+        assert_eq!(coarse.window(), t(500.0));
+        let series = coarse.series_for(&RollupKey::Cluster);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].1.completions, 5);
+        assert_eq!(series[0].1.latency.count(), 5);
+        // Lossless: the folded sketch answers like the originals.
+        let p = series[0].1.latency.quantile(0.5).unwrap();
+        let err = (p.as_secs() - t(50.0).as_secs()).abs() / t(50.0).as_secs();
+        assert!(err <= 0.01 + 1e-9);
+    }
+
+    #[test]
+    fn truncation_marks_only_early_windows() {
+        let mut r = RollupSet::new(t(100.0), 0.01);
+        r.record_arrival(RollupKey::Cluster, t(10.0));
+        r.record_arrival(RollupKey::Cluster, t(110.0));
+        r.record_arrival(RollupKey::Cluster, t(210.0));
+        // Oldest retained trace event at 150us: windows 0 and 1 started
+        // before it, window 2 did not.
+        let marked = r.mark_truncated_before(t(150.0));
+        assert_eq!(marked, 2);
+        let series = r.series_for(&RollupKey::Cluster);
+        assert!(series[0].1.truncated);
+        assert!(series[1].1.truncated);
+        assert!(!series[2].1.truncated);
+        let text = r.to_json().compact();
+        assert_eq!(text.matches("\"truncated\":true").count(), 2);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_gates_truncated_field() {
+        let mut r = RollupSet::new(t(100.0), 0.01);
+        r.record_occupancy(RollupKey::Device(3), t(5.0), 0.5);
+        r.record_occupancy(RollupKey::Device(3), t(6.0), 1.0);
+        let text = r.to_json().compact();
+        assert!(text.contains("\"key\":\"device:3\""), "{text}");
+        assert!(text.contains("\"occupancy_mean\":0.75"), "{text}");
+        assert!(!text.contains("truncated"), "{text}");
+        assert_eq!(text, r.to_json().compact());
+    }
+}

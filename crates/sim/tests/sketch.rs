@@ -1,0 +1,222 @@
+//! Property suite for the mergeable quantile sketch, driven through the
+//! crate's public API: seeded random streams checked against exact
+//! sorted-buffer quantiles, merge algebra (associativity, commutativity,
+//! identity), the edge cases the rollup pipeline leans on (zeros, single
+//! values, empty sketches), and byte-stable serialization.
+
+use vfpga_sim::{Json, QuantileSketch, Rng, SimTime};
+
+const ALPHA: f64 = 0.01;
+const QUANTILES: [f64; 5] = [0.25, 0.5, 0.9, 0.95, 0.99];
+
+/// The exact quantile with the sketch's own ceil-rank convention.
+fn exact_quantile(sorted_ps: &[u64], q: f64) -> u64 {
+    let n = sorted_ps.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted_ps[(rank - 1) as usize]
+}
+
+/// Asserts every checked quantile of `sketch` is within `alpha` relative
+/// error of the exact sample quantile of `values_ps`.
+fn assert_tracks_exact(sketch: &QuantileSketch, values_ps: &[u64], alpha: f64) {
+    let mut sorted = values_ps.to_vec();
+    sorted.sort_unstable();
+    for q in QUANTILES {
+        let exact = exact_quantile(&sorted, q) as f64;
+        let got = sketch.quantile(q).unwrap().as_ps() as f64;
+        let bound = alpha * exact + 1.0; // +1 ps for integer rounding
+        assert!(
+            (got - exact).abs() <= bound,
+            "p{q}: sketch {got} vs exact {exact} (alpha {alpha})"
+        );
+    }
+}
+
+fn stream(seed: u64, n: usize, gen: impl Fn(&mut Rng) -> u64) -> Vec<u64> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| gen(&mut rng)).collect()
+}
+
+fn sketch_of(values_ps: &[u64]) -> QuantileSketch {
+    let mut sketch = QuantileSketch::new(ALPHA);
+    for &ps in values_ps {
+        sketch.record(SimTime::from_ps(ps));
+    }
+    sketch
+}
+
+#[test]
+fn uniform_stream_within_relative_error() {
+    for seed in [1, 7, 42, 2024] {
+        let values = stream(seed, 5_000, |rng| rng.range_f64(1e3, 1e9) as u64);
+        assert_tracks_exact(&sketch_of(&values), &values, ALPHA);
+    }
+}
+
+#[test]
+fn exponential_stream_within_relative_error() {
+    for seed in [3, 42, 2024] {
+        let values = stream(seed, 5_000, |rng| (rng.exp(5e7).max(1.0)) as u64);
+        assert_tracks_exact(&sketch_of(&values), &values, ALPHA);
+    }
+}
+
+#[test]
+fn heavy_tailed_stream_within_relative_error() {
+    // Pareto-ish: many orders of magnitude in one stream.
+    for seed in [11, 42] {
+        let values = stream(seed, 5_000, |rng| {
+            let u = rng.next_f64().max(1e-12);
+            (1e4 / u.powf(1.5)).min(1e15) as u64
+        });
+        assert_tracks_exact(&sketch_of(&values), &values, ALPHA);
+    }
+}
+
+#[test]
+fn coarser_alpha_still_bounds_error() {
+    let alpha = 0.05;
+    let values = stream(9, 3_000, |rng| rng.range_f64(1e3, 1e12) as u64);
+    let mut sketch = QuantileSketch::new(alpha);
+    for &ps in &values {
+        sketch.record(SimTime::from_ps(ps));
+    }
+    assert_tracks_exact(&sketch, &values, alpha);
+}
+
+#[test]
+fn merge_equals_recording_the_concatenation() {
+    let a = stream(1, 2_000, |rng| rng.range_f64(1e3, 1e8) as u64);
+    let b = stream(2, 3_000, |rng| (rng.exp(2e6).max(1.0)) as u64);
+    let mut merged = sketch_of(&a);
+    merged.merge(&sketch_of(&b));
+    let mut all = a.clone();
+    all.extend_from_slice(&b);
+    let direct = sketch_of(&all);
+    assert_eq!(merged.to_json().pretty(), direct.to_json().pretty());
+    assert_tracks_exact(&merged, &all, ALPHA);
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    let parts: Vec<Vec<u64>> = (0..3)
+        .map(|i| stream(10 + i, 1_000, |rng| rng.range_f64(1e3, 1e9) as u64))
+        .collect();
+    let [a, b, c] = [
+        sketch_of(&parts[0]),
+        sketch_of(&parts[1]),
+        sketch_of(&parts[2]),
+    ];
+    // (a + b) + c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    // a + (b + c), built the other way around
+    let mut bc = c.clone();
+    bc.merge(&b);
+    let mut right = bc;
+    right.merge(&a);
+    assert_eq!(left.to_json().pretty(), right.to_json().pretty());
+}
+
+#[test]
+fn merging_an_empty_sketch_is_identity() {
+    let values = stream(5, 500, |rng| rng.range_f64(1e3, 1e6) as u64);
+    let mut sketch = sketch_of(&values);
+    let before = sketch.to_json().pretty();
+    sketch.merge(&QuantileSketch::new(ALPHA));
+    assert_eq!(sketch.to_json().pretty(), before);
+
+    let mut empty = QuantileSketch::new(ALPHA);
+    empty.merge(&sketch_of(&values));
+    assert_eq!(empty.to_json().pretty(), before);
+}
+
+#[test]
+#[should_panic(expected = "different alpha")]
+fn merging_mismatched_alpha_panics() {
+    let mut a = QuantileSketch::new(0.01);
+    a.merge(&QuantileSketch::new(0.02));
+}
+
+#[test]
+fn empty_sketch_answers_none() {
+    let sketch = QuantileSketch::new(ALPHA);
+    assert!(sketch.is_empty());
+    assert_eq!(sketch.count(), 0);
+    assert_eq!(sketch.quantile(0.5), None);
+    assert_eq!(sketch.min(), None);
+    assert_eq!(sketch.max(), None);
+    assert_eq!(sketch.mean_secs(), None);
+}
+
+#[test]
+fn single_value_is_every_quantile() {
+    let mut sketch = QuantileSketch::new(ALPHA);
+    sketch.record(SimTime::from_us(123.0));
+    for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+        let got = sketch.quantile(q).unwrap().as_ps() as f64;
+        let exact = SimTime::from_us(123.0).as_ps() as f64;
+        assert!((got - exact).abs() <= ALPHA * exact + 1.0, "q={q}: {got}");
+    }
+}
+
+#[test]
+fn zeros_are_reported_exactly() {
+    let mut sketch = QuantileSketch::new(ALPHA);
+    for _ in 0..90 {
+        sketch.record(SimTime::ZERO);
+    }
+    for _ in 0..10 {
+        sketch.record(SimTime::from_us(50.0));
+    }
+    assert_eq!(sketch.quantile(0.5), Some(SimTime::ZERO));
+    assert_eq!(sketch.quantile(0.9), Some(SimTime::ZERO));
+    let p99 = sketch.quantile(0.99).unwrap().as_ps() as f64;
+    let exact = SimTime::from_us(50.0).as_ps() as f64;
+    assert!((p99 - exact).abs() <= ALPHA * exact + 1.0);
+    assert_eq!(sketch.min(), Some(SimTime::ZERO));
+}
+
+#[test]
+fn quantile_estimates_never_leave_observed_range() {
+    let values = stream(21, 2_000, |rng| (rng.exp(1e7).max(1.0)) as u64);
+    let sketch = sketch_of(&values);
+    let min = *values.iter().min().unwrap();
+    let max = *values.iter().max().unwrap();
+    for i in 0..=100 {
+        let q = i as f64 / 100.0;
+        let got = sketch.quantile(q).unwrap().as_ps();
+        assert!(
+            got >= min && got <= max,
+            "q={q}: {got} outside [{min},{max}]"
+        );
+    }
+}
+
+#[test]
+fn bucket_count_stays_logarithmic() {
+    // 5k samples across six decades collapse into a few hundred buckets.
+    let values = stream(33, 5_000, |rng| rng.range_f64(1e3, 1e9) as u64);
+    let sketch = sketch_of(&values);
+    assert!(
+        sketch.bucket_count() < 800,
+        "bucket blow-up: {}",
+        sketch.bucket_count()
+    );
+}
+
+#[test]
+fn serialization_is_byte_stable_and_integer_only() {
+    let values = stream(8, 1_000, |rng| rng.range_f64(1e3, 1e9) as u64);
+    let a = sketch_of(&values).to_json().pretty();
+    let b = sketch_of(&values).to_json().pretty();
+    assert_eq!(a, b);
+    Json::parse(&a).expect("sketch JSON parses");
+    // The byte-determinism discipline: the data payload is integer-only
+    // (counts, integer-ps extremes, bucket pairs); the only float is the
+    // fixed `alpha` configuration value.
+    for line in a.lines().filter(|l| !l.contains("\"alpha\"")) {
+        assert!(!line.contains('.'), "sketch data leaked a float: {line}");
+    }
+}
