@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|monitor|all] [--json PATH] [--seed N]
+//! cargo run --release -p vfpga-bench --bin repro -- [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|monitor|fuzz|all] [--json PATH] [--seed N] [--cases N] [--oracle NAME] [--replay PATH]
 //! ```
 //!
 //! Runs covering Fig. 11, Fig. 12, or the chaos scenario also write a
@@ -40,6 +40,15 @@
 //! report's retransmitted-byte counter reconciling with the trace's
 //! `retransmit` events) and the run actually failed segments, re-routed
 //! around them, and retransmitted corrupted transfers.
+//!
+//! `fuzz` (also opt-in) runs the deterministic differential-fuzzing
+//! subsystem: `--cases N` structure-aware cases per cross-layer oracle
+//! (default 200), all derived from `--seed`, writing a byte-deterministic
+//! summary to `target/repro-fuzz.json` and shrunk reproducers for any
+//! failures to `target/fuzz-failures/<oracle>-<seed>.json`. `--oracle
+//! NAME` restricts the run to one oracle; `--replay PATH` re-runs a
+//! saved reproducer through its oracle instead of fuzzing and exits
+//! non-zero while the bug it captures still reproduces.
 //!
 //! `monitor` (also opt-in) runs the SLO-monitoring scenario — a
 //! self-calibrating chaos+elastic run with the streaming-telemetry
@@ -81,6 +90,16 @@ const DEFAULT_NETCHAOS_ARTIFACT: &str = "target/repro-netchaos.json";
 /// experiment).
 const DEFAULT_MONITOR_ARTIFACT: &str = "target/repro-monitor.json";
 
+/// Default location of the fuzzing summary artifact (the `fuzz`
+/// experiment).
+const DEFAULT_FUZZ_ARTIFACT: &str = "target/repro-fuzz.json";
+
+/// Where the `fuzz` experiment writes shrunk reproducers.
+const FUZZ_FAILURE_DIR: &str = "target/fuzz-failures";
+
+/// Default fuzzing budget per oracle.
+const DEFAULT_FUZZ_CASES: usize = 200;
+
 /// Regression ceiling on the bench's `deploy_attempts_per_admission`
 /// (worst scenario, shipped configuration). The current fast path lands
 /// well under this; `repro bench` (and CI's bench job) fails when a
@@ -105,17 +124,50 @@ const ATTEMPTS_PER_ADMISSION_CEILING: f64 = 8.0;
 /// sketches, SLO specs/outcomes, and burn-rate alerts — the
 /// `points_kept`/`points_folded` fields the occupancy and queue-depth
 /// series gain when the time-series cap folds them, and the `monitor`
-/// experiment's `repro-monitor.json`).
-const ARTIFACT_SCHEMA_VERSION: u64 = 7;
+/// experiment's `repro-monitor.json`; v8 added the `fuzz` experiment's
+/// `repro-fuzz.json` summary, the `fuzz_reproducer` documents under
+/// `target/fuzz-failures/`, and their shared `fuzz_summary`/
+/// `fuzz_reproducer` layouts).
+const ARTIFACT_SCHEMA_VERSION: u64 = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut json_path: Option<String> = None;
     let mut seed: u64 = 2024;
+    let mut fuzz_cases: usize = DEFAULT_FUZZ_CASES;
+    let mut fuzz_oracle: Option<String> = None;
+    let mut fuzz_replay: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--json" {
+        if args[i] == "--cases" {
+            match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => fuzz_cases = n,
+                None => {
+                    eprintln!("--cases requires an integer");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else if args[i] == "--oracle" {
+            match args.get(i + 1) {
+                Some(name) => fuzz_oracle = Some(name.clone()),
+                None => {
+                    eprintln!("--oracle requires a name");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else if args[i] == "--replay" {
+            match args.get(i + 1) {
+                Some(p) => fuzz_replay = Some(p.clone()),
+                None => {
+                    eprintln!("--replay requires a path");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else if args[i] == "--json" {
             match args.get(i + 1) {
                 Some(p) => json_path = Some(p.clone()),
                 None => {
@@ -213,6 +265,17 @@ fn main() {
             .unwrap_or_else(|| DEFAULT_MONITOR_ARTIFACT.to_string());
         print_monitor(seed, &path);
     }
+    if which == "fuzz" {
+        // The differential fuzzer is opt-in (not part of `all`): its
+        // artifact is a fuzzing summary, not a metrics document.
+        let path = json_path
+            .clone()
+            .unwrap_or_else(|| DEFAULT_FUZZ_ARTIFACT.to_string());
+        match &fuzz_replay {
+            Some(replay_path) => print_fuzz_replay(replay_path),
+            None => print_fuzz(seed, fuzz_cases, fuzz_oracle.clone(), &path),
+        }
+    }
     if !all
         && ![
             "table2",
@@ -230,11 +293,12 @@ fn main() {
             "elastic",
             "netchaos",
             "monitor",
+            "fuzz",
         ]
         .contains(&which.as_str())
     {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|monitor|all] [--json PATH] [--seed N]");
+        eprintln!("usage: repro [table2|table3|table4|fig11|fig12|overhead|ablations|density|isolation|chaos|trace|bench|elastic|netchaos|monitor|fuzz|all] [--json PATH] [--seed N] [--cases N] [--oracle NAME] [--replay PATH]");
         std::process::exit(2);
     }
     if !artifact.is_empty() {
@@ -892,4 +956,79 @@ fn print_isolation() {
         );
     }
     println!();
+}
+
+fn print_fuzz(seed: u64, cases: usize, oracle: Option<String>, path: &str) {
+    println!("== Differential fuzzing: {cases} cases/oracle, seed {seed} ==");
+    let mut config = vfpga_fuzz::FuzzConfig::new(seed, cases);
+    config.oracle = oracle;
+    config.failure_dir = Some(std::path::PathBuf::from(FUZZ_FAILURE_DIR));
+    let summary = match vfpga_fuzz::run_fuzz(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    for o in &summary.oracles {
+        match &o.first_failure {
+            None => println!("{:<24} {:>6} cases  ok", o.name, o.cases),
+            Some(f) => println!(
+                "{:<24} {:>6} cases  {} FAILED (first at case {}, shrunk {} -> {}, {})",
+                o.name,
+                o.cases,
+                o.failures,
+                f.case_index,
+                f.original_size,
+                f.shrunk_size,
+                f.reproducer.as_deref().unwrap_or("reproducer not written"),
+            ),
+        }
+    }
+    println!();
+    assert_eq!(
+        vfpga_fuzz::FUZZ_SCHEMA_VERSION,
+        ARTIFACT_SCHEMA_VERSION,
+        "fuzz and repro artifact schemas must move together"
+    );
+    write_artifact(path, &(summary.to_json().pretty() + "\n"), "fuzz");
+    if !summary.passed() {
+        eprintln!(
+            "{} of {} cases violated an oracle; reproducers in {}",
+            summary.total_failures(),
+            summary.total_cases(),
+            FUZZ_FAILURE_DIR
+        );
+        std::process::exit(1);
+    }
+}
+
+fn print_fuzz_replay(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read reproducer {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("reproducer {path} is not JSON: {e}");
+            std::process::exit(2);
+        }
+    };
+    match vfpga_fuzz::replay(&doc) {
+        Ok((oracle, vfpga_fuzz::Verdict::Pass)) => {
+            println!("replay {path}: oracle `{oracle}` passes (bug no longer reproduces)");
+        }
+        Ok((oracle, vfpga_fuzz::Verdict::Fail(error))) => {
+            eprintln!("replay {path}: oracle `{oracle}` still fails: {error}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("replay {path}: {e}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -72,6 +72,26 @@ pub enum CoreError {
     Hs(vfpga_hsabs::HsError),
     /// The instruction transformation produced an invalid program.
     Isa(vfpga_isa::IsaError),
+    /// A scale-out machine index outside its group (`machine_index >=
+    /// num_machines`, or an empty group).
+    InvalidMachine {
+        /// The machine index requested.
+        machine_index: usize,
+        /// The size of the scale-out group.
+        num_machines: usize,
+    },
+    /// A designated state slot falls inside the reserved sync window, so
+    /// rewriting it to a send/receive would alias the window itself.
+    StateSlotAliasesWindow {
+        /// The offending DRAM slot.
+        slot: u32,
+    },
+    /// The same state slot was designated twice; the rewrite would bind it
+    /// to one channel and silently starve the other.
+    DuplicateStateSlot {
+        /// The repeated DRAM slot.
+        slot: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -92,6 +112,19 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Hs(e) => write!(f, "hs abstraction error: {e}"),
             CoreError::Isa(e) => write!(f, "isa error: {e}"),
+            CoreError::InvalidMachine {
+                machine_index,
+                num_machines,
+            } => write!(
+                f,
+                "machine index {machine_index} outside scale-out group of {num_machines}"
+            ),
+            CoreError::StateSlotAliasesWindow { slot } => {
+                write!(f, "state slot {slot} lies inside the reserved sync window")
+            }
+            CoreError::DuplicateStateSlot { slot } => {
+                write!(f, "state slot {slot} designated more than once")
+            }
         }
     }
 }

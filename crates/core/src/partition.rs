@@ -262,7 +262,20 @@ impl PartitionTree {
 
     /// Total bandwidth crossing between units in the `units_for(n)`
     /// deployment — the inter-FPGA traffic per activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchVariant`] for unit counts outside
+    /// `1..=max_units()`, exactly mirroring [`units_for`]
+    /// (`PartitionTree::units_for`); previously `cut_bandwidth_for(0)`
+    /// answered `Ok(0)` for a deployment that cannot exist.
     pub fn cut_bandwidth_for(&self, units: usize) -> Result<u64, CoreError> {
+        if units == 0 || units > self.max_units() {
+            return Err(CoreError::NoSuchVariant {
+                requested: units,
+                available: self.max_units(),
+            });
+        }
         // Sum of cut bandwidths of every split performed to reach `units`.
         let mut total = 0u64;
         let mut current: Vec<&PartitionNode> = vec![&self.root];
@@ -413,6 +426,28 @@ mod tests {
         let plan = partition(&tree, 3);
         assert_eq!(plan.max_units(), 1);
         assert!(plan.units_for(2).is_err());
+    }
+
+    #[test]
+    fn cut_bandwidth_for_rejects_degenerate_unit_counts() {
+        // Regression (found by the fuzzer's partition-conservation
+        // oracle): `cut_bandwidth_for(0)` returned Ok(0) for a deployment
+        // that cannot exist, while `units_for(0)` errored — the two
+        // accessors now agree on the whole `1..=max_units` domain.
+        let tree = data_tree();
+        let plan = partition(&tree, 2);
+        assert!(matches!(
+            plan.cut_bandwidth_for(0),
+            Err(CoreError::NoSuchVariant {
+                requested: 0,
+                available: 4
+            })
+        ));
+        assert!(plan.cut_bandwidth_for(5).is_err());
+        for units in 1..=plan.max_units() {
+            assert!(plan.cut_bandwidth_for(units).is_ok());
+            assert!(plan.units_for(units).is_ok());
+        }
     }
 
     #[test]

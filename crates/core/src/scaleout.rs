@@ -37,12 +37,21 @@ pub const SYNC_CHANNELS: u32 = 64;
 ///
 /// Returns [`CoreError::Isa`] if the ISA's DRAM is too small to carve out
 /// the reserved window (`dram_slots < 2 * SYNC_CHANNELS`); previously this
-/// underflowed `u32` into a bogus window near `u32::MAX`.
+/// underflowed `u32` into a bogus window near `u32::MAX`. Returns
+/// [`CoreError::InvalidMachine`] if `machine_index >= num_machines`
+/// (including the empty group `num_machines == 0`); previously the bogus
+/// window silently shifted every machine's slice during recombination.
 pub fn remote_window(
     isa: &IsaConfig,
     machine_index: usize,
     num_machines: usize,
 ) -> Result<RemoteWindow, CoreError> {
+    if machine_index >= num_machines {
+        return Err(CoreError::InvalidMachine {
+            machine_index,
+            num_machines,
+        });
+    }
     let reserved = 2 * SYNC_CHANNELS;
     if isa.dram_slots < reserved {
         return Err(CoreError::Isa(vfpga_isa::IsaError::Validation {
@@ -80,7 +89,11 @@ pub fn remote_window(
 /// # Errors
 ///
 /// Returns [`CoreError::Isa`] if more state slots are named than the
-/// template module has channels.
+/// template module has channels, [`CoreError::StateSlotAliasesWindow`] if
+/// a state slot falls inside the reserved window (the rewrite would turn
+/// the inserted send itself into another state access), and
+/// [`CoreError::DuplicateStateSlot`] if a slot is designated twice (only
+/// the first channel would ever carry it, silently starving the second).
 pub fn insert_communication(
     program: &Program,
     state_slots: &[u32],
@@ -95,6 +108,14 @@ pub fn insert_communication(
                 window.channels
             ),
         }));
+    }
+    for (k, &slot) in state_slots.iter().enumerate() {
+        if slot >= window.send_base {
+            return Err(CoreError::StateSlotAliasesWindow { slot });
+        }
+        if state_slots[..k].contains(&slot) {
+            return Err(CoreError::DuplicateStateSlot { slot });
+        }
     }
     let chan_of = |addr: u32| state_slots.iter().position(|&s| s == addr);
     let mut sent = vec![false; state_slots.len()];
@@ -305,6 +326,58 @@ mod tests {
         let p = assemble("halt\n").unwrap();
         let slots: Vec<u32> = (0..SYNC_CHANNELS + 1).collect();
         assert!(insert_communication(&p, &slots, &window()).is_err());
+    }
+
+    #[test]
+    fn machine_outside_group_is_rejected() {
+        // Regression (fuzzer-found degenerate input): a machine index at
+        // or past the group size produced a structurally valid window
+        // whose slice recombination was shifted; now a typed error.
+        let isa = IsaConfig::default();
+        assert!(matches!(
+            remote_window(&isa, 2, 2),
+            Err(crate::CoreError::InvalidMachine {
+                machine_index: 2,
+                num_machines: 2
+            })
+        ));
+        assert!(matches!(
+            remote_window(&isa, 0, 0),
+            Err(crate::CoreError::InvalidMachine { .. })
+        ));
+        assert!(remote_window(&isa, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn state_slot_inside_window_is_rejected() {
+        // Regression (fuzzer-found degenerate input): designating a slot
+        // inside the reserved window made the inserted send itself count
+        // as a state store, silently corrupting the channel protocol.
+        let p = assemble("halt\n").unwrap();
+        let w = window();
+        let err = insert_communication(&p, &[w.send_base], &w).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::CoreError::StateSlotAliasesWindow { slot } if slot == w.send_base
+        ));
+        let err = insert_communication(&p, &[w.recv_base + 3], &w).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::CoreError::StateSlotAliasesWindow { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_state_slot_is_rejected() {
+        // Regression (fuzzer-found degenerate input): a repeated state
+        // slot bound only its first channel; peers blocked forever on the
+        // second channel's barrier in co-simulation.
+        let p = assemble("halt\n").unwrap();
+        let err = insert_communication(&p, &[10, 11, 10], &window()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::CoreError::DuplicateStateSlot { slot: 10 }
+        ));
     }
 
     #[test]

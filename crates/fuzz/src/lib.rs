@@ -1,0 +1,54 @@
+//! # vfpga-fuzz — deterministic differential fuzzing for the whole stack
+//!
+//! The paper's central correctness claim is that every transformation in
+//! the framework is semantics-preserving: decompose → partition conserves
+//! resources and bandwidth, and scale-down + `insert_communication` +
+//! `reorder_for_overlap` computes bit-identically to the single-device
+//! accelerator. Hand-picked test shapes cover a handful of points in that
+//! space; this crate covers the rest with structure-aware randomized
+//! differential testing, replayable from a single `u64` seed.
+//!
+//! Four parts:
+//!
+//! * **Generators** ([`FuzzInput`] + [`Oracle::generate`]) — seeded random
+//!   [`SoftBlockTree`](vfpga_core::SoftBlockTree)s with mixed data/pipeline
+//!   nesting and adversarial link widths, random GRU/LSTM tasks with
+//!   non-power-of-two hidden dims and degenerate 1-step sequences, random
+//!   assembleable ISA programs, random heterogeneous clusters and fault
+//!   plans, and random JSON documents. Every case derives from
+//!   [`Rng::stream`](vfpga_sim::Rng::stream), so `(oracle, seed, index)`
+//!   pins it exactly.
+//! * **Oracles** ([`registry`]) — cross-layer checks: scaled-out
+//!   co-simulation vs the full accelerator vs the `f32` reference,
+//!   reordering bit-identity, partition conservation/monotonicity/coverage,
+//!   controller accounting under faults, slot-bitmap vs occupancy agreement
+//!   in the HS abstraction, fault-plan renewal invariants, and byte-exact
+//!   JSON round-trips.
+//! * **Shrinker** ([`shrink`]) — greedy delta debugging over each
+//!   generator's structure (drop tree children, halve dims, truncate
+//!   programs and fault waves) that minimizes a failing case while
+//!   preserving its failure.
+//! * **Driver** ([`run_fuzz`]) — runs a case budget per oracle, writes
+//!   shrunk reproducers to `target/fuzz-failures/<oracle>-<seed>.json`, and
+//!   returns a byte-deterministic summary. [`replay`] re-runs a serialized
+//!   reproducer through its oracle.
+//!
+//! The `repro fuzz` subcommand of vfpga-bench fronts the driver; a small
+//! budget runs in tier-1 via `tests/fuzz_smoke.rs`.
+
+mod driver;
+mod gen;
+mod input;
+mod oracle;
+mod shrink;
+
+pub use driver::{
+    case_rng, replay, reproducer_json, run_fuzz, FailureReport, FuzzConfig, FuzzSummary,
+    OracleReport, Verdict, DEFAULT_SHRINK_BUDGET, FUZZ_SCHEMA_VERSION,
+};
+pub use input::{
+    CloudFault, CloudSpec, CloudTask, FaultSpec, FuzzInput, ProgSpec, RnnSpec, SlotOp, SlotsSpec,
+    TreeSpec,
+};
+pub use oracle::{oracle_names, registry, Oracle};
+pub use shrink::shrink;

@@ -1,0 +1,110 @@
+//! Greedy delta-debugging shrinker.
+//!
+//! Starting from a failing case, repeatedly try the structural reductions
+//! proposed by [`FuzzInput::shrink_candidates`] and adopt any candidate
+//! that (a) still fails the oracle and (b) is no larger than the current
+//! case. Every adoption restarts the scan, so the result is a local
+//! minimum: no single proposed reduction of it still fails. The check
+//! budget bounds total work on pathological inputs.
+
+use crate::input::FuzzInput;
+
+/// Outcome of a shrink run: the minimal failing input, the error it
+/// produces, and how many oracle evaluations were spent.
+pub struct Shrunk {
+    /// Locally minimal failing input.
+    pub input: FuzzInput,
+    /// The oracle error the minimal input still triggers.
+    pub error: String,
+    /// Oracle evaluations consumed (bounded by the budget).
+    pub checks: usize,
+}
+
+/// Minimizes `input` (known to fail `check` with `error`) by greedy
+/// descent over its shrink candidates, spending at most `budget` oracle
+/// evaluations.
+pub fn shrink(
+    input: FuzzInput,
+    error: String,
+    check: fn(&FuzzInput) -> Result<(), String>,
+    budget: usize,
+) -> Shrunk {
+    let mut current = input;
+    let mut current_error = error;
+    let mut checks = 0usize;
+    'outer: loop {
+        for candidate in current.shrink_candidates() {
+            if checks >= budget {
+                break 'outer;
+            }
+            if candidate.size() > current.size() {
+                continue;
+            }
+            checks += 1;
+            if let Err(e) = check(&candidate) {
+                // Adopt and rescan. Equal-size adoptions (lstm -> gru,
+                // policy simplification) are one-way, so the descent
+                // terminates; the budget backstops any candidate set that
+                // violates that.
+                current = candidate;
+                current_error = e;
+                continue 'outer;
+            }
+        }
+        // A full scan adopted nothing: local minimum.
+        break;
+    }
+    Shrunk {
+        input: current,
+        error: current_error,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::RnnSpec;
+
+    fn failing_when_hidden_ge_10(input: &FuzzInput) -> Result<(), String> {
+        match input {
+            FuzzInput::Rnn(spec) if spec.hidden >= 10 => Err(format!("hidden {}", spec.hidden)),
+            _ => Ok(()),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_boundary() {
+        let start = FuzzInput::Rnn(RnnSpec {
+            kind: "lstm".into(),
+            hidden: 64,
+            timesteps: 5,
+            machines: 4,
+            weight_seed: 7,
+        });
+        let out = shrink(start, "hidden 64".into(), failing_when_hidden_ge_10, 10_000);
+        let FuzzInput::Rnn(spec) = out.input else {
+            panic!("shrinker changed the input family");
+        };
+        // The minimal hidden dim that still fails is exactly 10, and the
+        // incidental dimensions collapse too.
+        assert_eq!(spec.hidden, 10);
+        assert_eq!(spec.timesteps, 1);
+        assert_eq!(spec.machines, 2);
+        assert_eq!(spec.kind, "gru");
+        assert_eq!(out.error, "hidden 10");
+    }
+
+    #[test]
+    fn budget_bounds_work() {
+        let start = FuzzInput::Rnn(RnnSpec {
+            kind: "lstm".into(),
+            hidden: 1 << 20,
+            timesteps: 500,
+            machines: 4,
+            weight_seed: 7,
+        });
+        let out = shrink(start, "e".into(), failing_when_hidden_ge_10, 3);
+        assert!(out.checks <= 3);
+    }
+}

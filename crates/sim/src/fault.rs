@@ -183,11 +183,9 @@ impl FaultPlan {
                 "mttf and mttr must be positive to generate faults"
             );
             for device in 0..devices {
-                // Distinct per-device stream: golden-ratio stride over the
-                // base seed (the SplitMix64 expansion decorrelates them).
-                let mut rng = Rng::seed_from_u64(
-                    seed.wrapping_add((device as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                );
+                // Distinct per-device stream (golden-ratio stride over
+                // the base seed, decorrelated by SplitMix64).
+                let mut rng = Rng::stream(seed, device as u64);
                 let mut now = SimTime::ZERO;
                 loop {
                     let up_for = SimTime::from_secs(rng.exp(params.mttf.as_secs()));
@@ -267,12 +265,9 @@ impl FaultPlan {
                 "link mttf and mttr must be positive to generate faults"
             );
             for link in 0..links {
-                // Same golden-ratio stride as the device streams, over a
+                // Same derived-stream family as the device streams, over a
                 // salted base seed so the two families never collide.
-                let mut rng = Rng::seed_from_u64(
-                    (self.seed ^ 0x4c49_4e4b_4c49_4e4b)
-                        .wrapping_add((link as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                );
+                let mut rng = Rng::stream(self.seed ^ 0x4c49_4e4b_4c49_4e4b, link as u64);
                 let mut now = SimTime::ZERO;
                 loop {
                     let up_for = SimTime::from_secs(rng.exp(link_params.mttf.as_secs()));

@@ -27,12 +27,16 @@
 //! * [`workload`] — DeepBench-style GRU/LSTM benchmarks and the synthetic
 //!   cloud workload sets of Table 1.
 //! * [`sim`] — the deterministic discrete-event simulation engine.
+//! * [`fuzz`] — deterministic structure-aware differential fuzzing: seeded
+//!   generators, cross-layer oracles, and shrinking counterexamples
+//!   replayable from a single `u64`.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use vfpga_accel as accel;
 pub use vfpga_core as core;
 pub use vfpga_fabric as fabric;
+pub use vfpga_fuzz as fuzz;
 pub use vfpga_hls as hls;
 pub use vfpga_hsabs as hsabs;
 pub use vfpga_isa as isa;

@@ -399,3 +399,104 @@ fn partitioner_conserves_resources() {
         }
     }
 }
+
+// ---- fuzz counterexamples ----------------------------------------------
+//
+// Shrunk inputs harvested from the differential fuzzer (crates/fuzz) run
+// against deliberately mutated code, checked in as concrete regression
+// tests so the classes of bug they expose stay dead even when the fuzzer
+// itself is not running.
+
+/// Counterexample from the partition-conservation oracle (seed 42, case
+/// 0) against a data-split mutant that dropped the last child: the
+/// smallest tree where left + right must equal the parent is a two-leaf
+/// data block with asymmetric resources.
+#[test]
+fn fuzz_counterexample_two_leaf_data_split_conserves_resources() {
+    use vfpga::core::{partition, Pattern, SoftBlock, SoftBlockId, SoftBlockKind, SoftBlockTree};
+    use vfpga::fabric::ResourceVec;
+
+    let leaf = |id: usize, luts: u64, ffs: u64| SoftBlock {
+        id: SoftBlockId(id),
+        kind: SoftBlockKind::Leaf {
+            path: format!("u{id}"),
+            module: "m".into(),
+            behavior: None,
+        },
+        resources: ResourceVec {
+            luts,
+            ffs,
+            ..ResourceVec::default()
+        },
+        content_hash: id as u64,
+    };
+    let root_resources = ResourceVec {
+        luts: 3,
+        ffs: 1,
+        ..ResourceVec::default()
+    };
+    let tree = SoftBlockTree::new(
+        vec![
+            leaf(0, 2, 0),
+            leaf(1, 1, 1),
+            SoftBlock {
+                id: SoftBlockId(2),
+                kind: SoftBlockKind::Composite {
+                    pattern: Pattern::Data,
+                    children: vec![SoftBlockId(0), SoftBlockId(1)],
+                    link_widths: vec![],
+                },
+                resources: root_resources,
+                content_hash: 2,
+            },
+        ],
+        SoftBlockId(2),
+    );
+    let plan = partition(&tree, 4);
+    assert_eq!(plan.root().resources, root_resources);
+    let split = plan.root().split.as_ref().expect("data root splits");
+    let mut sum = split.left.resources;
+    sum += split.right.resources;
+    assert_eq!(sum, root_resources, "split must conserve resources");
+    let clusters = plan.units_for(2).unwrap();
+    let total: ResourceVec = clusters.iter().map(|c| c.resources).sum();
+    assert_eq!(total, root_resources);
+}
+
+/// Counterexample from the hsabs-slots oracle (seed 42, case 0) against
+/// an occupancy mutant that kept counting failed devices as capacity:
+/// one allocation on a healthy device plus one failed empty device is
+/// enough to tell degraded-mode occupancy from the naive ratio.
+#[test]
+fn fuzz_counterexample_occupancy_excludes_failed_devices() {
+    use vfpga::fabric::{Cluster, DeviceId, DeviceType};
+    use vfpga::hsabs::{HsCompiler, LowLevelController, VirtualBlockSpec};
+
+    let dt = DeviceType::xcvu37p();
+    let cluster = Cluster::new(vec![dt.clone(), dt.clone(), dt.clone()]);
+    let mut ctl = LowLevelController::new(&cluster);
+    let spec = VirtualBlockSpec::for_device(&dt);
+    let slot = *spec.slot_resources();
+    let demand = vfpga::fabric::ResourceVec {
+        luts: slot.luts * 2,
+        ffs: slot.ffs * 2,
+        bram_kb: slot.bram_kb * 2,
+        uram_kb: slot.uram_kb * 2,
+        dsps: slot.dsps * 2,
+    };
+    let image = HsCompiler::default()
+        .compile("fuzz-ce", &demand, &dt)
+        .unwrap();
+    let blocks = image.blocks();
+    ctl.configure(DeviceId(0), &image).unwrap();
+    ctl.evict_device(DeviceId(2));
+    // Two healthy devices remain; the failed (empty) third must not
+    // dilute the ratio.
+    let healthy_slots = ctl.slots_total(DeviceId(0)) + ctl.slots_total(DeviceId(1));
+    let want = blocks as f64 / healthy_slots as f64;
+    assert!(
+        (ctl.occupancy() - want).abs() < 1e-12,
+        "occupancy {} should be {want} over healthy capacity only",
+        ctl.occupancy()
+    );
+}

@@ -135,3 +135,28 @@ fn missing_peer_data_deadlocks_cleanly() {
     let err = co_simulate_functional(&mut [starved, silent], &[program, halt_only]).unwrap_err();
     assert!(matches!(err, RuntimeError::Deadlock { blocked: 1 }));
 }
+
+#[test]
+fn fuzz_counterexample_minimal_two_row_gru() {
+    // Checked-in shrunk counterexample from the differential fuzzer's
+    // scaleout-differential oracle (seed 42, case 0) against a mutant of
+    // `insert_communication` that left the first cross-machine receive
+    // reading the machine's own local slice instead of the ring window.
+    // The smallest shape that exposes the class: the hidden state must
+    // actually cross machines (2 rows over 2 machines) and the skipped
+    // receive must feed a later step (2 timesteps — one step passes
+    // vacuously because h0 starts local everywhere). On the mutant this
+    // deadlocks the co-simulation; on correct code it is bit-exact.
+    let task = RnnTask::new(RnnKind::Gru, 2, 2);
+    let weights = RnnWeights::generate(task, 12032836648555590000);
+    let single = run_single(task, &weights);
+    let scaled = run_scaled(task, &weights, 2, true);
+    assert_eq!(single.len(), scaled.len());
+    for (a, b) in single.iter().zip(&scaled) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "minimal cross-machine GRU must be bit-exact"
+        );
+    }
+}
